@@ -1,0 +1,231 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation, plus bechamel micro-benchmarks of the scheduler itself.
+
+   Usage:
+     dune exec bench/main.exe                 # every paper experiment
+     dune exec bench/main.exe -- tab6 fig6    # a subset
+     dune exec bench/main.exe -- quick        # all, on a small suite
+     dune exec bench/main.exe -- micro        # bechamel micro-benchmarks
+
+   Experiments: fig1 tab1 tab2 tab3 tab4 fig4 tab5 tab6 fig6 calib micro.
+   The loop count can be overridden with HCRF_LOOPS=<n>. *)
+
+open Hcrf_eval
+
+let time_section name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Fmt.pr "  [%s took %.1fs]@.@." name (Unix.gettimeofday () -. t0);
+  r
+
+let suite_size () =
+  match Sys.getenv_opt "HCRF_LOOPS" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n > 0 -> n
+    | Some _ | None -> Hcrf_workload.Suite.paper_loop_count)
+  | None -> Hcrf_workload.Suite.paper_loop_count
+
+let fig1 ~loops () =
+  time_section "fig1" (fun () ->
+      Fmt.pr "%a@." Experiments.pp_figure1 (Experiments.figure1 ~loops))
+
+let tab1 ~loops () =
+  time_section "tab1" (fun () ->
+      Fmt.pr "%a@." Experiments.pp_table1 (Experiments.table1 ~loops))
+
+let tab2 () =
+  time_section "tab2" (fun () ->
+      Fmt.pr "%a@."
+        (Experiments.pp_hw_rows
+           ~title:"Table 2: access time & area, equal-capacity RFs")
+        (Experiments.table2 ()))
+
+let tab3 ~loops () =
+  time_section "tab3" (fun () ->
+      Fmt.pr "%a@." Experiments.pp_table3 (Experiments.table3 ~loops))
+
+let tab4 ~loops () =
+  time_section "tab4" (fun () ->
+      Fmt.pr "%a@." Experiments.pp_table4 (Experiments.table4 ~loops ()))
+
+let fig4 ~loops () =
+  time_section "fig4" (fun () ->
+      Fmt.pr "%a@." Experiments.pp_figure4 (Experiments.figure4 ~loops ()))
+
+let tab5 () =
+  time_section "tab5" (fun () ->
+      Fmt.pr "%a@."
+        (Experiments.pp_hw_rows ~title:"Table 5: hardware evaluation")
+        (Experiments.table5 ()))
+
+let tab6 ~loops () =
+  time_section "tab6" (fun () ->
+      Fmt.pr "%a@." Experiments.pp_table6 (Experiments.table6 ~loops))
+
+let fig6 ~loops () =
+  time_section "fig6" (fun () ->
+      Fmt.pr "%a@." Experiments.pp_figure6 (Experiments.figure6 ~loops))
+
+let ablate ~loops () =
+  time_section "ablate" (fun () ->
+      (* the ablation sweep is expensive: bound the sample *)
+      let sample = List.filteri (fun i _ -> i < 150) loops in
+      Fmt.pr "%a@." Experiments.pp_ablations
+        (Experiments.ablations ~loops:sample ()))
+
+(* Workbench statistics: how the synthetic suite compares with the
+   distributions the paper reports for the Perfect Club loops. *)
+let calib ~loops () =
+  time_section "calib" (fun () ->
+      let n = List.length loops in
+      let ops =
+        List.fold_left
+          (fun acc (l : Hcrf_ir.Loop.t) ->
+            acc + Hcrf_ir.Ddg.num_nodes l.Hcrf_ir.Loop.ddg)
+          0 loops
+      in
+      let recs =
+        List.length
+          (List.filter
+             (fun (l : Hcrf_ir.Loop.t) ->
+               Hcrf_ir.Scc.has_recurrence l.Hcrf_ir.Loop.ddg)
+             loops)
+      in
+      Fmt.pr
+        "Workbench: %d loops, %.1f ops/loop, %.1f%% with recurrences@." n
+        (float_of_int ops /. float_of_int n)
+        (100. *. float_of_int recs /. float_of_int n))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: scheduler component costs and ablations  *)
+
+let micro () =
+  let open Bechamel in
+  let kernel name = Hcrf_workload.Kernels.find name in
+  let schedule_test ~kernel:kname ~config:cname =
+    let config = Hcrf_model.Presets.published cname in
+    let loop = kernel kname in
+    Test.make
+      ~name:(Fmt.str "mirs_hc/%s/%s" kname cname)
+      (Staged.stage (fun () ->
+           match Hcrf_core.Mirs_hc.schedule config loop.Hcrf_ir.Loop.ddg with
+           | Ok _ -> ()
+           | Error _ -> failwith "no schedule"))
+  in
+  let mii_test =
+    let config = Hcrf_model.Presets.published "S128" in
+    let loop = kernel "fir5" in
+    Test.make ~name:"mii/fir5"
+      (Staged.stage (fun () ->
+           ignore (Hcrf_sched.Mii.compute config loop.Hcrf_ir.Loop.ddg)))
+  in
+  let order_test =
+    let config = Hcrf_model.Presets.published "S128" in
+    let loop = kernel "tree8" in
+    Test.make ~name:"order/tree8"
+      (Staged.stage (fun () ->
+           ignore (Hcrf_sched.Order.compute config loop.Hcrf_ir.Loop.ddg)))
+  in
+  let cacti_test =
+    let config = Hcrf_model.Presets.published "4C16S16" in
+    Test.make ~name:"cacti/4C16S16"
+      (Staged.stage (fun () -> ignore (Hcrf_model.Cacti.estimate config)))
+  in
+  let cache_test =
+    Test.make ~name:"cache/stream"
+      (Staged.stage (fun () ->
+           let c = Hcrf_memsim.Cache.create () in
+           for i = 0 to 4095 do
+             ignore (Hcrf_memsim.Cache.access c (i * 8))
+           done))
+  in
+  (* ablation: the full iterative scheduler vs the non-iterative
+     baseline on the same loop and configuration *)
+  let ablation_test ~name ~opts =
+    let config = Hcrf_model.Presets.published "2C32S32" in
+    let loop = kernel "fir5" in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           ignore
+             (Hcrf_sched.Engine.schedule ~opts config loop.Hcrf_ir.Loop.ddg)))
+  in
+  let tests =
+    [
+      schedule_test ~kernel:"daxpy" ~config:"S128";
+      schedule_test ~kernel:"fir5" ~config:"4C32";
+      schedule_test ~kernel:"tree8" ~config:"4C16S16";
+      schedule_test ~kernel:"cmul" ~config:"8C16S16";
+      mii_test;
+      order_test;
+      cacti_test;
+      cache_test;
+      ablation_test ~name:"ablate/backtracking"
+        ~opts:Hcrf_sched.Engine.default_options;
+      ablation_test ~name:"ablate/non-iterative"
+        ~opts:
+          {
+            Hcrf_sched.Engine.default_options with
+            backtracking = false;
+            ordering = `Topological;
+          };
+    ]
+  in
+  Fmt.pr "@[<v>Micro-benchmarks (bechamel, monotonic clock)@,";
+  List.iter
+    (fun test ->
+      let cfg =
+        Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ()
+      in
+      let results =
+        Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test
+      in
+      Hashtbl.iter
+        (fun name raw ->
+          let ols =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              Toolkit.Instance.monotonic_clock raw
+          in
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Fmt.pr "  %-28s %12.1f ns/run@," name est
+          | Some _ | None -> Fmt.pr "  %-28s (no estimate)@," name)
+        results)
+    tests;
+  Fmt.pr "@]@."
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let args = List.filter (fun a -> a <> "--") args in
+  let quick = List.mem "quick" args in
+  let args = List.filter (fun a -> a <> "quick") args in
+  let selected = if args = [] then [ "all" ] else args in
+  let wants name = List.mem name selected || List.mem "all" selected in
+  let n = if quick then 120 else suite_size () in
+  let needs_loops =
+    List.exists wants
+      [ "fig1"; "tab1"; "tab3"; "tab4"; "fig4"; "tab6"; "fig6"; "calib";
+        "ablate" ]
+  in
+  let loops =
+    if needs_loops then begin
+      Fmt.pr "Generating the %d-loop workbench...@." n;
+      Hcrf_workload.Suite.generate ~n ()
+    end
+    else []
+  in
+  if wants "calib" then calib ~loops ();
+  if wants "fig1" then fig1 ~loops ();
+  if wants "tab1" then tab1 ~loops ();
+  if wants "tab2" then tab2 ();
+  if wants "tab3" then tab3 ~loops ();
+  if wants "tab4" then tab4 ~loops ();
+  if wants "fig4" then fig4 ~loops ();
+  if wants "tab5" then tab5 ();
+  if wants "tab6" then tab6 ~loops ();
+  if wants "fig6" then fig6 ~loops ();
+  if wants "ablate" then ablate ~loops ();
+  if wants "micro" then micro ()

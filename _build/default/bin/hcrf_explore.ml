@@ -1,0 +1,178 @@
+(* hcrf-explore: command-line front end to the library.
+
+     hcrf_explore schedule --kernel daxpy --config 8C16S16 --dump
+     hcrf_explore suite --config 4C32 -n 200 --memory real
+     hcrf_explore hw --config 4C32S16
+     hcrf_explore hw --all
+     hcrf_explore duel --config 1C32S64 -n 100
+*)
+
+open Cmdliner
+open Hcrf_sched
+
+let config_of_string s =
+  match Hcrf_model.Hw_table.find s with
+  | Some row -> Hcrf_model.Presets.of_published row
+  | None -> (
+    (* fall back to the analytic technology model for unpublished points *)
+    try Hcrf_model.Presets.of_model (Hcrf_machine.Rf.of_notation s)
+    with Failure msg | Invalid_argument msg -> failwith msg)
+
+let config_arg =
+  let doc =
+    "Register-file organization, in the paper's notation: S128, 4C32, \
+     2C32S64, ...  Published Table-5 points use the published hardware; \
+     anything else is priced with the CACTI/FO4 model."
+  in
+  Arg.(value & opt string "8C16S16" & info [ "c"; "config" ] ~doc)
+
+let n_arg =
+  let doc = "Number of synthetic workbench loops." in
+  Arg.(value & opt int 200 & info [ "n"; "loops" ] ~doc)
+
+(* ------------------------------------------------------------------ *)
+
+let schedule_cmd =
+  let kernel_arg =
+    let doc =
+      Fmt.str "Kernel to schedule: %s."
+        (String.concat ", " (List.map fst Hcrf_workload.Kernels.all))
+    in
+    Arg.(value & opt string "daxpy" & info [ "k"; "kernel" ] ~doc)
+  in
+  let dump_arg =
+    Arg.(value & flag & info [ "dump" ] ~doc:"Print the full schedule.")
+  in
+  let run kernel config_name dump =
+    let config = config_of_string config_name in
+    let loop = Hcrf_workload.Kernels.find kernel in
+    match Hcrf_core.Mirs_hc.schedule config loop.Hcrf_ir.Loop.ddg with
+    | Error (`No_schedule ii) ->
+      Fmt.epr "no schedule up to II=%d@." ii;
+      exit 1
+    | Ok o ->
+      Fmt.pr "%s on %s: II=%d (MII=%d) SC=%d, %d ops (%d inserted)@." kernel
+        config.Hcrf_machine.Config.name o.Engine.ii o.Engine.mii o.Engine.sc
+        (Hcrf_ir.Ddg.num_nodes o.Engine.graph)
+        (Hcrf_ir.Ddg.num_nodes o.Engine.graph
+        - Hcrf_ir.Ddg.num_nodes loop.Hcrf_ir.Loop.ddg);
+      let issues = Hcrf_core.Mirs_hc.validate o in
+      if issues = [] then Fmt.pr "validation: ok@."
+      else
+        Fmt.pr "validation: %a@."
+          Fmt.(list ~sep:comma Validate.pp_issue)
+          issues;
+      if dump then Fmt.pr "%a@." Schedule.pp o.Engine.schedule
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Schedule one kernel on one configuration")
+    Term.(const run $ kernel_arg $ config_arg $ dump_arg)
+
+let suite_cmd =
+  let memory_arg =
+    let doc = "Memory scenario: ideal, real, or prefetch." in
+    Arg.(value & opt string "ideal" & info [ "m"; "memory" ] ~doc)
+  in
+  let run config_name n memory =
+    let config = config_of_string config_name in
+    let scenario =
+      match memory with
+      | "ideal" -> Hcrf_eval.Runner.Ideal
+      | "real" -> Hcrf_eval.Runner.Real { prefetch = false }
+      | "prefetch" -> Hcrf_eval.Runner.Real { prefetch = true }
+      | other -> failwith ("unknown memory scenario: " ^ other)
+    in
+    let loops = Hcrf_workload.Suite.generate ~n () in
+    let results = Hcrf_eval.Runner.run_suite ~scenario config loops in
+    let a = Hcrf_eval.Runner.aggregate config results in
+    Fmt.pr "%a@." Hcrf_eval.Metrics.pp_aggregate a;
+    List.iter
+      (fun (b, count, cycles) ->
+        Fmt.pr "  %-8s %4d loops  %.3e cycles@." (Hcrf_eval.Classify.name b)
+          count cycles)
+      a.Hcrf_eval.Metrics.bound_share
+  in
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:"Schedule the synthetic workbench on one configuration")
+    Term.(const run $ config_arg $ n_arg $ memory_arg)
+
+let hw_cmd =
+  let all_arg =
+    Arg.(value & flag & info [ "all" ] ~doc:"Print every Table-5 row.")
+  in
+  let run config_name all =
+    if all then
+      Fmt.pr "%a@."
+        (Hcrf_eval.Experiments.pp_hw_rows ~title:"Hardware evaluation")
+        (Hcrf_eval.Experiments.table5 ())
+    else begin
+      let config = config_of_string config_name in
+      let est = Hcrf_model.Cacti.estimate config in
+      Fmt.pr "%a@." Hcrf_machine.Config.pp config;
+      Fmt.pr
+        "model: local access %.3f ns, shared %a ns, total area %.2f Ml2@."
+        est.Hcrf_model.Cacti.local_access_ns
+        Fmt.(option ~none:(any "-") (fmt "%.3f"))
+        est.Hcrf_model.Cacti.shared_access_ns
+        est.Hcrf_model.Cacti.total_area_mlambda2
+    end
+  in
+  Cmd.v
+    (Cmd.info "hw" ~doc:"Price a configuration with the technology model")
+    Term.(const run $ config_arg $ all_arg)
+
+let ports_cmd =
+  (* sweep the inter-level port counts of a hierarchical RF and report
+     the ΣII impact — the §4 design decision, measurable per design *)
+  let run config_name n =
+    let base = Hcrf_machine.Rf.of_notation config_name in
+    (match base with
+    | Hcrf_machine.Rf.Hierarchical h ->
+      let loops = Hcrf_workload.Suite.generate ~n () in
+      Fmt.pr "Port sweep for %s (%d loops):@." config_name n;
+      Fmt.pr "  lp sp | sumII | %%MII@.";
+      List.iter
+        (fun (lp, sp) ->
+          let rf =
+            Hcrf_machine.Rf.Hierarchical
+              { h with
+                lp = Hcrf_machine.Cap.Finite lp;
+                sp = Hcrf_machine.Cap.Finite sp }
+          in
+          let config = Hcrf_model.Presets.of_model rf in
+          let results = Hcrf_eval.Runner.run_suite config loops in
+          let a = Hcrf_eval.Runner.aggregate config results in
+          Fmt.pr "  %2d %2d | %5d | %4.1f@." lp sp a.Hcrf_eval.Metrics.sum_ii
+            a.Hcrf_eval.Metrics.pct_at_mii)
+        [ (1, 1); (2, 1); (2, 2); (3, 2); (4, 2) ]
+    | _ -> failwith "ports: needs a hierarchical configuration (xCySz)")
+  in
+  Cmd.v
+    (Cmd.info "ports"
+       ~doc:"Sweep the LoadR/StoreR port counts of a hierarchical RF")
+    Term.(const run $ config_arg $ n_arg)
+
+let duel_cmd =
+  let run config_name n =
+    let config = config_of_string config_name in
+    let loops = Hcrf_workload.Suite.generate ~n () in
+    let t = Hcrf_eval.Experiments.table4 ~config ~loops () in
+    Fmt.pr "%a@." Hcrf_eval.Experiments.pp_table4 t
+  in
+  Cmd.v
+    (Cmd.info "duel"
+       ~doc:"Compare MIRS_HC against the non-iterative scheduler of [36]")
+    Term.(const run $ config_arg $ n_arg)
+
+let () =
+  let info =
+    Cmd.info "hcrf_explore" ~version:"1.0"
+      ~doc:
+        "Hierarchical clustered register files for VLIW processors \
+         (IPDPS'03 reproduction)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ schedule_cmd; suite_cmd; hw_cmd; ports_cmd; duel_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_machine.ml: Cap Config Ddg Dep Fmt Hcrf_eval Hcrf_ir Hcrf_machine Hcrf_model List Loop Op Rf

@@ -1,0 +1,1 @@
+examples/design_space.ml: Array Config Engine Fmt Hcrf_core Hcrf_eval Hcrf_ir Hcrf_machine Hcrf_model Hcrf_sched Hcrf_workload List Rf Sys

@@ -1,0 +1,1 @@
+examples/loop_language.ml: Fmt Hcrf_core Hcrf_frontend Hcrf_ir Hcrf_model Hcrf_pipesim Hcrf_sched List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ddg Engine Fmt Hcrf_core Hcrf_eval Hcrf_ir Hcrf_machine Hcrf_model Hcrf_sched Hcrf_workload List Loop Op Regalloc Schedule Topology Validate

@@ -1,0 +1,1 @@
+examples/scheduler_duel.ml: Ddg Engine Fmt Hcrf_core Hcrf_ir Hcrf_machine Hcrf_model Hcrf_sched Hcrf_workload List Loop

@@ -1,0 +1,71 @@
+(* Design-space exploration: the workflow of the paper's Section 6 for
+   your own loop.  Every candidate register-file organization is priced
+   with the CACTI-derived technology model (access time -> logic depth
+   -> clock -> latencies), scheduled with MIRS_HC, and ranked by actual
+   execution time.
+
+     dune exec examples/design_space.exe            # explores fir5
+     dune exec examples/design_space.exe -- stencil3
+*)
+
+open Hcrf_machine
+open Hcrf_sched
+
+let candidates =
+  [ "S128"; "S64"; "S32"; "1C64S32"; "1C32S64"; "2C64"; "2C32"; "2C32S32";
+    "4C64"; "4C32"; "4C32S16"; "4C16S16"; "8C32S16"; "8C16S16" ]
+
+let () =
+  let kernel =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "fir5"
+  in
+  let loop = Hcrf_workload.Kernels.find kernel in
+  Fmt.pr "Exploring RF organizations for kernel %S (%d ops)@.@." kernel
+    (Hcrf_ir.Ddg.num_nodes loop.Hcrf_ir.Loop.ddg);
+  Fmt.pr "  %-9s %6s %6s %5s %4s %6s %9s %9s@." "config" "clk ns" "area"
+    "II" "SC" "cycles" "time (us)" "vs S64";
+  let rows =
+    List.filter_map
+      (fun notation ->
+        (* derive the hardware point from the analytic model — this is
+           what you would do for a design CACTI has no published row
+           for *)
+        let rf = Rf.of_notation notation in
+        let config = Hcrf_model.Presets.of_model rf in
+        let est = Hcrf_model.Cacti.estimate config in
+        match Hcrf_core.Mirs_hc.schedule config loop.Hcrf_ir.Loop.ddg with
+        | Error _ -> None
+        | Ok o ->
+          let perf = Hcrf_eval.Metrics.of_outcome loop o in
+          let time_us =
+            perf.Hcrf_eval.Metrics.useful_cycles
+            *. config.Config.cycle_ns /. 1000.
+          in
+          Some
+            ( notation, config.Config.cycle_ns,
+              est.Hcrf_model.Cacti.total_area_mlambda2, o.Engine.ii,
+              o.Engine.sc, perf.Hcrf_eval.Metrics.useful_cycles, time_us ))
+      candidates
+  in
+  let base_time =
+    match List.find_opt (fun (n, _, _, _, _, _, _) -> n = "S64") rows with
+    | Some (_, _, _, _, _, _, t) -> t
+    | None -> 1.
+  in
+  List.iter
+    (fun (n, clk, area, ii, sc, cycles, t) ->
+      Fmt.pr "  %-9s %6.3f %6.2f %5d %4d %6.0f %9.2f %8.2fx@." n clk area
+        ii sc cycles t (base_time /. t))
+    rows;
+  let best =
+    List.fold_left
+      (fun acc ((_, _, _, _, _, _, t) as row) ->
+        match acc with
+        | Some (_, _, _, _, _, _, bt) when bt <= t -> acc
+        | _ -> Some row)
+      None rows
+  in
+  match best with
+  | Some (n, _, _, _, _, _, _) ->
+    Fmt.pr "@.Best organization for %s: %s@." kernel n
+  | None -> ()

@@ -1,0 +1,57 @@
+(* Scheduler duel: the iterative MIRS_HC against the non-iterative
+   scheduler of the paper's earlier work [36], on every bundled kernel
+   and on a slice of the synthetic workbench — the experiment behind
+   Table 4.
+
+     dune exec examples/scheduler_duel.exe
+*)
+
+open Hcrf_ir
+open Hcrf_sched
+
+let config = Hcrf_model.Presets.published "1C32S64"
+
+let duel name (g : Ddg.t) =
+  let ni = Hcrf_core.Noniter.schedule config g in
+  let hc = Hcrf_core.Mirs_hc.schedule config g in
+  match (ni, hc) with
+  | Ok ni, Ok hc ->
+    let verdict =
+      if hc.Engine.ii < ni.Engine.ii then "MIRS_HC wins"
+      else if hc.Engine.ii = ni.Engine.ii then "tie"
+      else "[36] wins"
+    in
+    Fmt.pr "  %-11s II: noniter=%-3d mirs_hc=%-3d (ejects %3d)  %s@." name
+      ni.Engine.ii hc.Engine.ii hc.Engine.stats.ejections verdict;
+    Some (ni.Engine.ii, hc.Engine.ii)
+  | Error _, Ok hc ->
+    Fmt.pr "  %-11s noniter failed; mirs_hc II=%d@." name hc.Engine.ii;
+    None
+  | _, Error _ ->
+    Fmt.pr "  %-11s mirs_hc failed@." name;
+    None
+
+let () =
+  Fmt.pr "Iterative vs non-iterative modulo scheduling on %s@.@."
+    config.Hcrf_machine.Config.name;
+  Fmt.pr "Kernels:@.";
+  List.iter
+    (fun (name, mk) -> ignore (duel name (mk ()).Loop.ddg))
+    Hcrf_workload.Kernels.all;
+  Fmt.pr "@.Synthetic workbench (first 80 loops):@.";
+  let loops = Hcrf_workload.Suite.generate ~n:80 () in
+  let results =
+    List.filter_map (fun (l : Loop.t) ->
+        let ni = Hcrf_core.Noniter.schedule config l.Loop.ddg in
+        let hc = Hcrf_core.Mirs_hc.schedule config l.Loop.ddg in
+        match (ni, hc) with
+        | Ok ni, Ok hc -> Some (ni.Engine.ii, hc.Engine.ii)
+        | _ -> None)
+      loops
+  in
+  let better = List.length (List.filter (fun (a, b) -> b < a) results) in
+  let equal = List.length (List.filter (fun (a, b) -> b = a) results) in
+  let worse = List.length (List.filter (fun (a, b) -> b > a) results) in
+  let sum f = List.fold_left (fun acc p -> acc + f p) 0 results in
+  Fmt.pr "  MIRS_HC better: %d, equal: %d, worse: %d@." better equal worse;
+  Fmt.pr "  Sum II: noniter=%d mirs_hc=%d@." (sum fst) (sum snd)

@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Array Buffer Ddg Fmt Format Hashtbl Hcrf_ir Hcrf_machine Hcrf_sched List Op Regalloc Schedule String Topology

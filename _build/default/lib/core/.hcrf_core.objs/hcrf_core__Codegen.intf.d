@@ -1,0 +1,1 @@
+lib/core/codegen.mli: Format Hcrf_ir Hcrf_machine Hcrf_sched

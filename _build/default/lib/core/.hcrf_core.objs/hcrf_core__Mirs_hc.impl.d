@@ -1,0 +1,1 @@
+lib/core/mirs_hc.ml: Ddg Engine Hcrf_ir Hcrf_sched Loop Validate

@@ -1,0 +1,1 @@
+lib/core/noniter.ml: Ddg Engine Hcrf_ir Hcrf_sched

@@ -1,0 +1,27 @@
+(** VLIW code emission — the [Generate_code (II, S)] step closing
+    Figure 5.
+
+    Renders a scheduled loop as the kernel the core would execute: one
+    line per modulo slot listing every operation issued there, with its
+    cluster/port placement and its rotating-register operands
+    ([L0:r3] = offset 3 of cluster 0's bank, [S:r1] = the shared bank;
+    [~] marks a value consumed straight off the bypass network). *)
+
+type t = {
+  config : Hcrf_machine.Config.t;
+  ii : int;
+  sc : int;
+  kernel : string;  (** rendered kernel table *)
+}
+
+(** Render the kernel of a complete schedule; [Error bank] when register
+    allocation fails. *)
+val emit :
+  Hcrf_machine.Config.t -> Hcrf_sched.Schedule.t -> Hcrf_ir.Ddg.t ->
+  (t, Hcrf_sched.Topology.bank) result
+
+val of_outcome :
+  Hcrf_machine.Config.t -> Hcrf_sched.Engine.outcome ->
+  (t, Hcrf_sched.Topology.bank) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+(** MIRS_HC — Modulo scheduling with Integrated Register Spilling for
+    Hierarchical Clustered VLIW architectures.
+
+    This is the paper's contribution: a single modulo scheduler that
+    simultaneously performs instruction scheduling, cluster selection,
+    insertion of inter-bank communication (StoreR/LoadR through the shared
+    second-level bank, or Move over the buses of a flat clustered RF),
+    register allocation against every bank's capacity, and spill-code
+    insertion — iteratively, with force-and-eject backtracking under a
+    Budget (§5).
+
+    The same engine degrades gracefully to the earlier members of the
+    family: on a monolithic RF it behaves as MIRS [38], on a flat
+    clustered RF as MIRS_C [37].  The configuration alone selects the
+    behaviour. *)
+
+open Hcrf_ir
+open Hcrf_sched
+
+type options = Engine.options
+
+let default_options = Engine.default_options
+
+type outcome = Engine.outcome
+
+(** Schedule one loop body for [config].  Returns the complete schedule
+    (with all inserted communication and spill operations in
+    [outcome.graph]) or [`No_schedule ii] if no II up to the cap
+    admitted a schedule. *)
+let schedule ?(opts = default_options) config (g : Ddg.t) =
+  Engine.schedule ~opts config g
+
+(** Schedule a whole {!Loop.t}; convenience wrapper keeping the loop
+    metadata alongside the outcome. *)
+type scheduled_loop = { loop : Loop.t; outcome : outcome }
+
+let schedule_loop ?opts config (l : Loop.t) =
+  match schedule ?opts config l.Loop.ddg with
+  | Ok outcome -> Ok { loop = l; outcome }
+  | Error e -> Error e
+
+(** Validate an outcome with the independent checker. *)
+let validate (o : outcome) =
+  Validate.check ~invariant_residents:o.Engine.invariant_residents
+    o.Engine.schedule o.Engine.graph
+
+let is_valid o = validate o = []
+
+(** Memory accesses per iteration of the final schedule, including spill
+    traffic — the paper's trf metric (§2.3). *)
+let memory_refs_per_iter (o : outcome) =
+  Ddg.num_memory_ops o.Engine.graph

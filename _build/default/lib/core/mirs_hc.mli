@@ -1,0 +1,45 @@
+(** MIRS_HC — Modulo scheduling with Integrated Register Spilling for
+    Hierarchical Clustered VLIW architectures: the paper's contribution.
+
+    A single modulo scheduler that simultaneously performs instruction
+    scheduling, cluster selection, insertion of inter-bank communication
+    (StoreR/LoadR through the shared second-level bank, or Move over the
+    buses of a flat clustered RF), register allocation against every
+    bank's capacity, and spill-code insertion — iteratively, with
+    force-and-eject backtracking under a Budget (§5).
+
+    The same engine degrades gracefully to the earlier members of the
+    family: on a monolithic RF it behaves as MIRS [38], on a flat
+    clustered RF as MIRS_C [37].  The configuration alone selects the
+    behaviour. *)
+
+type options = Hcrf_sched.Engine.options
+
+val default_options : options
+
+type outcome = Hcrf_sched.Engine.outcome
+
+(** Schedule one loop body for the configuration.  Returns the complete
+    schedule (with all inserted communication and spill operations in
+    [outcome.graph]) or [`No_schedule ii] if no II up to the cap
+    admitted a schedule. *)
+val schedule :
+  ?opts:options -> Hcrf_machine.Config.t -> Hcrf_ir.Ddg.t ->
+  (outcome, Hcrf_sched.Engine.error) result
+
+type scheduled_loop = { loop : Hcrf_ir.Loop.t; outcome : outcome }
+
+(** Schedule a whole {!Hcrf_ir.Loop.t}, keeping the metadata alongside
+    the outcome. *)
+val schedule_loop :
+  ?opts:options -> Hcrf_machine.Config.t -> Hcrf_ir.Loop.t ->
+  (scheduled_loop, Hcrf_sched.Engine.error) result
+
+(** Run the independent checker on an outcome. *)
+val validate : outcome -> Hcrf_sched.Validate.issue list
+
+val is_valid : outcome -> bool
+
+(** Memory accesses per iteration of the final schedule, including
+    spill traffic — the paper's trf metric (§2.3). *)
+val memory_refs_per_iter : outcome -> int

@@ -1,0 +1,21 @@
+(** The non-iterative baseline scheduler of [36] (Zalamea et al.,
+    MICRO-33), used by the paper's Table 4 comparison.
+
+    [36] schedules hierarchical (non-clustered) register files with
+    register allocation and spilling but *without* the iterative
+    backtracking of MIRS_HC: once a node fails to find a slot, the
+    partial schedule is discarded and the loop is retried at II + 1.  It
+    also uses a plain topological (ASAP) node order rather than the
+    HRMS ordering.  Both differences are what Table 4 measures. *)
+
+open Hcrf_ir
+open Hcrf_sched
+
+let options : Engine.options =
+  { Engine.default_options with backtracking = false; ordering = `Topological }
+
+let schedule ?(budget_ratio = 6) ?max_ii ?(load_override = fun _ -> None)
+    config (g : Ddg.t) =
+  Engine.schedule
+    ~opts:{ options with budget_ratio; max_ii; load_override }
+    config g

@@ -1,0 +1,1 @@
+lib/eval/classify.ml: Engine Fmt Hcrf_ir Hcrf_sched Mii

@@ -1,0 +1,1 @@
+lib/eval/classify.mli: Format Hcrf_sched

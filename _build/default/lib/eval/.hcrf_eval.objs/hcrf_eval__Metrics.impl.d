@@ -1,0 +1,1 @@
+lib/eval/metrics.ml: Classify Ddg Engine Fmt Hcrf_ir Hcrf_machine Hcrf_sched List Loop

@@ -1,0 +1,1 @@
+lib/eval/metrics.mli: Classify Format Hcrf_ir Hcrf_machine Hcrf_sched

@@ -1,0 +1,109 @@
+(** Drive the scheduler (and optionally the memory simulator) over a
+    suite of loops for one processor configuration. *)
+
+open Hcrf_ir
+open Hcrf_sched
+
+type memory_scenario =
+  | Ideal  (** every access hits; no stall cycles (§6.1) *)
+  | Real of { prefetch : bool }
+      (** cache simulation, optionally with selective binding
+          prefetching (§6.2) *)
+
+type loop_result = {
+  loop : Loop.t;
+  outcome : Engine.outcome;
+  perf : Metrics.loop_perf;
+}
+
+let spill_slab = 0x4000_0000
+
+(* Memory references of the final graph for the cache simulation.
+   Original operations replay their loop streams; spill operations get a
+   per-op stack slot (stride 0: same location every iteration). *)
+let mem_refs (config : Hcrf_machine.Config.t) (loop : Loop.t)
+    (o : Engine.outcome) ~(override : int -> int option) =
+  let hit = config.lats.Hcrf_machine.Latencies.mem_read in
+  let spill_idx = ref 0 in
+  List.filter_map
+    (fun v ->
+      let kind = Ddg.kind o.Engine.graph v in
+      if not (Hcrf_ir.Op.is_memory kind) then None
+      else
+        let issue = Schedule.cycle_of o.Engine.schedule v in
+        let is_load =
+          match kind with
+          | Op.Load | Op.Spill_load -> true
+          | _ -> false
+        in
+        let base, stride =
+          match Loop.stream_for loop v with
+          | Some s -> (s.Loop.base, s.Loop.stride)
+          | None ->
+            incr spill_idx;
+            (spill_slab + (64 * !spill_idx), 0)
+        in
+        let sched_latency =
+          if is_load then
+            match override v with Some l -> l | None -> hit
+          else 0
+        in
+        Some
+          { Hcrf_memsim.Sim.node = v; is_load; issue_offset = issue;
+            sched_latency; base; stride })
+    (Ddg.nodes o.Engine.graph)
+
+(** Schedule one loop; [None] if the scheduler could not find a schedule
+    (logged; does not happen for the shipped suites). *)
+let run_loop ?(scenario = Ideal) ?(opts = Engine.default_options)
+    (config : Hcrf_machine.Config.t) (loop : Loop.t) : loop_result option =
+  let override =
+    match scenario with
+    | Real { prefetch = true } -> Hcrf_memsim.Prefetch.plan config loop
+    | Ideal | Real { prefetch = false } -> Hcrf_memsim.Prefetch.none
+  in
+  let opts = { opts with Engine.load_override = override } in
+  (* escalating retries: a dropped loop would silently bias every
+     aggregate metric, so spend more budget (and allow any II) before
+     giving up *)
+  let result =
+    match Engine.schedule ~opts config loop.Loop.ddg with
+    | Ok o -> Ok o
+    | Error _ -> (
+      let opts = { opts with Engine.budget_ratio = 16 } in
+      match Engine.schedule ~opts config loop.Loop.ddg with
+      | Ok o -> Ok o
+      | Error _ ->
+        Engine.schedule
+          ~opts:{ opts with Engine.budget_ratio = 32; max_ii = Some 4096 }
+          config loop.Loop.ddg)
+  in
+  match result with
+  | Error (`No_schedule ii) ->
+    Logs.warn (fun m ->
+        m "no schedule for %s on %s up to II=%d" (Loop.name loop)
+          config.Hcrf_machine.Config.name ii);
+    None
+  | Ok outcome ->
+    let stall_cycles =
+      match scenario with
+      | Ideal -> 0.
+      | Real _ ->
+        let refs = mem_refs config loop outcome ~override in
+        let r =
+          Hcrf_memsim.Sim.run ~ii:outcome.Engine.ii
+            ~hit_read:config.lats.Hcrf_machine.Latencies.mem_read
+            ~miss_cycles:(Hcrf_machine.Config.miss_cycles config)
+            ~n:loop.Loop.trip_count ~e:loop.Loop.entries refs
+        in
+        r.Hcrf_memsim.Sim.stall_cycles
+    in
+    Some { loop; outcome; perf = Metrics.of_outcome ~stall_cycles loop outcome }
+
+(** Schedule a whole suite; loops that fail to schedule are dropped (and
+    logged). *)
+let run_suite ?scenario ?opts config loops =
+  List.filter_map (run_loop ?scenario ?opts config) loops
+
+let aggregate config results =
+  Metrics.aggregate config (List.map (fun r -> r.perf) results)

@@ -1,0 +1,35 @@
+(** Drive the scheduler (and optionally the memory simulator) over a
+    suite of loops for one processor configuration. *)
+
+type memory_scenario =
+  | Ideal  (** every access hits; no stall cycles (§6.1) *)
+  | Real of { prefetch : bool }
+      (** cache simulation, optionally with selective binding
+          prefetching (§6.2) *)
+
+type loop_result = {
+  loop : Hcrf_ir.Loop.t;
+  outcome : Hcrf_sched.Engine.outcome;
+  perf : Metrics.loop_perf;
+}
+
+(** Memory references of the final graph for the cache simulation:
+    original operations replay their loop streams, spill operations get
+    per-op stack slots. *)
+val mem_refs :
+  Hcrf_machine.Config.t -> Hcrf_ir.Loop.t -> Hcrf_sched.Engine.outcome ->
+  override:(int -> int option) -> Hcrf_memsim.Sim.mem_ref list
+
+(** Schedule one loop (with escalating budget retries so aggregate
+    metrics never silently drop loops); [None] only if every retry
+    failed. *)
+val run_loop :
+  ?scenario:memory_scenario -> ?opts:Hcrf_sched.Engine.options ->
+  Hcrf_machine.Config.t -> Hcrf_ir.Loop.t -> loop_result option
+
+val run_suite :
+  ?scenario:memory_scenario -> ?opts:Hcrf_sched.Engine.options ->
+  Hcrf_machine.Config.t -> Hcrf_ir.Loop.t list -> loop_result list
+
+val aggregate :
+  Hcrf_machine.Config.t -> loop_result list -> Metrics.aggregate

@@ -1,0 +1,1 @@
+lib/frontend/compile.ml: Ast Ddg Dep Fmt Hashtbl Hcrf_ir If_convert List Loop Op

@@ -1,0 +1,1 @@
+lib/frontend/compile.mli: Ast Hcrf_ir

@@ -1,0 +1,1 @@
+lib/frontend/if_convert.ml: Ast Fmt List Set String

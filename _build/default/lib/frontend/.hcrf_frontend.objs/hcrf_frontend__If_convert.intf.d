@@ -1,0 +1,1 @@
+lib/frontend/if_convert.mli: Ast

@@ -1,0 +1,137 @@
+(** IF-conversion [1]: structured conditionals are rewritten into
+    straight-line code with select expressions, so the loop body becomes
+    the single basic block modulo scheduling needs (§2.1 of the paper
+    applies the same transformation before scheduling).
+
+    - a scalar defined in a branch merges into
+      [s = select cond s_then s_else], the missing side being the other
+      branch's value or the binding from before the conditional;
+      scalars local to one branch (including hoisted conditions) are
+      not merged;
+    - a store inside a branch becomes an unconditional read-modify-write:
+      [A.(i+k) = select cond v A.(i+k)];
+    - nested conditionals are converted inside-out. *)
+
+open Ast
+module S = Set.Make (String)
+
+let fresh_counter = ref 0
+
+let fresh base =
+  incr fresh_counter;
+  Fmt.str "%s__%d" base !fresh_counter
+
+(* Substitute scalar names inside an expression. *)
+let rec subst map expr =
+  match expr with
+  | Var s -> (
+    match List.assoc_opt s map with Some s' -> Var s' | None -> expr)
+  | Arr _ | Prev _ | Param _ -> expr
+  | Add (a, b) -> Add (subst map a, subst map b)
+  | Sub (a, b) -> Sub (subst map a, subst map b)
+  | Mul (a, b) -> Mul (subst map a, subst map b)
+  | Div (a, b) -> Div (subst map a, subst map b)
+  | Sqrt a -> Sqrt (subst map a)
+  | Select (c, a, b) -> Select (subst map c, subst map a, subst map b)
+
+(* Convert one branch under [defined] (scalars bound before the
+   conditional): scalars defined inside get fresh names; stores are
+   collected for blending.  Returns converted statements, the renaming
+   (program name -> fresh name of its final value) and the stores. *)
+let rec convert_branch ~defined stmts =
+  let renames = ref [] in
+  let out = ref [] in
+  let stores = ref [] in
+  List.iter
+    (fun stmt ->
+      let flat =
+        match stmt with
+        | Def _ | Store _ -> [ subst_stmt !renames stmt ]
+        | If (c, t, f) ->
+          let inner_defined =
+            S.union defined (S.of_list (List.map fst !renames))
+          in
+          convert ~defined:inner_defined
+            [ If (subst !renames c, t, f) ]
+      in
+      List.iter
+        (fun st ->
+          match st with
+          | Def (s, e) ->
+            let s' = fresh s in
+            out := Def (s', subst !renames e) :: !out;
+            renames := (s, s') :: !renames
+          | Store (a, k, e) -> stores := (a, k, subst !renames e) :: !stores
+          | If _ -> assert false)
+        flat)
+    stmts;
+  (List.rev !out, !renames, List.rev !stores)
+
+and subst_stmt map = function
+  | Def (s, e) -> Def (s, subst map e)
+  | Store (a, k, e) -> Store (a, k, subst map e)
+  | If (c, t, f) -> If (subst map c, t, f)
+
+(** Rewrite a statement list into straight-line code (no [If] left);
+    [defined] is the set of scalars bound before [stmts]. *)
+and convert ~defined stmts =
+  let _, out =
+    List.fold_left
+      (fun (defined, acc) stmt ->
+        match stmt with
+        | Def (s, _) -> (S.add s defined, stmt :: acc)
+        | Store _ -> (defined, stmt :: acc)
+        | If (c, then_b, else_b) ->
+          let cname = fresh "cond" in
+          let cond_def = Def (cname, c) in
+          let t_stmts, t_renames, t_stores =
+            convert_branch ~defined then_b
+          in
+          let e_stmts, e_renames, e_stores =
+            convert_branch ~defined else_b
+          in
+          (* merge scalars visible after the conditional: defined in
+             both branches, or in one branch with a prior binding *)
+          let candidates =
+            List.sort_uniq compare
+              (List.map fst t_renames @ List.map fst e_renames)
+          in
+          let merged =
+            List.filter
+              (fun s ->
+                (List.mem_assoc s t_renames && List.mem_assoc s e_renames)
+                || S.mem s defined)
+              candidates
+          in
+          let merges =
+            List.map
+              (fun s ->
+                let side renames =
+                  match List.assoc_opt s renames with
+                  | Some s' -> Var s'
+                  | None -> Var s (* the binding from before the If *)
+                in
+                Def (s, Select (Var cname, side t_renames, side e_renames)))
+              merged
+          in
+          let blend_store ~taken (a, k, e) =
+            let keep = Arr (a, k) in
+            let v =
+              if taken then Select (Var cname, e, keep)
+              else Select (Var cname, keep, e)
+            in
+            Store (a, k, v)
+          in
+          let expansion =
+            (cond_def :: t_stmts)
+            @ e_stmts @ merges
+            @ List.map (blend_store ~taken:true) t_stores
+            @ List.map (blend_store ~taken:false) e_stores
+          in
+          ( S.union defined (S.of_list merged),
+            List.rev_append expansion acc ))
+      (defined, []) stmts
+  in
+  List.rev out
+
+let run (l : Ast.t) = { l with body = convert ~defined:S.empty l.body }

@@ -1,0 +1,14 @@
+(** IF-conversion [1]: structured conditionals are rewritten into
+    straight-line code with select expressions, so the loop body becomes
+    the single basic block modulo scheduling needs (§2.1 of the paper
+    applies the same transformation before scheduling).
+
+    A scalar defined in a branch merges into
+    [s = select cond s_then s_else], the missing side being the other
+    branch's value or the binding from before the conditional (scalars
+    local to one branch are not merged); a store inside a branch becomes
+    an unconditional read-modify-write; nested conditionals convert
+    inside-out. *)
+
+(** Straight-line equivalent: the result contains no [If]. *)
+val run : Ast.t -> Ast.t

@@ -1,0 +1,1 @@
+lib/ir/ddg.ml: Dep Fmt Hashtbl List Op

@@ -1,0 +1,1 @@
+lib/ir/dep.ml: Fmt

@@ -1,0 +1,1 @@
+lib/ir/dep.mli: Format

@@ -1,0 +1,1 @@
+lib/ir/scc.ml: Ddg Hashtbl List

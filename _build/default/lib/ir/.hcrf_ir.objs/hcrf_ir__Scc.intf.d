@@ -1,0 +1,1 @@
+lib/ir/scc.mli: Ddg

@@ -1,0 +1,92 @@
+(** Mutable data-dependence graphs for innermost loops.
+
+    Nodes are operations; edges carry a dependence kind and an iteration
+    distance (0 for intra-iteration dependences, [>= 1] for loop-carried
+    ones).  The graph is mutable because the schedulers insert and
+    remove communication and spill operations while building a schedule.
+
+    Values are identified with their defining node: the value produced
+    by node [u] is consumed by the targets of the [True] out-edges of
+    [u].  Loop invariants (values defined before the loop and read-only
+    inside it) are kept in a side table since they have no defining
+    node. *)
+
+type edge = {
+  src : int;
+  dst : int;
+  dep : Dep.t;
+  distance : int;  (** iterations between production and consumption *)
+}
+
+type node = {
+  id : int;
+  kind : Op.kind;
+  mutable succs : edge list;  (** out-edges *)
+  mutable preds : edge list;  (** in-edges *)
+}
+
+type invariant = {
+  inv_id : int;
+  mutable inv_consumers : int list;
+}
+
+type t
+
+val create : ?name:string -> unit -> t
+val name : t -> string
+val num_nodes : t -> int
+val mem : t -> int -> bool
+
+(** Raises [Invalid_argument] on an unknown id. *)
+val node : t -> int -> node
+
+val kind : t -> int -> Op.kind
+val succs : t -> int -> edge list
+val preds : t -> int -> edge list
+
+(** Returns the fresh node's id. *)
+val add_node : t -> Op.kind -> int
+
+val add_edge : t -> ?distance:int -> dep:Dep.t -> int -> int -> unit
+
+(** Whether this exact edge is present. *)
+val has_edge : t -> edge -> bool
+
+(** Remove a single occurrence (parallel identical edges are legal,
+    e.g. [x * x] reads the same value twice). *)
+val remove_edge : t -> edge -> unit
+
+(** Remove a node and every edge touching it; invariant consumer lists
+    are updated as well. *)
+val remove_node : t -> int -> unit
+
+val add_invariant : t -> consumers:int list -> int
+val invariants : t -> invariant list
+val add_invariant_consumer : t -> inv_id:int -> int -> unit
+
+(** Node ids in increasing order (deterministic iteration). *)
+val nodes : t -> int list
+
+val iter_nodes : t -> (node -> unit) -> unit
+val edges : t -> edge list
+val num_edges : t -> int
+
+(** [True]-dependence out-edges: the consumers of [id]'s value. *)
+val consumers : t -> int -> edge list
+
+(** [True]-dependence in-edges: the values [id] reads. *)
+val operands : t -> int -> edge list
+
+val count_kind : t -> (Op.kind -> bool) -> int
+val num_memory_ops : t -> int
+val num_compute_ops : t -> int
+
+(** Deep copy; shares nothing with the original.  Node ids are
+    preserved. *)
+val copy : t -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** Structural well-formedness: every edge endpoint exists and appears
+    in both adjacency lists; distances are non-negative. *)
+val validate : t -> bool

@@ -1,0 +1,16 @@
+(** Dependence kinds carried by DDG edges.
+
+    The latency of an edge is not stored in the graph: it depends on the
+    machine configuration (operation latencies are scaled with the cycle
+    time, see {!Hcrf_machine}).  A [True] dependence waits for the producer
+    latency; [Anti] and [Output] dependences only constrain issue order. *)
+
+type t =
+  | True   (** register flow: the source defines a value the target reads *)
+  | Anti   (** the target overwrites a location the source reads *)
+  | Output (** both define the same location *)
+
+let equal (a : t) (b : t) = a = b
+
+let name = function True -> "true" | Anti -> "anti" | Output -> "output"
+let pp ppf d = Fmt.string ppf (name d)

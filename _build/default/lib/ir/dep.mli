@@ -1,0 +1,16 @@
+(** Dependence kinds carried by DDG edges.
+
+    The latency of an edge is not stored in the graph: it depends on the
+    machine configuration (see {!Hcrf_sched.Latency}).  A [True]
+    dependence waits for the producer latency; [Anti] and [Output]
+    dependences only constrain issue order. *)
+
+type t =
+  | True   (** register or memory flow: the target reads what the source
+               produced *)
+  | Anti   (** the target overwrites a location the source reads *)
+  | Output (** both write the same location *)
+
+val equal : t -> t -> bool
+val name : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+(** A software-pipelineable innermost loop: its dependence graph plus
+    the execution metadata the evaluation needs.
+
+    [trip_count] is the number of iterations N per entry and [entries]
+    the number of times E the loop is started (prologue/epilogue
+    overhead is paid once per entry).  Memory [streams] describe the
+    address sequence issued by each memory operation so the cache
+    simulator can replay the loop without the original program. *)
+
+type stream = {
+  op : int;      (** node id of the load/store issuing the stream *)
+  base : int;    (** first byte address *)
+  stride : int;  (** bytes between consecutive iterations *)
+}
+
+type t = {
+  ddg : Ddg.t;
+  trip_count : int;
+  entries : int;
+  streams : stream list;
+}
+
+(** Raises [Invalid_argument] on non-positive counts. *)
+val make :
+  ?trip_count:int -> ?entries:int -> ?streams:stream list -> Ddg.t -> t
+
+val name : t -> string
+
+(** Total dynamic iterations, [trip_count * entries]. *)
+val total_iterations : t -> int
+
+(** Memory accesses per iteration of the *original* loop body (spill
+    code added by the scheduler is accounted separately). *)
+val memory_refs_per_iter : t -> int
+
+val stream_for : t -> int -> stream option

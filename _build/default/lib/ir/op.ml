@@ -1,0 +1,75 @@
+(** Operation kinds of the loop IR.
+
+    Original program operations are the floating-point computations and the
+    memory accesses.  The remaining kinds are inserted by the scheduler:
+    [Move] copies a value between two first-level banks of a clustered RF,
+    [Load_r]/[Store_r] move values down/up the two-level hierarchy, and
+    [Spill_load]/[Spill_store] spill between the register file and memory. *)
+
+type kind =
+  | Fadd
+  | Fmul
+  | Fdiv
+  | Fsqrt
+  | Load
+  | Store
+  | Move        (** inter-cluster copy through a bus (clustered RF) *)
+  | Load_r      (** shared (second-level) bank -> local bank *)
+  | Store_r     (** local bank -> shared (second-level) bank *)
+  | Spill_load  (** memory -> register file *)
+  | Spill_store (** register file -> memory *)
+
+let all_kinds =
+  [ Fadd; Fmul; Fdiv; Fsqrt; Load; Store; Move; Load_r; Store_r;
+    Spill_load; Spill_store ]
+
+let equal_kind (a : kind) (b : kind) = a = b
+
+let kind_name = function
+  | Fadd -> "fadd"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+  | Fsqrt -> "fsqrt"
+  | Load -> "load"
+  | Store -> "store"
+  | Move -> "move"
+  | Load_r -> "loadr"
+  | Store_r -> "storer"
+  | Spill_load -> "spill_load"
+  | Spill_store -> "spill_store"
+
+let pp_kind ppf k = Fmt.string ppf (kind_name k)
+
+(** Operations that access the memory system (and hence count towards the
+    memory-traffic metric and use a memory port). *)
+let is_memory = function
+  | Load | Store | Spill_load | Spill_store -> true
+  | Fadd | Fmul | Fdiv | Fsqrt | Move | Load_r | Store_r -> false
+
+(** Operations executed on a general-purpose functional unit. *)
+let is_compute = function
+  | Fadd | Fmul | Fdiv | Fsqrt -> true
+  | Load | Store | Move | Load_r | Store_r | Spill_load | Spill_store ->
+    false
+
+(** Operations inserted to communicate values between banks. *)
+let is_communication = function
+  | Move | Load_r | Store_r -> true
+  | Fadd | Fmul | Fdiv | Fsqrt | Load | Store | Spill_load | Spill_store ->
+    false
+
+let is_spill = function
+  | Spill_load | Spill_store -> true
+  | _ -> false
+
+(** Whether executing the operation produces a value in some register bank.
+    [Store] and [Spill_store] only consume a value. *)
+let defines_value = function
+  | Fadd | Fmul | Fdiv | Fsqrt | Load | Move | Load_r | Store_r
+  | Spill_load -> true
+  | Store | Spill_store -> false
+
+(** Operations original to the program, as opposed to scheduler-inserted. *)
+let is_original = function
+  | Fadd | Fmul | Fdiv | Fsqrt | Load | Store -> true
+  | Move | Load_r | Store_r | Spill_load | Spill_store -> false

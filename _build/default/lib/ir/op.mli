@@ -1,0 +1,51 @@
+(** Operation kinds of the loop IR.
+
+    Original program operations are the floating-point computations and
+    the memory accesses; the remaining kinds are inserted by the
+    scheduler: [Move] copies a value between two first-level banks of a
+    clustered RF, [Load_r]/[Store_r] move values down/up the two-level
+    hierarchy, and [Spill_load]/[Spill_store] spill between the register
+    file and memory. *)
+
+type kind =
+  | Fadd
+  | Fmul
+  | Fdiv
+  | Fsqrt
+  | Load
+  | Store
+  | Move        (** inter-cluster copy through a bus (clustered RF) *)
+  | Load_r      (** shared (second-level) bank -> local bank *)
+  | Store_r     (** local bank -> shared (second-level) bank *)
+  | Spill_load  (** memory -> register file *)
+  | Spill_store (** register file -> memory *)
+
+(** Every kind, for exhaustive iteration in tests and statistics. *)
+val all_kinds : kind list
+
+val equal_kind : kind -> kind -> bool
+
+(** Lower-case mnemonic, e.g. ["fadd"], ["loadr"]. *)
+val kind_name : kind -> string
+
+val pp_kind : Format.formatter -> kind -> unit
+
+(** Operations that access the memory system (they count towards the
+    memory-traffic metric and occupy a memory port). *)
+val is_memory : kind -> bool
+
+(** Operations executed on a general-purpose functional unit. *)
+val is_compute : kind -> bool
+
+(** Operations inserted to communicate values between banks. *)
+val is_communication : kind -> bool
+
+val is_spill : kind -> bool
+
+(** Whether executing the operation produces a value in some register
+    bank ([Store] and [Spill_store] only consume one). *)
+val defines_value : kind -> bool
+
+(** Operations original to the program, as opposed to
+    scheduler-inserted. *)
+val is_original : kind -> bool

@@ -1,0 +1,59 @@
+(** Strongly connected components of a DDG (Tarjan).
+
+    In a well-formed dependence graph every cycle contains at least one
+    loop-carried edge, so non-trivial SCCs are exactly the recurrences the
+    paper talks about: they bound the initiation interval from below
+    (RecMII) and make their loops "recurrence bound". *)
+
+let sccs (g : Ddg.t) : int list list =
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let result = ref [] in
+  let rec strong v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun (e : Ddg.edge) ->
+        let w = e.dst in
+        if not (Hashtbl.mem index w) then begin
+          strong w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (Ddg.succs g v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      result := pop [] :: !result
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strong v)
+    (Ddg.nodes g);
+  !result
+
+(** A component is a recurrence if it has more than one node or a self
+    edge. *)
+let is_recurrence (g : Ddg.t) = function
+  | [] -> false
+  | [ v ] -> List.exists (fun (e : Ddg.edge) -> e.dst = v) (Ddg.succs g v)
+  | _ :: _ :: _ -> true
+
+let recurrences g = List.filter (is_recurrence g) (sccs g)
+
+(** Whether the loop body contains any recurrence at all. *)
+let has_recurrence g = recurrences g <> []

@@ -1,0 +1,15 @@
+(** Strongly connected components of a DDG (Tarjan).
+
+    In a well-formed dependence graph every cycle contains at least one
+    loop-carried edge, so non-trivial SCCs are exactly the recurrences:
+    they bound the initiation interval from below (RecMII) and make
+    their loops "recurrence bound". *)
+
+val sccs : Ddg.t -> int list list
+
+(** A component is a recurrence if it has more than one node or a self
+    edge. *)
+val is_recurrence : Ddg.t -> int list -> bool
+
+val recurrences : Ddg.t -> int list list
+val has_recurrence : Ddg.t -> bool

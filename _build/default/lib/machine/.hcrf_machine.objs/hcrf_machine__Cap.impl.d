@@ -1,0 +1,1 @@
+lib/machine/cap.ml: Fmt Stdlib

@@ -1,0 +1,1 @@
+lib/machine/cap.mli: Format

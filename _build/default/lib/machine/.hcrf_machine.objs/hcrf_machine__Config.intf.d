@@ -1,0 +1,1 @@
+lib/machine/config.mli: Format Hcrf_ir Latencies Rf

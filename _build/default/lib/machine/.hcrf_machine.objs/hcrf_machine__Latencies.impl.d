@@ -1,0 +1,1 @@
+lib/machine/latencies.ml: Fmt Hcrf_ir

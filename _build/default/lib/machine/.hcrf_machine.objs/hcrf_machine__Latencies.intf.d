@@ -1,0 +1,1 @@
+lib/machine/latencies.mli: Format Hcrf_ir

@@ -1,0 +1,1 @@
+lib/machine/rf.ml: Cap Fmt String

@@ -1,0 +1,1 @@
+lib/machine/rf.mli: Cap Format

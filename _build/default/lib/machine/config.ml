@@ -1,0 +1,55 @@
+(** A complete VLIW processor configuration: resources, register file
+    organization, per-configuration latencies and clock. *)
+
+type t = {
+  name : string;
+  n_fus : int;        (** general-purpose FP functional units (paper: 8) *)
+  n_mem_ports : int;  (** load/store units (paper: 4) *)
+  rf : Rf.t;
+  lats : Latencies.t;
+  cycle_ns : float;   (** clock cycle derived from the RF access time *)
+  miss_ns : float;    (** cache miss latency in nanoseconds (paper: 10) *)
+}
+
+let validate t =
+  let x = Rf.clusters t.rf in
+  if t.n_fus < 1 || t.n_mem_ports < 1 then
+    invalid_arg "Config: needs at least one FU and one memory port";
+  if t.n_fus mod x <> 0 then
+    Fmt.invalid_arg "Config %s: %d FUs not divisible by %d clusters" t.name
+      t.n_fus x;
+  (match t.rf with
+  | Rf.Clustered _ ->
+    if t.n_mem_ports mod x <> 0 then
+      Fmt.invalid_arg
+        "Config %s: clustered RF needs mem ports divisible by clusters"
+        t.name
+  | Rf.Monolithic _ | Rf.Hierarchical _ -> ());
+  if t.cycle_ns <= 0. then invalid_arg "Config: non-positive cycle time";
+  t
+
+let make ?(n_fus = 8) ?(n_mem_ports = 4) ?(lats = Latencies.baseline)
+    ?(cycle_ns = 1.0) ?(miss_ns = 10.0) ?name rf =
+  let name = match name with Some n -> n | None -> Rf.notation rf in
+  validate { name; n_fus; n_mem_ports; rf; lats; cycle_ns; miss_ns }
+
+let clusters t = Rf.clusters t.rf
+let fus_per_cluster t = t.n_fus / clusters t
+
+(** Memory ports per cluster; only meaningful for a non-hierarchical
+    clustered RF where memory ports are distributed. *)
+let mem_ports_per_cluster t =
+  match t.rf with
+  | Rf.Clustered _ -> t.n_mem_ports / clusters t
+  | Rf.Monolithic _ | Rf.Hierarchical _ -> t.n_mem_ports
+
+(** Cache-miss latency in cycles at this configuration's clock (§2.2: the
+    10 ns miss is translated using the cycle time). *)
+let miss_cycles t =
+  int_of_float (Float.round (ceil (t.miss_ns /. t.cycle_ns)))
+
+let op_latency t k = Latencies.of_kind t.lats k
+
+let pp ppf t =
+  Fmt.pf ppf "%s: %d FUs + %d mem ports, rf=%a, cycle=%.3fns, lats=[%a]"
+    t.name t.n_fus t.n_mem_ports Rf.pp t.rf t.cycle_ns Latencies.pp t.lats

@@ -1,0 +1,38 @@
+(** A complete VLIW processor configuration: resources, register-file
+    organization, per-configuration latencies and clock. *)
+
+type t = {
+  name : string;
+  n_fus : int;        (** general-purpose FP functional units (paper: 8) *)
+  n_mem_ports : int;  (** load/store units (paper: 4) *)
+  rf : Rf.t;
+  lats : Latencies.t;
+  cycle_ns : float;   (** clock cycle derived from the RF access time *)
+  miss_ns : float;    (** cache miss latency in nanoseconds (paper: 10) *)
+}
+
+(** Checks divisibility of FUs (and, for a flat clustered RF, memory
+    ports) by the cluster count; raises [Invalid_argument] otherwise. *)
+val validate : t -> t
+
+(** Defaults follow the paper's baseline: 8 FUs, 4 memory ports,
+    baseline latencies, a 1 ns clock and a 10 ns miss; the name defaults
+    to the RF notation. *)
+val make :
+  ?n_fus:int -> ?n_mem_ports:int -> ?lats:Latencies.t -> ?cycle_ns:float ->
+  ?miss_ns:float -> ?name:string -> Rf.t -> t
+
+val clusters : t -> int
+val fus_per_cluster : t -> int
+
+(** Memory ports per cluster; only meaningful for a non-hierarchical
+    clustered RF where memory ports are distributed (global count
+    otherwise). *)
+val mem_ports_per_cluster : t -> int
+
+(** Cache-miss latency in cycles at this configuration's clock (§2.2:
+    the 10 ns miss is translated using the cycle time). *)
+val miss_cycles : t -> int
+
+val op_latency : t -> Hcrf_ir.Op.kind -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+(** Operation latencies, in cycles, for one processor configuration.
+
+    The baseline (monolithic S128 cycle time) latencies come from §2.2 of
+    the paper: 4 cycles for FP add/multiply, 17 for divide, 30 for square
+    root, 2 for a memory read hit and 1 for a write.  Configurations with a
+    shorter clock re-derive these from fixed nanosecond budgets (see
+    {!Hcrf_model.Timing}). *)
+
+type t = {
+  fadd : int;
+  fmul : int;
+  fdiv : int;
+  fsqrt : int;
+  mem_read : int;   (** load-to-use hit latency *)
+  mem_write : int;
+  move : int;       (** inter-cluster move (clustered RF) *)
+  loadr : int;      (** shared bank -> local bank *)
+  storer : int;     (** local bank -> shared bank *)
+}
+
+(** §2.2 baseline at the S128 cycle time. *)
+let baseline =
+  { fadd = 4; fmul = 4; fdiv = 17; fsqrt = 30; mem_read = 2; mem_write = 1;
+    move = 1; loadr = 1; storer = 1 }
+
+let of_kind t (k : Hcrf_ir.Op.kind) =
+  match k with
+  | Fadd -> t.fadd
+  | Fmul -> t.fmul
+  | Fdiv -> t.fdiv
+  | Fsqrt -> t.fsqrt
+  | Load | Spill_load -> t.mem_read
+  | Store | Spill_store -> t.mem_write
+  | Move -> t.move
+  | Load_r -> t.loadr
+  | Store_r -> t.storer
+
+(** Division and square root are the only non-pipelined operations
+    (§2.2): they occupy their functional unit for the whole latency. *)
+let pipelined (k : Hcrf_ir.Op.kind) =
+  match k with
+  | Fdiv | Fsqrt -> false
+  | Fadd | Fmul | Load | Store | Move | Load_r | Store_r | Spill_load
+  | Spill_store -> true
+
+let pp ppf t =
+  Fmt.pf ppf
+    "add/mul=%d div=%d sqrt=%d rd=%d wr=%d move=%d loadr=%d storer=%d"
+    t.fadd t.fdiv t.fsqrt t.mem_read t.mem_write t.move t.loadr t.storer

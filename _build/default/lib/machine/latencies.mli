@@ -1,0 +1,30 @@
+(** Operation latencies, in cycles, for one processor configuration.
+
+    The baseline (monolithic S128 cycle time) latencies come from §2.2
+    of the paper: 4 cycles for FP add/multiply, 17 for divide, 30 for
+    square root, 2 for a memory read hit and 1 for a write.
+    Configurations with a shorter clock re-derive these from fixed
+    nanosecond budgets (see {!Hcrf_model.Timing}). *)
+
+type t = {
+  fadd : int;
+  fmul : int;
+  fdiv : int;
+  fsqrt : int;
+  mem_read : int;   (** load-to-use hit latency *)
+  mem_write : int;
+  move : int;       (** inter-cluster move (clustered RF) *)
+  loadr : int;      (** shared bank -> local bank *)
+  storer : int;     (** local bank -> shared bank *)
+}
+
+(** The §2.2 baseline at the S128 cycle time. *)
+val baseline : t
+
+val of_kind : t -> Hcrf_ir.Op.kind -> int
+
+(** Division and square root are the only non-pipelined operations
+    (§2.2): they occupy their functional unit for the whole latency. *)
+val pipelined : Hcrf_ir.Op.kind -> bool
+
+val pp : Format.formatter -> t -> unit

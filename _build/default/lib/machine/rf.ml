@@ -1,0 +1,145 @@
+(** Register-file organizations and the paper's [xCy-Sz] notation.
+
+    [x] is the number of clusters, [y] the registers per first-level
+    (distributed) bank and [z] the registers in the shared second-level
+    bank.  [lp]/[sp] are the per-bank input (LoadR) and output (StoreR)
+    ports between levels — or, for a non-hierarchical clustered RF, the
+    per-bank input/output ports of the inter-cluster bus network. *)
+
+type org =
+  | Monolithic of { regs : Cap.t }
+      (** a single shared bank feeding all FUs and memory ports ([Sz]) *)
+  | Clustered of {
+      clusters : int;
+      regs_per_bank : Cap.t;
+      lp : Cap.t;  (** input ports per bank (bus side) *)
+      sp : Cap.t;  (** output ports per bank (bus side) *)
+      buses : Cap.t;
+    }  (** FUs *and* memory ports distributed over [clusters] ([xCy]) *)
+  | Hierarchical of {
+      clusters : int;
+      regs_per_bank : Cap.t;
+      shared_regs : Cap.t;
+      lp : Cap.t;  (** LoadR ports: shared -> local, per bank *)
+      sp : Cap.t;  (** StoreR ports: local -> shared, per bank *)
+    }  (** first-level banks per cluster + shared bank ([xCy-Sz]);
+          [clusters = 1] is the pure hierarchical organization *)
+
+type t = org
+
+let monolithic regs = Monolithic { regs = Cap.of_int regs }
+
+let clustered ?lp ?sp ?buses ~clusters ~regs_per_bank () =
+  if clusters < 2 then invalid_arg "Rf.clustered: needs >= 2 clusters";
+  let dflt = function Some c -> c | None -> Cap.Finite 1 in
+  Clustered
+    { clusters; regs_per_bank = Cap.of_int regs_per_bank;
+      lp = dflt lp; sp = dflt sp;
+      buses = (match buses with Some b -> b | None -> Cap.Finite clusters) }
+
+let hierarchical ?(lp = Cap.Finite 1) ?(sp = Cap.Finite 1) ~clusters
+    ~regs_per_bank ~shared_regs () =
+  if clusters < 1 then invalid_arg "Rf.hierarchical: needs >= 1 cluster";
+  Hierarchical
+    { clusters; regs_per_bank = Cap.of_int regs_per_bank;
+      shared_regs = Cap.of_int shared_regs; lp; sp }
+
+let clusters = function
+  | Monolithic _ -> 1
+  | Clustered { clusters; _ } | Hierarchical { clusters; _ } -> clusters
+
+let is_hierarchical = function
+  | Hierarchical _ -> true
+  | Monolithic _ | Clustered _ -> false
+
+let is_clustered = function
+  | Clustered _ -> true
+  | Hierarchical { clusters; _ } -> clusters > 1
+  | Monolithic _ -> false
+
+(** Registers in each first-level bank feeding the FUs.  For a monolithic
+    RF the single bank feeds the FUs directly. *)
+let local_regs = function
+  | Monolithic { regs } -> regs
+  | Clustered { regs_per_bank; _ } | Hierarchical { regs_per_bank; _ } ->
+    regs_per_bank
+
+let shared_regs = function
+  | Monolithic _ | Clustered _ -> Cap.Finite 0
+  | Hierarchical { shared_regs; _ } -> shared_regs
+
+(** Total storage capacity over all banks. *)
+let total_regs t =
+  match t with
+  | Monolithic { regs } -> regs
+  | Clustered { clusters; regs_per_bank; _ } -> (
+    match regs_per_bank with
+    | Cap.Inf -> Cap.Inf
+    | Cap.Finite y -> Cap.Finite (clusters * y))
+  | Hierarchical { clusters; regs_per_bank; shared_regs; _ } -> (
+    match (regs_per_bank, shared_regs) with
+    | Cap.Inf, _ | _, Cap.Inf -> Cap.Inf
+    | Cap.Finite y, Cap.Finite z -> Cap.Finite ((clusters * y) + z))
+
+let lp = function
+  | Monolithic _ -> Cap.Finite 0
+  | Clustered { lp; _ } | Hierarchical { lp; _ } -> lp
+
+let sp = function
+  | Monolithic _ -> Cap.Finite 0
+  | Clustered { sp; _ } | Hierarchical { sp; _ } -> sp
+
+let pp_cap_short ppf = function
+  | Cap.Inf -> Fmt.string ppf "inf"
+  | Cap.Finite n -> Fmt.int ppf n
+
+(** Paper notation: [S128], [4C32], [1C64S64], with [inf] for ∞. *)
+let notation t =
+  match t with
+  | Monolithic { regs } -> Fmt.str "S%a" pp_cap_short regs
+  | Clustered { clusters; regs_per_bank; _ } ->
+    Fmt.str "%dC%a" clusters pp_cap_short regs_per_bank
+  | Hierarchical { clusters; regs_per_bank; shared_regs; _ } ->
+    Fmt.str "%dC%aS%a" clusters pp_cap_short regs_per_bank pp_cap_short
+      shared_regs
+
+let pp ppf t = Fmt.string ppf (notation t)
+
+(** Parse the paper notation.  Accepts [S<n>], [<x>C<y>], [<x>C<y>S<z>]
+    where each count is an integer or [inf].  Ports default to lp=sp=1 for
+    multi-bank organizations. *)
+let of_notation s =
+  let cap_of_string str =
+    if str = "inf" then Cap.Inf
+    else
+      match int_of_string_opt str with
+      | Some n when n >= 0 -> Cap.Finite n
+      | Some _ | None -> Fmt.failwith "Rf.of_notation: bad count %S" str
+  in
+  let fail () = Fmt.failwith "Rf.of_notation: cannot parse %S" s in
+  match String.index_opt s 'C' with
+  | None ->
+    if String.length s < 2 || s.[0] <> 'S' then fail ()
+    else Monolithic { regs = cap_of_string (String.sub s 1 (String.length s - 1)) }
+  | Some ci -> (
+    let x =
+      match int_of_string_opt (String.sub s 0 ci) with
+      | Some x when x >= 1 -> x
+      | Some _ | None -> fail ()
+    in
+    let rest = String.sub s (ci + 1) (String.length s - ci - 1) in
+    match String.index_opt rest 'S' with
+    | None ->
+      if x < 2 then fail ()
+      else
+        Clustered
+          { clusters = x; regs_per_bank = cap_of_string rest;
+            lp = Cap.Finite 1; sp = Cap.Finite 1; buses = Cap.Finite x }
+    | Some si ->
+      let y = cap_of_string (String.sub rest 0 si) in
+      let z = cap_of_string (String.sub rest (si + 1) (String.length rest - si - 1)) in
+      Hierarchical
+        { clusters = x; regs_per_bank = y; shared_regs = z;
+          lp = Cap.Finite 1; sp = Cap.Finite 1 })
+
+let equal a b = notation a = notation b

@@ -1,0 +1,68 @@
+(** Register-file organizations and the paper's [xCy-Sz] notation.
+
+    [x] is the number of clusters, [y] the registers per first-level
+    (distributed) bank and [z] the registers in the shared second-level
+    bank.  [lp]/[sp] are the per-bank input (LoadR) and output (StoreR)
+    ports between levels — or, for a non-hierarchical clustered RF, the
+    per-bank input/output ports of the inter-cluster bus network. *)
+
+type org =
+  | Monolithic of { regs : Cap.t }
+      (** a single shared bank feeding all FUs and memory ports ([Sz]) *)
+  | Clustered of {
+      clusters : int;
+      regs_per_bank : Cap.t;
+      lp : Cap.t;  (** input ports per bank (bus side) *)
+      sp : Cap.t;  (** output ports per bank (bus side) *)
+      buses : Cap.t;
+    }  (** FUs *and* memory ports distributed over [clusters] ([xCy]) *)
+  | Hierarchical of {
+      clusters : int;
+      regs_per_bank : Cap.t;
+      shared_regs : Cap.t;
+      lp : Cap.t;  (** LoadR ports: shared -> local, per bank *)
+      sp : Cap.t;  (** StoreR ports: local -> shared, per bank *)
+    }  (** first-level banks per cluster + shared bank ([xCy-Sz]);
+          [clusters = 1] is the pure hierarchical organization *)
+
+type t = org
+
+val monolithic : int -> t
+
+(** Raises [Invalid_argument] for fewer than 2 clusters; ports default
+    to 1, buses to one per cluster. *)
+val clustered :
+  ?lp:Cap.t -> ?sp:Cap.t -> ?buses:Cap.t -> clusters:int ->
+  regs_per_bank:int -> unit -> t
+
+val hierarchical :
+  ?lp:Cap.t -> ?sp:Cap.t -> clusters:int -> regs_per_bank:int ->
+  shared_regs:int -> unit -> t
+
+val clusters : t -> int
+val is_hierarchical : t -> bool
+val is_clustered : t -> bool
+
+(** Registers in each first-level bank feeding the FUs (the single bank
+    for a monolithic RF). *)
+val local_regs : t -> Cap.t
+
+val shared_regs : t -> Cap.t
+
+(** Total storage capacity over all banks. *)
+val total_regs : t -> Cap.t
+
+val lp : t -> Cap.t
+val sp : t -> Cap.t
+
+(** Paper notation: ["S128"], ["4C32"], ["1C64S64"], with ["inf"] for
+    unbounded counts. *)
+val notation : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Parse the paper notation; ports default to lp=sp=1.  Raises
+    [Failure] on malformed input. *)
+val of_notation : string -> t
+
+val equal : t -> t -> bool

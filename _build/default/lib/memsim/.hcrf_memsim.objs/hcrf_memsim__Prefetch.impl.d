@@ -1,0 +1,1 @@
+lib/memsim/prefetch.ml: Ddg Hashtbl Hcrf_ir Hcrf_machine List Loop Op Scc

@@ -1,0 +1,1 @@
+lib/memsim/prefetch.mli: Hcrf_ir Hcrf_machine

@@ -1,0 +1,69 @@
+(** Set-associative write-back cache with LRU replacement.
+
+    The paper's real-memory scenario (§6.2) uses a 32 KB lockup-free
+    first-level cache with 32-byte lines and up to 8 pending misses; this
+    module is the array itself, {!Sim} adds the MSHR/timing model. *)
+
+type t = {
+  line_bytes : int;
+  sets : int;
+  assoc : int;
+  tags : int array array;   (** [set][way] = tag, -1 empty *)
+  lru : int array array;    (** [set][way] = last-use stamp *)
+  mutable stamp : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(size_bytes = 32 * 1024) ?(line_bytes = 32) ?(assoc = 2) () =
+  if size_bytes mod (line_bytes * assoc) <> 0 then
+    invalid_arg "Cache.create: size not divisible by line*assoc";
+  let sets = size_bytes / (line_bytes * assoc) in
+  {
+    line_bytes;
+    sets;
+    assoc;
+    tags = Array.init sets (fun _ -> Array.make assoc (-1));
+    lru = Array.init sets (fun _ -> Array.make assoc 0);
+    stamp = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let line_addr t addr = addr / t.line_bytes
+let set_of t addr = line_addr t addr mod t.sets
+let tag_of t addr = line_addr t addr / t.sets
+
+(** Access a byte address; returns [true] on hit.  Allocates on miss
+    (write-allocate for stores as well). *)
+let access t addr =
+  let s = set_of t addr and tag = tag_of t addr in
+  t.stamp <- t.stamp + 1;
+  let ways = t.tags.(s) in
+  let rec find w = if w >= t.assoc then None
+    else if ways.(w) = tag then Some w
+    else find (w + 1)
+  in
+  match find 0 with
+  | Some w ->
+    t.lru.(s).(w) <- t.stamp;
+    t.hits <- t.hits + 1;
+    true
+  | None ->
+    (* evict LRU way *)
+    let victim = ref 0 in
+    for w = 1 to t.assoc - 1 do
+      if t.lru.(s).(w) < t.lru.(s).(!victim) then victim := w
+    done;
+    ways.(!victim) <- tag;
+    t.lru.(s).(!victim) <- t.stamp;
+    t.misses <- t.misses + 1;
+    false
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 1.0 else float_of_int t.hits /. float_of_int total
+
+let reset_counters t =
+  t.hits <- 0;
+  t.misses <- 0

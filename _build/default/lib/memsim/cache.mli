@@ -1,0 +1,32 @@
+(** Set-associative write-back cache with LRU replacement.
+
+    The paper's real-memory scenario (§6.2) uses a 32 KB lockup-free
+    first-level cache with 32-byte lines and up to 8 pending misses;
+    this module is the array itself, {!Sim} adds the MSHR/timing
+    model. *)
+
+type t = {
+  line_bytes : int;
+  sets : int;
+  assoc : int;
+  tags : int array array;
+  lru : int array array;
+  mutable stamp : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+(** Defaults: 32 KB, 32-byte lines, 2-way.  Raises [Invalid_argument]
+    on inconsistent geometry. *)
+val create : ?size_bytes:int -> ?line_bytes:int -> ?assoc:int -> unit -> t
+
+val line_addr : t -> int -> int
+val set_of : t -> int -> int
+val tag_of : t -> int -> int
+
+(** Access a byte address; [true] on hit.  Allocates on miss
+    (write-allocate for stores as well). *)
+val access : t -> int -> bool
+
+val hit_rate : t -> float
+val reset_counters : t -> unit

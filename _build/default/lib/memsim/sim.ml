@@ -1,0 +1,100 @@
+(** Trace-driven stall-cycle simulation of one scheduled loop.
+
+    The paper's real-memory evaluation instruments the source program and
+    replays it through a memory simulator; we replay the loop's memory
+    streams through the {!Cache} with a small timing model:
+
+    - the cache is lockup-free with [mshrs] outstanding misses; misses to
+      a line already in flight merge with the pending fill;
+    - a load stalls the processor by (fill ready time - the time the
+      schedule expects the value), i.e. a miss on a hit-scheduled load
+      costs roughly the miss penalty, while a prefetched (miss-scheduled)
+      load only stalls if MSHR pressure delays its fill;
+    - stores allocate in the cache (write-allocate) but never stall (a
+      store buffer is assumed).
+
+    Only a bounded number of iterations of one entry is simulated; stall
+    counts are scaled to the loop's full [N * E] execution. *)
+
+type mem_ref = {
+  node : int;
+  is_load : bool;
+  issue_offset : int;   (** flat schedule cycle of the op *)
+  sched_latency : int;  (** latency the schedule assumed for the value *)
+  base : int;
+  stride : int;
+}
+
+type result = {
+  stall_cycles : float;    (** scaled to the loop's full execution *)
+  simulated_iterations : int;
+  misses : int;
+  accesses : int;
+}
+
+let max_sim_iterations = 2048
+
+(** [refs] must describe every memory operation of the *final* graph
+    (including spill code; give spill slots a fixed address).  [ii] is
+    the initiation interval, [n]/[e] the trip and entry counts. *)
+let run ?(mshrs = 8) ?(cache = Cache.create ()) ~ii ~hit_read ~miss_cycles
+    ~n ~e (refs : mem_ref list) =
+  let refs =
+    List.sort (fun a b -> compare a.issue_offset b.issue_offset) refs
+  in
+  let sim_iters = max 1 (min n max_sim_iterations) in
+  let stall = ref 0 in
+  let misses = ref 0 and accesses = ref 0 in
+  (* pending fills: (line, ready_time), newest first, length <= mshrs *)
+  let pending = ref [] in
+  let line addr = addr / cache.Cache.line_bytes in
+  for i = 0 to sim_iters - 1 do
+    List.iter
+      (fun r ->
+        (* stalls block the in-order pipeline: later issues shift by the
+           accumulated stall, which also lets the pending fills drain
+           (the miss queue cannot grow without bound) *)
+        let t_issue = (i * ii) + r.issue_offset + !stall in
+        let addr = r.base + (i * r.stride) in
+        incr accesses;
+        pending := List.filter (fun (_, rdy) -> rdy > t_issue) !pending;
+        let hit = Cache.access cache addr in
+        if not hit then incr misses;
+        if r.is_load then begin
+          let ready =
+            if hit then t_issue + hit_read
+            else
+              match List.assoc_opt (line addr) !pending with
+              | Some rdy -> rdy (* merge with the fill in flight *)
+              | None ->
+                let start =
+                  if List.length !pending >= mshrs then
+                    (* all MSHRs busy: wait for the oldest to retire *)
+                    List.fold_left
+                      (fun acc (_, rdy) -> min acc rdy)
+                      max_int !pending
+                  else t_issue
+                in
+                let rdy = max start t_issue + miss_cycles in
+                pending := (line addr, rdy) :: !pending;
+                rdy
+          in
+          let need = t_issue + r.sched_latency in
+          if ready > need then stall := !stall + (ready - need)
+        end
+        else if not hit then begin
+          (* write-allocate fill occupies an MSHR but does not stall *)
+          if List.length !pending < mshrs then
+            pending := (line addr, t_issue + miss_cycles) :: !pending
+        end)
+      refs
+  done;
+  let scale =
+    float_of_int n /. float_of_int sim_iters *. float_of_int e
+  in
+  {
+    stall_cycles = float_of_int !stall *. scale;
+    simulated_iterations = sim_iters;
+    misses = !misses;
+    accesses = !accesses;
+  }

@@ -1,0 +1,1 @@
+lib/model/cacti.ml: Hcrf_machine List Option Ports

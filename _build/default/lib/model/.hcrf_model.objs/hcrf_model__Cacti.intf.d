@@ -1,0 +1,1 @@
+lib/model/cacti.mli: Hcrf_machine

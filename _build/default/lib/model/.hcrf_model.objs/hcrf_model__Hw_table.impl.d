@@ -1,0 +1,1 @@
+lib/model/hw_table.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/model/hw_table.mli:

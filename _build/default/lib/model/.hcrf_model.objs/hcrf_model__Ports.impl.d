@@ -1,0 +1,1 @@
+lib/model/ports.ml: Cap Config Fmt Hcrf_machine Rf

@@ -1,0 +1,1 @@
+lib/model/ports.mli: Format Hcrf_machine

@@ -1,0 +1,1 @@
+lib/model/presets.ml: Cacti Cap Config Fmt Hcrf_machine Hw_table Latencies List Rf Timing

@@ -1,0 +1,1 @@
+lib/model/presets.mli: Hcrf_machine Hw_table

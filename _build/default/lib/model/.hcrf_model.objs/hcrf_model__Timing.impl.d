@@ -1,0 +1,1 @@
+lib/model/timing.ml: Hcrf_machine

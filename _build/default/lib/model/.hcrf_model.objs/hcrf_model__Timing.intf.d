@@ -1,0 +1,1 @@
+lib/model/timing.mli: Hcrf_machine

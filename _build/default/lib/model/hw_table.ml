@@ -1,0 +1,63 @@
+(** The paper's published hardware evaluation (Table 5, plus the 1C64S64
+    motivational configuration of Tables 1-2).
+
+    These numbers are the hardware specification the paper's performance
+    experiments run on; we ship them verbatim so the evaluation can use
+    exactly the published clock cycles and latencies, and so the analytic
+    {!Cacti}/{!Timing} surrogate can be validated against them. *)
+
+type row = {
+  notation : string;
+  lp : int;
+  sp : int;
+  access_local_ns : float;    (** cycle-determining bank *)
+  access_shared_ns : float option;
+  area_local_mlambda2 : float; (** one first-level bank *)
+  area_shared_mlambda2 : float option;
+  area_total_mlambda2 : float;
+  logic_depth_fo4 : int;
+  clock_ns : float;
+  mem_latency : int;          (** read-hit cycles *)
+  fu_latency : int;           (** FP add/mul cycles *)
+  loadr_latency : int;        (** LoadR/StoreR cycles (1 when no shared bank) *)
+}
+
+let r notation lp sp al ash areal areash areat depth clk mem fu llr =
+  { notation; lp; sp; access_local_ns = al; access_shared_ns = ash;
+    area_local_mlambda2 = areal; area_shared_mlambda2 = areash;
+    area_total_mlambda2 = areat; logic_depth_fo4 = depth; clock_ns = clk;
+    mem_latency = mem; fu_latency = fu; loadr_latency = llr }
+
+(** Table 5, in the paper's order. *)
+let table5 =
+  [
+    r "S128" 0 0 1.145 None 14.91 None 14.91 31 1.181 2 4 1;
+    r "S64" 0 0 1.021 None 12.20 None 12.20 27 1.037 3 4 1;
+    r "S32" 0 0 0.685 None 7.50 None 7.50 18 0.713 3 4 1;
+    r "1C64S32" 3 2 0.943 (Some 0.485) 10.07 (Some 1.31) 11.37 25 0.965 3 4 1;
+    r "1C32S64" 4 2 0.666 (Some 0.493) 6.61 (Some 1.50) 8.12 17 0.677 3 4 1;
+    r "2C64" 1 1 0.686 None 3.99 None 7.98 18 0.713 3 4 1;
+    r "2C32" 1 1 0.532 None 2.44 None 4.88 13 0.533 4 6 1;
+    r "2C64S32" 2 1 0.626 (Some 0.493) 2.81 (Some 1.50) 7.12 16 0.641 3 5 1;
+    r "2C32S32" 3 1 0.515 (Some 0.510) 1.95 (Some 1.94) 5.83 13 0.533 4 6 1;
+    r "4C64" 1 1 0.531 None 1.30 None 5.21 13 0.533 4 6 1;
+    r "4C32" 1 1 0.475 None 1.07 None 4.29 12 0.497 4 6 1;
+    r "4C32S16" 1 1 0.442 (Some 0.456) 0.70 (Some 1.57) 4.38 11 0.461 4 7 1;
+    r "4C16S16" 2 1 0.393 (Some 0.483) 0.52 (Some 2.42) 4.49 10 0.425 4 7 2;
+    r "8C32S16" 1 1 0.400 (Some 0.532) 0.30 (Some 3.45) 5.84 10 0.425 4 7 2;
+    r "8C16S16" 1 1 0.360 (Some 0.532) 0.17 (Some 3.45) 4.82 9 0.389 5 8 2;
+  ]
+
+(** The equal-capacity motivational configuration of Tables 1-2
+    (lp=sp=1). *)
+let c1c64s64 =
+  r "1C64S64" 1 1 0.979 (Some 0.610) 10.79 (Some 2.47) 13.26 26 1.001 3 4 1
+
+let all = table5 @ [ c1c64s64 ]
+
+let find notation = List.find_opt (fun row -> row.notation = notation) all
+
+let find_exn notation =
+  match find notation with
+  | Some row -> row
+  | None -> Fmt.invalid_arg "Hw_table.find_exn: no published row %S" notation

@@ -1,0 +1,37 @@
+(** The paper's published hardware evaluation (Table 5, plus the
+    1C64S64 motivational configuration of Tables 1-2).
+
+    These numbers are the hardware specification the paper's performance
+    experiments run on; they are shipped verbatim so the evaluation can
+    use exactly the published clock cycles and latencies, and so the
+    analytic {!Cacti}/{!Timing} surrogate can be validated against
+    them. *)
+
+type row = {
+  notation : string;
+  lp : int;
+  sp : int;
+  access_local_ns : float;    (** cycle-determining bank *)
+  access_shared_ns : float option;
+  area_local_mlambda2 : float; (** one first-level bank *)
+  area_shared_mlambda2 : float option;
+  area_total_mlambda2 : float;
+  logic_depth_fo4 : int;
+  clock_ns : float;
+  mem_latency : int;          (** read-hit cycles *)
+  fu_latency : int;           (** FP add/mul cycles *)
+  loadr_latency : int;        (** LoadR/StoreR cycles (1 when no shared bank) *)
+}
+
+(** Table 5, in the paper's order (15 rows). *)
+val table5 : row list
+
+(** The equal-capacity motivational configuration of Tables 1-2
+    (lp=sp=1). *)
+val c1c64s64 : row
+
+val all : row list
+val find : string -> row option
+
+(** Raises [Invalid_argument] on an unknown notation. *)
+val find_exn : string -> row

@@ -1,0 +1,67 @@
+(** From RF access time to clock cycle and scaled operation latencies.
+
+    The paper derives, from the access time of the first-level bank, the
+    logic depth (in FO4 inverter delays) needed to read the RF in one
+    cycle, then the clock cycle from that depth following Hrishikesh et
+    al. [17], and finally rescales the operation latencies of §2.2 to the
+    new clock.  The constants below reproduce the published Table 5
+    mapping: logic depth = floor(access / fo4), cycle = slope * depth +
+    latch overhead, FP-op latency from a fixed ~2.85 ns execution budget
+    (never below the baseline 4-stage pipeline), memory hit latency from
+    the FU depth, LoadR/StoreR latency from the shared-bank access time. *)
+
+let fo4_ns = 0.0369        (* one FO4 inverter delay at 0.10 um *)
+let cycle_slope = 0.036    (* ns of cycle per FO4 of logic depth *)
+let latch_overhead = 0.065 (* ns: clock skew + latch *)
+let fu_budget_ns = 2.85    (* FP add/mul execution time *)
+
+let logic_depth_fo4 ~access_ns = max 6 (int_of_float (access_ns /. fo4_ns))
+
+let cycle_ns_of_depth depth =
+  (cycle_slope *. float_of_int depth) +. latch_overhead
+
+let cycle_ns ~access_ns = cycle_ns_of_depth (logic_depth_fo4 ~access_ns)
+
+let ceil_div_ns num den = max 1 (int_of_float (ceil (num /. den)))
+
+(** FP add/multiply latency in cycles at the given clock; the baseline
+    4-stage pipeline is a floor. *)
+let fu_latency ~cycle_ns = max 4 (ceil_div_ns fu_budget_ns cycle_ns)
+
+(** Memory read-hit latency: the §2.2 baseline of 2 cycles at the S128
+    clock, deepening with the pipeline at faster clocks. *)
+let mem_read_latency ~cycle_ns ~fu_latency =
+  if cycle_ns >= 1.1 then 2 else (fu_latency / 2) + 1
+
+(** Divide/sqrt scale with the same ns budget ratio as add (17/4, 30/4
+    cycles at the baseline). *)
+let fdiv_latency ~fu_latency = (fu_latency * 17 + 3) / 4
+let fsqrt_latency ~fu_latency = (fu_latency * 30 + 3) / 4
+
+(** LoadR/StoreR take as many cycles as needed to access the shared
+    bank. *)
+let inter_level_latency ~cycle_ns ~shared_access_ns =
+  ceil_div_ns shared_access_ns cycle_ns
+
+(** Scaled latencies for a configuration whose local bank has access time
+    [access_ns] and whose shared bank (if any) has [shared_access_ns]. *)
+let latencies ~access_ns ~shared_access_ns : Hcrf_machine.Latencies.t =
+  let cycle = cycle_ns ~access_ns in
+  let fu = fu_latency ~cycle_ns:cycle in
+  let rd = mem_read_latency ~cycle_ns:cycle ~fu_latency:fu in
+  let ll =
+    match shared_access_ns with
+    | None -> 1
+    | Some s -> inter_level_latency ~cycle_ns:cycle ~shared_access_ns:s
+  in
+  {
+    fadd = fu;
+    fmul = fu;
+    fdiv = fdiv_latency ~fu_latency:fu;
+    fsqrt = fsqrt_latency ~fu_latency:fu;
+    mem_read = rd;
+    mem_write = 1;
+    move = 1;
+    loadr = ll;
+    storer = ll;
+  }

@@ -1,0 +1,39 @@
+(** From RF access time to clock cycle and scaled operation latencies.
+
+    The paper derives, from the access time of the first-level bank, the
+    logic depth (in FO4 inverter delays) needed to read the RF in one
+    cycle, then the clock cycle from that depth following Hrishikesh et
+    al. [17], and finally rescales the operation latencies of §2.2 to
+    the new clock.  The constants reproduce the published Table 5
+    mapping (see test/test_model.ml). *)
+
+val fo4_ns : float
+val cycle_slope : float
+val latch_overhead : float
+val fu_budget_ns : float
+
+val logic_depth_fo4 : access_ns:float -> int
+val cycle_ns_of_depth : int -> float
+val cycle_ns : access_ns:float -> float
+
+(** FP add/multiply latency in cycles at the given clock; the baseline
+    4-stage pipeline is a floor. *)
+val fu_latency : cycle_ns:float -> int
+
+(** Memory read-hit latency: the §2.2 baseline of 2 cycles at the S128
+    clock, deepening with the pipeline at faster clocks. *)
+val mem_read_latency : cycle_ns:float -> fu_latency:int -> int
+
+val fdiv_latency : fu_latency:int -> int
+val fsqrt_latency : fu_latency:int -> int
+
+(** LoadR/StoreR take as many cycles as needed to access the shared
+    bank. *)
+val inter_level_latency : cycle_ns:float -> shared_access_ns:float -> int
+
+(** Scaled latencies for a configuration whose local bank has access
+    time [access_ns] and whose shared bank (if any) has
+    [shared_access_ns]. *)
+val latencies :
+  access_ns:float -> shared_access_ns:float option ->
+  Hcrf_machine.Latencies.t

@@ -1,0 +1,1 @@
+lib/pipesim/pipe_exec.ml: Array Ddg Engine Fmt Hashtbl Hcrf_ir Hcrf_sched Latency List Loop Op Option Ref_exec Regalloc Schedule Semantics Stdlib Topology

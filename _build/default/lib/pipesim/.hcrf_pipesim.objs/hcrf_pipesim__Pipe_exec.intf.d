@@ -1,0 +1,1 @@
+lib/pipesim/pipe_exec.mli: Format Hashtbl Hcrf_ir Hcrf_sched Stdlib

@@ -1,0 +1,1 @@
+lib/pipesim/ref_exec.ml: Ddg Hashtbl Hcrf_ir List Loop Op Option Semantics

@@ -1,0 +1,1 @@
+lib/pipesim/ref_exec.mli: Hashtbl Hcrf_ir

@@ -1,0 +1,1 @@
+lib/pipesim/semantics.ml: Hcrf_ir List Op

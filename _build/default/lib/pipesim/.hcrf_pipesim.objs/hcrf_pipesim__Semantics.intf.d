@@ -1,0 +1,1 @@
+lib/pipesim/semantics.mli: Hcrf_ir

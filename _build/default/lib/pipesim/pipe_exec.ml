@@ -1,0 +1,259 @@
+(** Cycle-accurate executor of a software pipeline.
+
+    Runs a scheduled loop the way the VLIW core would: instance i of an
+    operation scheduled at kernel cycle c issues at absolute cycle
+    c + i * II; register writes land [latency] cycles after issue;
+    values travel through *physical* rotating registers, whose index
+    comes from the {!Hcrf_sched.Regalloc} offsets and the rotating
+    register base (one rotation per II).  Prologue, kernel and epilogue
+    all fall out of the instance timing.
+
+    This is the strongest end-to-end check in the repository: a routing
+    mistake, a wrong spill, a clobbered rotating register or an
+    off-by-one in the timing all surface as a value mismatch against
+    {!Ref_exec}. *)
+
+open Hcrf_ir
+open Hcrf_sched
+
+type result = {
+  values : (int * int, float) Hashtbl.t;  (** (node, iteration) -> value *)
+  memory : (int, float) Hashtbl.t;
+  register_reads : int;  (** reads served from a physical register *)
+}
+
+type error =
+  | Allocation_failed of Topology.bank
+  | Value_mismatch of { node : int; iteration : int; got : float; expected : float }
+  | Memory_mismatch of { addr : int; got : float; expected : float }
+
+let pp_error ppf = function
+  | Allocation_failed b ->
+    Fmt.pf ppf "register allocation failed in bank %a" Topology.pp_bank b
+  | Value_mismatch { node; iteration; got; expected } ->
+    Fmt.pf ppf "node %d iteration %d: pipeline %.17g <> reference %.17g"
+      node iteration got expected
+  | Memory_mismatch { addr; got; expected } ->
+    Fmt.pf ppf "memory %#x: pipeline %.17g <> reference %.17g" addr got
+      expected
+
+(* Physical register index of instance [iter] of value [def]: virtual
+   offset plus the rotating base at its write-back time. *)
+let physical ~offset ~wheel ~ii ~birth_abs =
+  if wheel = 0 then 0
+  else (((offset - (birth_abs / ii)) mod wheel) + wheel) mod wheel
+
+(** Execute [iterations] of the scheduled [loop] ([outcome] from the
+    engine).  Returns the instance values actually read/produced through
+    the machine's registers. *)
+let run (loop : Loop.t) (sched : Schedule.t) (g : Ddg.t) ~iterations :
+    (result, error) Stdlib.result =
+  let ii = Schedule.ii sched in
+  match Regalloc.allocate sched g with
+  | Error b -> Error (Allocation_failed b)
+  | Ok assignments ->
+    let offset_of = Hashtbl.create 64 in
+    let wheel_of_bank = Hashtbl.create 8 in
+    List.iter
+      (fun (a : Regalloc.assignment) ->
+        Hashtbl.replace wheel_of_bank a.Regalloc.bank
+          a.Regalloc.registers_used;
+        List.iter
+          (fun (def, off) -> Hashtbl.replace offset_of def (a.Regalloc.bank, off))
+          a.Regalloc.map)
+      assignments;
+    (* physical register files, one float array per bank *)
+    let banks : (Topology.bank, float array) Hashtbl.t = Hashtbl.create 8 in
+    let bank_array b =
+      match Hashtbl.find_opt banks b with
+      | Some a -> a
+      | None ->
+        let wheel =
+          Option.value ~default:0 (Hashtbl.find_opt wheel_of_bank b)
+        in
+        let a = Array.make (max 1 wheel) nan in
+        Hashtbl.replace banks b a;
+        a
+    in
+    let values = Hashtbl.create 256 in
+    let memory = Hashtbl.create 64 in
+    let register_reads = ref 0 in
+    let lat = sched.Schedule.lat in
+    (* group instances by issue cycle *)
+    let last_cycle = ref 0 in
+    let issue_at : (int, (int * int) list) Hashtbl.t = Hashtbl.create 256 in
+    Ddg.iter_nodes g (fun n ->
+        let c = Schedule.cycle_of sched n.id in
+        for i = 0 to iterations - 1 do
+          let t = c + (i * ii) in
+          last_cycle := max !last_cycle (t + 128);
+          Hashtbl.replace issue_at t
+            ((n.id, i)
+            :: Option.value ~default:[] (Hashtbl.find_opt issue_at t))
+        done);
+    (* pending register write-backs, keyed by commit cycle *)
+    let writebacks : (int, (Topology.bank * int * float) list) Hashtbl.t =
+      Hashtbl.create 256
+    in
+    (* Live-in values (instances from before the loop started) are keyed
+       by the *original* producer: a scheduler-inserted copy resolves to
+       the root of its copy chain (adjusting the iteration by the chain
+       distances), and an invariant's LoadR to the invariant value. *)
+    let rec live_in_value v i =
+      match Ddg.kind g v with
+      | Op.Move | Op.Load_r | Op.Store_r | Op.Spill_load | Op.Spill_store
+        -> (
+        match Ddg.operands g v with
+        | (e : Ddg.edge) :: _ -> live_in_value e.src (i - e.distance)
+        | [] -> (
+          match
+            List.find_opt
+              (fun (inv : Ddg.invariant) -> List.mem v inv.inv_consumers)
+              (Ddg.invariants g)
+          with
+          | Some inv -> Semantics.invariant_value inv.inv_id
+          | None -> Semantics.live_in ~node:v ~iter:i))
+      | _ -> Semantics.live_in ~node:v ~iter:i
+    in
+    let virtual_value v i =
+      if i < 0 then live_in_value v i
+      else
+        match Hashtbl.find_opt values (v, i) with
+        | Some x -> x
+        | None -> nan (* issued out of dependence order: will mismatch *)
+    in
+    let read_operand (e : Ddg.edge) ~consumer_iter ~now =
+      let i = consumer_iter - e.distance in
+      let p = e.src in
+      if i < 0 then live_in_value p i
+      else if Op.defines_value (Ddg.kind g p) then begin
+        (* the real thing: read the physical register the producer's
+           instance was allocated to *)
+        match Hashtbl.find_opt offset_of p with
+        | Some (bank, offset) ->
+          let birth_abs =
+            Schedule.cycle_of sched p
+            + Latency.of_def lat ~id:p ~kind:(Ddg.kind g p)
+            + (i * ii)
+          in
+          if now = birth_abs then
+            (* reading at the producer's write-back cycle: the register
+               is only written at the end of the cycle, the value
+               arrives through the bypass network *)
+            virtual_value p i
+          else begin
+            let wheel = Hashtbl.find wheel_of_bank bank in
+            incr register_reads;
+            (bank_array bank).(physical ~offset ~wheel ~ii ~birth_abs)
+          end
+        | None ->
+          (* zero-length lifetime: the value flows through the bypass *)
+          virtual_value p i
+      end
+      else virtual_value p i
+    in
+    for t = 0 to !last_cycle do
+      (* issue: reads happen early in the cycle, register write-backs
+         and memory writes commit at the end — a value read at exactly
+         its write-back cycle has a zero-length lifetime and flows
+         through the bypass network instead of the register file *)
+      let issued =
+        Option.value ~default:[] (Hashtbl.find_opt issue_at t)
+        |> List.sort compare
+      in
+      let mem_writes = ref [] in
+      (* phase A: snapshot every read of this cycle — an instance must
+         never observe a value produced in the same cycle (the minimum
+         latency is 1), so reads are gathered before any result of
+         cycle t is recorded *)
+      let prepared =
+        List.map
+          (fun (v, i) ->
+            let kind = Ddg.kind g v in
+            let operands =
+              List.map
+                (fun e -> read_operand e ~consumer_iter:i ~now:t)
+                (Ref_exec.sorted_operands g v)
+            in
+            let invariants = Ref_exec.invariant_inputs g v in
+            let addr =
+              Option.map
+                (fun (s : Loop.stream) -> s.Loop.base + (i * s.Loop.stride))
+                (Loop.stream_for loop v)
+            in
+            let mem_in =
+              match (kind, addr) with
+              | (Op.Load | Op.Spill_load), Some a ->
+                Some (Ref_exec.read_memory memory a)
+              | _ -> None
+            in
+            (v, i, kind, operands, invariants, addr, mem_in))
+          issued
+      in
+      (* phase B: compute and commit *)
+      List.iter
+        (fun (v, i, kind, operands, invariants, addr, mem_in) ->
+          let x = Semantics.combine kind operands ~invariants ~memory:mem_in in
+          Hashtbl.replace values (v, i) x;
+          (match (kind, addr) with
+          | (Op.Store | Op.Spill_store), Some a ->
+            mem_writes := (a, x) :: !mem_writes
+          | _ -> ());
+          if Op.defines_value kind then
+            match Hashtbl.find_opt offset_of v with
+            | Some (bank, offset) ->
+              let wheel = Hashtbl.find wheel_of_bank bank in
+              let birth = t + Latency.of_def lat ~id:v ~kind in
+              let idx = physical ~offset ~wheel ~ii ~birth_abs:birth in
+              Hashtbl.replace writebacks birth
+                ((bank, idx, x)
+                :: Option.value ~default:[]
+                     (Hashtbl.find_opt writebacks birth))
+            | None -> ())
+        prepared;
+      List.iter (fun (a, x) -> Hashtbl.replace memory a x) (List.rev !mem_writes);
+      (match Hashtbl.find_opt writebacks t with
+      | Some ws ->
+        List.iter
+          (fun (bank, idx, x) -> (bank_array bank).(idx) <- x)
+          (List.rev ws);
+        Hashtbl.remove writebacks t
+      | None -> ());
+    done;
+    Ok { values; memory; register_reads = !register_reads }
+
+(** Execute the pipeline and compare every original-node instance value
+    and the final memory against the sequential reference. *)
+let check (loop : Loop.t) (outcome : Engine.outcome) ?(iterations = 12) () :
+    (result, error) Stdlib.result =
+  let reference = Ref_exec.run loop ~iterations in
+  match
+    run loop outcome.Engine.schedule outcome.Engine.graph ~iterations
+  with
+  | Error _ as e -> e
+  | Ok piped ->
+    let bad = ref None in
+    Hashtbl.iter
+      (fun (v, i) expected ->
+        if !bad = None && Ddg.mem outcome.Engine.graph v then
+          match Hashtbl.find_opt piped.values (v, i) with
+          | Some got when got <> expected ->
+            bad := Some (Value_mismatch { node = v; iteration = i; got; expected })
+          | Some _ -> ()
+          | None ->
+            bad :=
+              Some
+                (Value_mismatch
+                   { node = v; iteration = i; got = nan; expected }))
+      reference.Ref_exec.values;
+    Hashtbl.iter
+      (fun addr expected ->
+        if !bad = None then
+          match Hashtbl.find_opt piped.memory addr with
+          | Some got when got <> expected ->
+            bad := Some (Memory_mismatch { addr; got; expected })
+          | Some _ -> ()
+          | None ->
+            bad := Some (Memory_mismatch { addr; got = nan; expected }))
+      reference.Ref_exec.memory;
+    (match !bad with Some e -> Error e | None -> Ok piped)

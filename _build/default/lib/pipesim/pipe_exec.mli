@@ -1,0 +1,44 @@
+(** Cycle-accurate executor of a software pipeline.
+
+    Runs a scheduled loop the way the VLIW core would: instance i of an
+    operation scheduled at kernel cycle c issues at absolute cycle
+    [c + i * II]; register write-backs land [latency] cycles after issue
+    (at the end of the cycle — same-cycle readers use the bypass);
+    values travel through *physical* rotating registers indexed from the
+    {!Hcrf_sched.Regalloc} offsets and the rotating base.  Prologue,
+    kernel and epilogue all fall out of the instance timing.
+
+    This is the strongest end-to-end check in the repository: a routing
+    mistake, a wrong spill, a clobbered rotating register or an
+    off-by-one in the timing all surface as a value mismatch against
+    {!Ref_exec}. *)
+
+type result = {
+  values : (int * int, float) Hashtbl.t;  (** (node, iteration) -> value *)
+  memory : (int, float) Hashtbl.t;
+  register_reads : int;  (** reads served from a physical register *)
+}
+
+type error =
+  | Allocation_failed of Hcrf_sched.Topology.bank
+  | Value_mismatch of
+      { node : int; iteration : int; got : float; expected : float }
+  | Memory_mismatch of { addr : int; got : float; expected : float }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Physical register index of a value instance: virtual [offset] plus
+    the rotating base at its write-back time [birth_abs]. *)
+val physical : offset:int -> wheel:int -> ii:int -> birth_abs:int -> int
+
+(** Execute [iterations] of the scheduled loop through physical
+    registers. *)
+val run :
+  Hcrf_ir.Loop.t -> Hcrf_sched.Schedule.t -> Hcrf_ir.Ddg.t ->
+  iterations:int -> (result, error) Stdlib.result
+
+(** Execute the pipeline and compare every original-node instance value
+    and the final memory against the sequential reference. *)
+val check :
+  Hcrf_ir.Loop.t -> Hcrf_sched.Engine.outcome -> ?iterations:int -> unit ->
+  (result, error) Stdlib.result

@@ -1,0 +1,103 @@
+(** Sequential reference executor.
+
+    Runs [iterations] of the original loop the obvious way — one
+    iteration after another, operations in dependence order — and
+    records the value of every (node, iteration) instance plus the final
+    memory contents.  The pipeline executor must reproduce all of it
+    exactly. *)
+
+open Hcrf_ir
+
+type result = {
+  values : (int * int, float) Hashtbl.t;  (** (node, iteration) -> value *)
+  memory : (int, float) Hashtbl.t;        (** final stores, by address *)
+}
+
+let read_memory memory addr =
+  match Hashtbl.find_opt memory addr with
+  | Some v -> v
+  | None -> Semantics.memory_init addr
+
+(* Operands in a canonical order shared with the pipeline executor. *)
+let sorted_operands g v =
+  List.sort
+    (fun (a : Ddg.edge) (b : Ddg.edge) ->
+      compare (a.src, a.distance) (b.src, b.distance))
+    (Ddg.operands g v)
+
+let invariant_inputs g v =
+  Ddg.invariants g
+  |> List.filter (fun (inv : Ddg.invariant) -> List.mem v inv.inv_consumers)
+  |> List.map (fun (inv : Ddg.invariant) -> inv.inv_id)
+  |> List.sort compare
+  |> List.map Semantics.invariant_value
+
+(* Topological order of the distance-0 subgraph, ties by id: the
+   within-iteration execution order. *)
+let topo_order g =
+  let nodes = Ddg.nodes g in
+  let indeg = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      Hashtbl.replace indeg v
+        (List.length
+           (List.filter (fun (e : Ddg.edge) -> e.distance = 0) (Ddg.preds g v))))
+    nodes;
+  let order = ref [] in
+  let ready =
+    ref (List.filter (fun v -> Hashtbl.find indeg v = 0) nodes)
+  in
+  while !ready <> [] do
+    let v = List.fold_left min (List.hd !ready) !ready in
+    ready := List.filter (fun x -> x <> v) !ready;
+    order := v :: !order;
+    List.iter
+      (fun (e : Ddg.edge) ->
+        if e.distance = 0 then begin
+          let d = Hashtbl.find indeg e.dst - 1 in
+          Hashtbl.replace indeg e.dst d;
+          if d = 0 then ready := e.dst :: !ready
+        end)
+      (Ddg.succs g v)
+  done;
+  List.rev !order
+
+(** Execute [iterations] iterations of [loop]. *)
+let run (loop : Loop.t) ~iterations : result =
+  let g = loop.Loop.ddg in
+  let values = Hashtbl.create 256 in
+  let memory = Hashtbl.create 64 in
+  let order = topo_order g in
+  let value_of v i =
+    if i < 0 then Semantics.live_in ~node:v ~iter:i
+    else Hashtbl.find values (v, i)
+  in
+  for i = 0 to iterations - 1 do
+    List.iter
+      (fun v ->
+        let kind = Ddg.kind g v in
+        let operands =
+          List.map
+            (fun (e : Ddg.edge) -> value_of e.src (i - e.distance))
+            (sorted_operands g v)
+        in
+        let invariants = invariant_inputs g v in
+        let addr =
+          Option.map
+            (fun (s : Loop.stream) -> s.Loop.base + (i * s.Loop.stride))
+            (Loop.stream_for loop v)
+        in
+        let mem_in =
+          match (kind, addr) with
+          | (Op.Load | Op.Spill_load), Some a -> Some (read_memory memory a)
+          | _ -> None
+        in
+        let result = Semantics.combine kind operands ~invariants ~memory:mem_in in
+        Hashtbl.replace values (v, i) result;
+        (match (kind, addr) with
+        | (Op.Store | Op.Spill_store), Some a ->
+          Hashtbl.replace memory a result
+        | _ -> ()))
+      order
+  done;
+  { values; memory }

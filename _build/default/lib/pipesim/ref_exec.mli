@@ -1,0 +1,27 @@
+(** Sequential reference executor.
+
+    Runs [iterations] of the original loop the obvious way — one
+    iteration after another, operations in dependence order — recording
+    the value of every (node, iteration) instance and the final memory
+    contents.  The pipeline executor must reproduce all of it
+    exactly. *)
+
+type result = {
+  values : (int * int, float) Hashtbl.t;  (** (node, iteration) -> value *)
+  memory : (int, float) Hashtbl.t;        (** final stores, by address *)
+}
+
+val read_memory : (int, float) Hashtbl.t -> int -> float
+
+(** Operand edges in the canonical order shared with the pipeline
+    executor. *)
+val sorted_operands : Hcrf_ir.Ddg.t -> int -> Hcrf_ir.Ddg.edge list
+
+(** Invariant input values of a node, in canonical order. *)
+val invariant_inputs : Hcrf_ir.Ddg.t -> int -> float list
+
+(** Within-iteration execution order (topological over distance-0
+    edges, ties by id). *)
+val topo_order : Hcrf_ir.Ddg.t -> int list
+
+val run : Hcrf_ir.Loop.t -> iterations:int -> result

@@ -1,0 +1,57 @@
+(** Deterministic value semantics shared by the reference executor and
+    the pipeline executor.
+
+    The dependence graphs carry no source expressions, so we give every
+    operation a total, deterministic meaning over floats: good enough to
+    detect any routing, allocation or timing mistake (two different
+    dataflows virtually never collide on the same float).  Both executors
+    use exactly the same functions, so a correct pipeline reproduces the
+    reference results bit-for-bit. *)
+
+open Hcrf_ir
+
+(* A cheap deterministic hash onto floats in [1, 2). *)
+let float_of_hash h =
+  let h = (h * 2654435761) land 0xFFFFFF in
+  1.0 +. (float_of_int h /. 16777216.0)
+
+(** Initial content of a memory location. *)
+let memory_init addr = float_of_hash (addr * 31 + 7)
+
+(** Value of loop invariant [inv_id]. *)
+let invariant_value inv_id = float_of_hash ((inv_id * 131) + 3)
+
+(** Live-in value: what the instance of node [node] from iteration
+    [iter] (< 0, before the loop started) is assumed to hold. *)
+let live_in ~node ~iter = float_of_hash ((node * 73) + (iter * 19) + 11)
+
+(* Every operation is a *symmetric* function of its inputs: demoting a
+   loop invariant turns it from an ambient input into an operand edge
+   (through a LoadR), and symmetry makes the value independent of that
+   representation change — while still being sensitive to any wrong
+   value arriving. *)
+let combine (k : Op.kind) (operands : float list) ~(invariants : float list)
+    ~(memory : float option) =
+  (* inputs are sorted numerically so the result is independent of edge
+     order (floating-point folds are not associative) *)
+  let inputs = List.sort compare (operands @ invariants) in
+  let sum = List.fold_left ( +. ) 0.1 inputs in
+  match k with
+  | Op.Fadd -> sum
+  | Op.Fmul -> List.fold_left ( *. ) 1.1 inputs
+  | Op.Fdiv ->
+    sum /. List.fold_left (fun acc b -> acc *. (abs_float b +. 1.5)) 1.0 inputs
+  | Op.Fsqrt -> sqrt (abs_float sum +. 1.0)
+  | Op.Load | Op.Spill_load -> (
+    (* a load yields the memory content; a spill load with no memory
+       binding (pure register reload through the spill slot) passes its
+       input through *)
+    match memory with
+    | Some m -> m
+    | None -> ( match inputs with a :: _ -> a | [] -> 1.0))
+  | Op.Move | Op.Load_r | Op.Store_r -> (
+    (* copies: the single input passes through; an invariant LoadR
+       carries the invariant value *)
+    match inputs with a :: _ -> a | [] -> 1.0)
+  | Op.Store | Op.Spill_store -> (
+    match inputs with a :: _ -> a | [] -> 0.0)

@@ -1,0 +1,30 @@
+(** Deterministic value semantics shared by the reference executor and
+    the pipeline executor.
+
+    Dependence graphs carry no source expressions, so every operation
+    gets a total, deterministic meaning over floats — good enough that
+    any routing, allocation or timing mistake shows up as a mismatch.
+    Every operation is a symmetric function of its inputs (demoting a
+    loop invariant turns an ambient input into an operand edge;
+    symmetry makes the value independent of that representation
+    change). *)
+
+val float_of_hash : int -> float
+
+(** Initial content of a memory location. *)
+val memory_init : int -> float
+
+(** Value of loop invariant [inv_id]. *)
+val invariant_value : int -> float
+
+(** Live-in value for the instance of [node] from an iteration before
+    the loop started ([iter < 0]). *)
+val live_in : node:int -> iter:int -> float
+
+(** [combine kind operands ~invariants ~memory] — the operation's
+    result: loads yield the memory content (or pass their input through
+    for a register spill slot), copies pass through, computations fold
+    their inputs symmetrically. *)
+val combine :
+  Hcrf_ir.Op.kind -> float list -> invariants:float list ->
+  memory:float option -> float

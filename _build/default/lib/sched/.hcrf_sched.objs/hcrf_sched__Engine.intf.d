@@ -1,0 +1,1 @@
+lib/sched/engine.mli: Hcrf_ir Hcrf_machine Mii Schedule Topology

@@ -1,0 +1,1 @@
+lib/sched/latency.ml: Config Ddg Dep Hcrf_ir Hcrf_machine

@@ -1,0 +1,1 @@
+lib/sched/latency.mli: Hcrf_ir Hcrf_machine

@@ -1,0 +1,1 @@
+lib/sched/lifetimes.ml: Array Ddg Fmt Hcrf_ir Latency List Op Schedule Topology

@@ -1,0 +1,1 @@
+lib/sched/lifetimes.mli: Format Hcrf_ir Schedule Topology

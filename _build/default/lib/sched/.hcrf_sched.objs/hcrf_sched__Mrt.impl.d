@@ -1,0 +1,1 @@
+lib/sched/mrt.ml: Array Cap Config Fmt Hashtbl Hcrf_machine List Topology

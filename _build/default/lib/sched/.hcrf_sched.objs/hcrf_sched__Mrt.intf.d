@@ -1,0 +1,1 @@
+lib/sched/mrt.mli: Hcrf_machine Topology

@@ -1,0 +1,1 @@
+lib/sched/order.ml: Ddg Hashtbl Hcrf_ir Latency List Mii Queue Scc

@@ -1,0 +1,1 @@
+lib/sched/order.mli: Hcrf_ir Hcrf_machine Latency

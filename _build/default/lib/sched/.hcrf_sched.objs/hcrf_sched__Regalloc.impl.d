@@ -1,0 +1,1 @@
+lib/sched/regalloc.ml: Hcrf_ir Hcrf_machine Lifetimes List Schedule Topology

@@ -1,0 +1,1 @@
+lib/sched/regalloc.mli: Hcrf_ir Hcrf_machine Lifetimes Schedule Topology

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Config Ddg Fmt Hashtbl Hcrf_ir Hcrf_machine Latency List Mrt Op Topology

@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Format Hashtbl Hcrf_ir Hcrf_machine Latency Mrt Topology

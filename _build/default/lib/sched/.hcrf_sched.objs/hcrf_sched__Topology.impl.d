@@ -1,0 +1,1 @@
+lib/sched/topology.ml: Cap Config Fmt Hcrf_ir Hcrf_machine Latencies List Op Rf

@@ -1,0 +1,1 @@
+lib/sched/topology.mli: Format Hcrf_ir Hcrf_machine

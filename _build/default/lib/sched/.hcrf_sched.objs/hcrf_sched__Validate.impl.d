@@ -1,0 +1,1 @@
+lib/sched/validate.ml: Cap Ddg Dep Fmt Hashtbl Hcrf_ir Hcrf_machine Latency Lifetimes List Op Option Regalloc Schedule Topology

@@ -1,0 +1,1 @@
+lib/sched/validate.mli: Format Hcrf_ir Schedule Topology

@@ -1,0 +1,1158 @@
+(** The iterative modulo-scheduling engine (MIRS family).
+
+    One engine drives every register-file organization: the
+    {!Topology} of the configuration decides where operations may
+    execute, which bank holds each value, and which communication
+    operations connect banks.  The engine is the algorithm of Figure 5
+    of the paper:
+
+    - nodes are scheduled one at a time in HRMS priority order;
+    - cluster selection minimizes new communication, then slot
+      availability, then balances FU and register-bank use;
+    - the communication operations a placement needs (Move for
+      clustered RFs, StoreR/LoadR for hierarchical ones) are inserted
+      into the graph — reusing an existing StoreR of the same value
+      when possible — and scheduled before the node itself;
+    - when no slot fits, the node is forced and the conflicting or
+      dependence-violated nodes are ejected back into the priority
+      list, together with the now-useless communication operations
+      that were inserted for them;
+    - after every placement the per-bank register requirement
+      (MaxLives) is compared against the bank capacities; overflowing
+      banks get spill code — StoreR/LoadR between a distributed bank
+      and the shared bank, Spill_store/Spill_load between a bank and
+      memory — and loop invariants can be demoted from a cluster to
+      the shared bank (or memory);
+    - a Budget of [budget_ratio * |V|] attempts (replenished by
+      [budget_ratio] for every inserted node) bounds the iterative
+      process; when exhausted the attempt is discarded and the whole
+      process restarts with II + 1. *)
+
+open Hcrf_ir
+open Hcrf_machine
+
+type options = {
+  budget_ratio : int;
+  max_ii : int option;  (** absolute cap on the II search (None: auto) *)
+  load_override : int -> int option;
+      (** per-load latency override for binding prefetching *)
+  backtracking : bool;
+      (** false: never force-and-eject; a placement failure discards the
+          attempt and restarts with II+1, as in the non-iterative
+          scheduler of [36] *)
+  ordering : [ `Hrms | `Topological ];
+      (** node ordering: HRMS-style (default) or plain topological *)
+}
+
+let default_options =
+  { budget_ratio = 6; max_ii = None; load_override = (fun _ -> None);
+    backtracking = true; ordering = `Hrms }
+
+type stats = {
+  ejections : int;
+  forcings : int;
+  value_spills : int;
+  invariant_spills : int;
+  comm_inserted : int;
+  attempts : int;
+  ii_restarts : int;
+}
+
+type outcome = {
+  ii : int;
+  mii : int;
+  bounds : Mii.bounds;  (** of the final graph, for bound classification *)
+  sc : int;
+  schedule : Schedule.t;
+  graph : Ddg.t;        (** final graph with all inserted operations *)
+  invariant_residents : Topology.bank -> int;
+  seconds : float;
+  stats : stats;
+}
+
+type error = [ `No_schedule of int (* last II tried *) ]
+
+(* ------------------------------------------------------------------ *)
+(* Mutable per-attempt state                                           *)
+
+type mstats = {
+  mutable m_ejections : int;
+  mutable m_forcings : int;
+  mutable m_value_spills : int;
+  mutable m_invariant_spills : int;
+  mutable m_comm_inserted : int;
+  mutable m_attempts : int;
+}
+
+type state = {
+  g : Ddg.t;
+  config : Config.t;
+  lat : Latency.t;
+  sched : Schedule.t;
+  pq : Pqueue.t;
+  prio : (int, float) Hashtbl.t;
+  aux : (int, int list) Hashtbl.t;       (* anchor -> inserted comm nodes *)
+  last_force : (int, int) Hashtbl.t;
+  spilled : (int, unit) Hashtbl.t;       (* value defs already spilled *)
+  inv_spilled : (int * int, unit) Hashtbl.t; (* (inv, bank code) *)
+  mutable budget : int;
+  ratio : int;
+  opts : options;
+  n0 : int;  (** nodes in the original graph, for the growth cap *)
+  st : mstats;
+}
+
+(* Safety net: spilling must not grow the graph without bound (the paper
+   controls this with the Budget; we additionally cap the graph size so
+   a failing attempt is abandoned instead of thrashing). *)
+let growth_cap s = Ddg.num_nodes s.g > (8 * s.n0) + 64
+
+exception Attempt_failed
+
+let bank_code = function Topology.Shared -> -1 | Topology.Local i -> i
+
+let prio_of s v =
+  match Hashtbl.find_opt s.prio v with Some p -> p | None -> 1.0e9
+
+let set_prio s v p = Hashtbl.replace s.prio v p
+
+let requeue s v =
+  if Ddg.mem s.g v && not (Pqueue.mem s.pq v) then
+    Pqueue.push s.pq ~priority:(prio_of s v) v
+
+let add_aux s ~anchor n =
+  let cur = Option.value ~default:[] (Hashtbl.find_opt s.aux anchor) in
+  Hashtbl.replace s.aux anchor (n :: cur)
+
+let kind_of s v = Ddg.kind s.g v
+
+let is_comm_kind = function
+  | Op.Move | Op.Load_r | Op.Store_r -> true
+  | _ -> false
+
+let def_bank_of s v =
+  match Schedule.entry s.sched v with
+  | None -> None
+  | Some e -> Topology.def_bank s.config (kind_of s v) e.loc
+
+let cluster_of_loc = function Topology.Cluster i -> i | Topology.Global -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Graph surgery                                                       *)
+
+(* Remove a communication node, reconnecting its producer to its
+   consumers (distances compose).  Invariant consumer lists are updated:
+   consumers of an invariant's LoadR become direct consumers again. *)
+let splice_out s v =
+  let operands = Ddg.operands s.g v in
+  let consumers = Ddg.consumers s.g v in
+  (match operands with
+  | [] -> ()
+  | pe :: _ ->
+    List.iter
+      (fun (ce : Ddg.edge) ->
+        Ddg.add_edge s.g ~distance:(pe.distance + ce.distance)
+          ~dep:Dep.True pe.src ce.dst)
+      consumers);
+  List.iter
+    (fun (inv : Ddg.invariant) ->
+      if List.mem v inv.inv_consumers then
+        inv.inv_consumers <-
+          List.filter (fun c -> c <> v) inv.inv_consumers
+          @ List.map (fun (ce : Ddg.edge) -> ce.dst) consumers)
+    (Ddg.invariants s.g);
+  Schedule.unplace s.sched v;
+  Pqueue.remove s.pq v;
+  Ddg.remove_node s.g v
+
+(* Discard an auxiliary communication node if nothing scheduled reads
+   it any more. *)
+let maybe_discard s v =
+  if Ddg.mem s.g v && is_comm_kind (kind_of s v) then begin
+    let has_live_consumer =
+      List.exists
+        (fun (e : Ddg.edge) -> Schedule.is_scheduled s.sched e.dst)
+        (Ddg.consumers s.g v)
+    in
+    if not has_live_consumer then splice_out s v
+  end
+
+(* Eject a node: deschedule it, requeue it with its original priority,
+   drop the communication helpers inserted for it, and recursively eject
+   the location-bound communication consumers of its value (a Move or
+   StoreR reads the bank its producer was in). *)
+let rec eject s v =
+  if Schedule.is_scheduled s.sched v then begin
+    Schedule.unplace s.sched v;
+    s.st.m_ejections <- s.st.m_ejections + 1;
+    let loc_bound =
+      List.filter_map
+        (fun (e : Ddg.edge) ->
+          match kind_of s e.dst with
+          | Op.Move | Op.Store_r
+            when e.dst <> v && Schedule.is_scheduled s.sched e.dst ->
+            Some e.dst
+          | _ -> None)
+        (Ddg.consumers s.g v)
+    in
+    (match Hashtbl.find_opt s.aux v with
+    | None -> ()
+    | Some l ->
+      Hashtbl.remove s.aux v;
+      List.iter (maybe_discard s) l);
+    requeue s v;
+    List.iter (eject s) loc_bound
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Core placement with force-and-eject                                 *)
+
+let schedule_node s v ~loc =
+  if
+    Op.equal_kind (kind_of s v) Op.Move
+    && Schedule.move_src_bank s.sched s.g v = None
+  then
+    (* the producer was ejected while this Move waited: its source bank
+       (and port reservation) is unknown — retry once the producer is
+       back *)
+    requeue s v
+  else begin
+  let ii = Schedule.ii s.sched in
+  let estart = Schedule.estart s.sched s.g v in
+  let lstart = Schedule.lstart s.sched s.g v in
+  let has_spreds =
+    List.exists
+      (fun (e : Ddg.edge) ->
+        e.src <> v && Schedule.is_scheduled s.sched e.src)
+      (Ddg.preds s.g v)
+  in
+  (* A down-copy splits its value's lifetime between the upstream bank
+     (shared bank / memory) and the downstream FU-facing bank: issuing
+     late moves the lifetime upstream.  Spill loads always issue late
+     (memory capacity is free); a LoadR issues late only when the
+     destination bank is fuller than the shared bank. *)
+  let prefer_late =
+    match kind_of s v with
+    | Op.Spill_load -> true
+    | Op.Load_r ->
+      let fill bank =
+        match Topology.bank_capacity s.config bank with
+        | Cap.Inf -> 0.
+        | Cap.Finite cap when cap > 0 ->
+          let defs =
+            List.length
+              (List.filter
+                 (fun n ->
+                   match def_bank_of s n with
+                   | Some b -> Topology.equal_bank b bank
+                   | None -> false)
+                 (Schedule.scheduled_nodes s.sched))
+          in
+          float_of_int defs /. float_of_int cap
+        | Cap.Finite _ -> 1.
+      in
+      let dst =
+        match loc with
+        | Topology.Cluster i -> Topology.Local i
+        | Topology.Global -> Topology.Shared
+      in
+      fill dst >= fill Topology.Shared
+    | _ -> false
+  in
+  let candidates =
+    match (has_spreds, lstart) with
+    | false, Some l when l >= 0 ->
+      (* only successors scheduled: scan downwards from lstart *)
+      List.init (min ii (l + 1)) (fun k -> l - k)
+    | _, Some l ->
+      let hi = min l (estart + ii - 1) in
+      if hi < estart then []
+      else if prefer_late then
+        List.init (hi - estart + 1) (fun k -> hi - k)
+      else List.init (hi - estart + 1) (fun k -> estart + k)
+    | _, None -> List.init ii (fun k -> estart + k)
+  in
+  let found =
+    List.find_opt
+      (fun c -> c >= 0 && Schedule.can_place s.sched s.g v ~cycle:c ~loc)
+      candidates
+  in
+  match found with
+  | Some cycle ->
+    Schedule.place s.sched s.g v ~cycle ~loc;
+    Hashtbl.remove s.last_force v
+  | None ->
+    if not s.opts.backtracking then raise Attempt_failed;
+    (* force and eject *)
+    s.st.m_forcings <- s.st.m_forcings + 1;
+    let base =
+      match (has_spreds, lstart) with
+      | false, Some l when l >= 0 -> l
+      | _ -> max 0 estart
+    in
+    let cycle =
+      match Hashtbl.find_opt s.last_force v with
+      | Some p when p >= base -> p + 1
+      | Some _ | None -> base
+    in
+    Hashtbl.replace s.last_force v cycle;
+    let guard = ref 64 in
+    let rec clear () =
+      decr guard;
+      match Schedule.resource_conflicts s.sched s.g v ~cycle ~loc with
+      | [] -> ()
+      | conflicts when !guard > 0 ->
+        List.iter (eject s) conflicts;
+        clear ()
+      | _ -> ()
+    in
+    clear ();
+    if Schedule.can_place s.sched s.g v ~cycle ~loc then begin
+      Schedule.place s.sched s.g v ~cycle ~loc;
+      List.iter (eject s)
+        (Schedule.dependence_violations s.sched s.g v ~cycle)
+    end
+    else
+      (* unbreakable conflict (should not happen); retry later *)
+      requeue s v
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Communication routing                                               *)
+
+type step = Reuse of int | Fresh of Op.kind * Topology.loc
+
+type plan = { new_src : int; steps : step list }
+
+(* How to obtain [p]'s value in the shared bank.  [db] is the bank of
+   the (possibly not yet placed) definition. *)
+let shared_handle s p ~(db : Topology.bank) =
+  match db with
+  | Topology.Shared -> `Already p
+  | Topology.Local i -> (
+    (* a LoadR's producer already holds the same value in Shared *)
+    let root =
+      if Op.equal_kind (kind_of s p) Op.Load_r then
+        match Ddg.operands s.g p with
+        | (e : Ddg.edge) :: _
+          when def_bank_of s e.src = Some Topology.Shared ->
+          Some e.src
+        | _ -> None
+      else None
+    in
+    match root with
+    | Some q -> `Already q
+    | None -> (
+      let existing_storer =
+        List.find_opt
+          (fun (e : Ddg.edge) ->
+            Op.equal_kind (kind_of s e.dst) Op.Store_r
+            && Schedule.is_scheduled s.sched e.dst)
+          (Ddg.consumers s.g p)
+      in
+      match existing_storer with
+      | Some e -> `Via e.dst
+      | None -> `Need i))
+
+let find_reusable_copy s src ~kind ~cluster =
+  List.find_opt
+    (fun (e : Ddg.edge) ->
+      Op.equal_kind (kind_of s e.dst) kind
+      && Schedule.is_scheduled s.sched e.dst
+      &&
+      match Schedule.entry s.sched e.dst with
+      | Some { loc = Topology.Cluster c; _ } -> c = cluster
+      | _ -> false)
+    (Ddg.consumers s.g src)
+  |> Option.map (fun (e : Ddg.edge) -> e.dst)
+
+(* Plan the copies needed so that a value defined in [db] by [p] can be
+   read from [rb]. *)
+let plan_route s ~p ~(db : Topology.bank) ~(rb : Topology.bank) :
+    plan option =
+  if Topology.equal_bank db rb then None
+  else
+    match s.config.rf with
+    | Rf.Monolithic _ -> None
+    | Rf.Clustered _ -> (
+      match rb with
+      | Topology.Local j -> (
+        match find_reusable_copy s p ~kind:Op.Move ~cluster:j with
+        | Some mv -> Some { new_src = p; steps = [ Reuse mv ] }
+        | None ->
+          Some
+            { new_src = p; steps = [ Fresh (Op.Move, Topology.Cluster j) ] })
+      | Topology.Shared -> None)
+    | Rf.Hierarchical _ ->
+      let src0, pre =
+        match shared_handle s p ~db with
+        | `Already q -> (q, [])
+        | `Via sr -> (p, [ Reuse sr ])
+        | `Need i -> (p, [ Fresh (Op.Store_r, Topology.Cluster i) ])
+      in
+      let plan_steps =
+        match rb with
+        | Topology.Shared -> pre
+        | Topology.Local j ->
+          let shared_node =
+            match pre with
+            | [ Reuse sr ] -> Some sr
+            | [] -> Some src0
+            | _ -> None (* fresh storer: no existing LoadR can hang off it *)
+          in
+          let reuse_lr =
+            Option.bind shared_node (fun n ->
+                find_reusable_copy s n ~kind:Op.Load_r ~cluster:j)
+          in
+          (match reuse_lr with
+          | Some lr -> pre @ [ Reuse lr ]
+          | None -> pre @ [ Fresh (Op.Load_r, Topology.Cluster j) ])
+      in
+      if plan_steps = [] && src0 = p then None
+      else Some { new_src = src0; steps = plan_steps }
+
+let fresh_count plan =
+  List.length
+    (List.filter (function Fresh _ -> true | Reuse _ -> false) plan.steps)
+
+(* Rewire [edge] through the plan.  Returns the fresh nodes (with their
+   locations) that now need scheduling, in dataflow order. *)
+let apply_plan s ~anchor (edge : Ddg.edge) plan =
+  Ddg.remove_edge s.g edge;
+  let fresh = ref [] in
+  let cur = ref plan.new_src in
+  List.iter
+    (fun step ->
+      match step with
+      | Reuse n -> cur := n
+      | Fresh (k, loc) ->
+        let n = Ddg.add_node s.g k in
+        Ddg.add_edge s.g ~distance:0 ~dep:Dep.True !cur n;
+        set_prio s n (prio_of s anchor -. 0.25);
+        add_aux s ~anchor n;
+        s.st.m_comm_inserted <- s.st.m_comm_inserted + 1;
+        fresh := (n, loc) :: !fresh;
+        cur := n)
+    plan.steps;
+  Ddg.add_edge s.g ~distance:edge.distance ~dep:Dep.True !cur edge.dst;
+  (* a reused copy may be scheduled too late for this consumer: enforce
+     the new dependence by ejecting the consumer (it will be replaced
+     after the routing settles) *)
+  (match (Schedule.entry s.sched !cur, Schedule.entry s.sched edge.dst) with
+  | Some a, Some b ->
+    let lat =
+      Latency.of_def s.lat ~id:!cur ~kind:(kind_of s !cur)
+    in
+    if b.cycle < a.cycle + lat - (Schedule.ii s.sched * edge.distance) then
+      eject s edge.dst
+  | None, _ | _, None -> ());
+  List.rev !fresh
+
+(* Routing needs of [v] placed at [loc]: one plan per mismatched operand
+   or consumer edge.  Only edges whose other endpoint is scheduled are
+   considered — the rest get routed when that endpoint is placed.
+   NOTE: plans go stale as soon as one of them is applied (scheduling a
+   fresh copy can eject or splice other nodes); apply only the first and
+   recompute (see [route_and_place]). *)
+let routes_for s v ~loc =
+  let kind = kind_of s v in
+  let operand_routes =
+    if Op.equal_kind kind Op.Move then []
+      (* a Move reads whatever local bank its producer is in *)
+    else
+      let rb = Topology.read_bank s.config kind loc in
+      List.filter_map
+        (fun (e : Ddg.edge) ->
+          if
+            e.src <> v
+            && Op.defines_value (kind_of s e.src)
+            && Schedule.is_scheduled s.sched e.src
+          then
+            match def_bank_of s e.src with
+            | Some db ->
+              plan_route s ~p:e.src ~db ~rb
+              |> Option.map (fun pl -> (e, pl))
+            | None -> None
+          else None)
+        (Ddg.operands s.g v)
+  in
+  let consumer_routes =
+    match Topology.def_bank s.config kind loc with
+    | None -> []
+    | Some db ->
+      List.filter_map
+        (fun (e : Ddg.edge) ->
+          if
+            Dep.equal e.dep Dep.True
+            && e.dst <> v
+            && Schedule.is_scheduled s.sched e.dst
+            && not (Op.equal_kind (kind_of s e.dst) Op.Move)
+          then
+            let rb =
+              Topology.read_bank s.config (kind_of s e.dst)
+                (Schedule.loc_of s.sched e.dst)
+            in
+            plan_route s ~p:v ~db ~rb |> Option.map (fun pl -> (e, pl))
+          else None)
+        (Ddg.succs s.g v)
+  in
+  operand_routes @ consumer_routes
+
+(* Cost of placing [v] at [loc] without committing: fresh communication
+   ops needed, slot availability, FU occupancy and bank fill. *)
+let placement_cost s v ~loc =
+  let comm =
+    List.fold_left (fun acc (_, pl) -> acc + fresh_count pl) 0
+      (routes_for s v ~loc)
+  in
+  let ii = Schedule.ii s.sched in
+  let estart = Schedule.estart s.sched s.g v in
+  let slot_ok =
+    let rec scan k =
+      if k >= ii then false
+      else if
+        Schedule.can_place s.sched s.g v ~cycle:(max 0 estart + k) ~loc
+      then true
+      else scan (k + 1)
+    in
+    scan 0
+  in
+  let cluster = cluster_of_loc loc in
+  let fill_resource =
+    if Op.is_memory (kind_of s v) then Topology.Mem cluster
+    else Topology.Fu cluster
+  in
+  let fu_fill = ref 0 in
+  for slot = 0 to ii - 1 do
+    fu_fill :=
+      !fu_fill + Mrt.occupancy s.sched.Schedule.mrt fill_resource ~slot
+  done;
+  let bank_fill =
+    List.length
+      (List.filter
+         (fun n ->
+           match def_bank_of s n with
+           | Some (Topology.Local c) -> c = cluster
+           | _ -> false)
+         (Schedule.scheduled_nodes s.sched))
+  in
+  (* graded register-availability term: a nearly-full bank is almost as
+     bad as a communication op, since placing here will trigger spill
+     code (the "availability of registers" part of Select_Cluster) *)
+  let pressure_penalty =
+    match Topology.bank_capacity s.config (Topology.Local cluster) with
+    | Cap.Inf -> 0
+    | Cap.Finite cap when cap > 0 -> bank_fill * 48 / cap
+    | Cap.Finite _ -> 0
+  in
+  (* A cluster without a free slot in the window is almost always a bad
+     idea (it forces ejections); communication comes next; resource and
+     register balance break ties. *)
+  ((if slot_ok then 0 else 1000) + (100 * comm) + pressure_penalty
+  + !fu_fill + bank_fill)
+
+(* ------------------------------------------------------------------ *)
+(* Location selection                                                  *)
+
+(* Majority cluster among the scheduled consumers of [v]. *)
+let consumers_cluster s v =
+  let counts = Hashtbl.create 4 in
+  List.iter
+    (fun (e : Ddg.edge) ->
+      match Schedule.entry s.sched e.dst with
+      | Some { loc = Topology.Cluster c; _ } ->
+        Hashtbl.replace counts c
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts c))
+      | Some { loc = Topology.Global; _ } | None -> ())
+    (Ddg.consumers s.g v);
+  Hashtbl.fold
+    (fun c n acc ->
+      match acc with
+      | Some (_, bn) when bn >= n -> acc
+      | _ -> Some (c, n))
+    counts None
+  |> Option.map fst
+
+let producer_cluster s v =
+  List.fold_left
+    (fun acc (e : Ddg.edge) ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+        match Schedule.entry s.sched e.src with
+        | Some { loc = Topology.Cluster c; _ } -> Some c
+        | Some { loc = Topology.Global; _ } | None -> None))
+    None (Ddg.operands s.g v)
+
+let decide_loc s v =
+  let kind = kind_of s v in
+  match Topology.exec_locs s.config kind with
+  | [] -> `Splice
+  | [ l ] -> `Loc l
+  | locs -> (
+    match kind with
+    | Op.Move | Op.Load_r | Op.Store_r -> (
+      let operands = Ddg.operands s.g v in
+      let producer_ready =
+        operands = []
+        || List.exists
+             (fun (e : Ddg.edge) -> Schedule.is_scheduled s.sched e.src)
+             operands
+      in
+      let has_live_consumer =
+        List.exists
+          (fun (e : Ddg.edge) -> Schedule.is_scheduled s.sched e.dst)
+          (Ddg.consumers s.g v)
+      in
+      if (not producer_ready) || not has_live_consumer then `Splice
+      else
+        match kind with
+        | Op.Store_r -> (
+          match producer_cluster s v with
+          | Some c -> `Loc (Topology.Cluster c)
+          | None -> `Splice)
+        | _ -> (
+          match consumers_cluster s v with
+          | Some c -> `Loc (Topology.Cluster c)
+          | None -> `Splice))
+    | Op.Spill_load -> (
+      match consumers_cluster s v with
+      | Some c -> `Loc (Topology.Cluster c)
+      | None -> `Loc (List.hd locs))
+    | Op.Spill_store -> (
+      match producer_cluster s v with
+      | Some c -> `Loc (Topology.Cluster c)
+      | None -> `Loc (List.hd locs))
+    | Op.Fadd | Op.Fmul | Op.Fdiv | Op.Fsqrt | Op.Load | Op.Store ->
+      (* Select_Cluster heuristic [37]: fewest new communications, then
+         a free slot, then balanced FU/register use. *)
+      let best =
+        List.fold_left
+          (fun acc loc ->
+            let cost = placement_cost s v ~loc in
+            match acc with
+            | Some (_, bc) when bc <= cost -> acc
+            | _ -> Some (loc, cost))
+          None locs
+      in
+      (match best with Some (l, _) -> `Loc l | None -> `Loc (List.hd locs)))
+
+(* ------------------------------------------------------------------ *)
+(* Spilling                                                            *)
+
+let banks_of_config (config : Config.t) =
+  let x = Config.clusters config in
+  let locals = List.init x (fun i -> Topology.Local i) in
+  match config.rf with
+  | Rf.Monolithic _ | Rf.Clustered _ -> locals
+  | Rf.Hierarchical _ -> locals @ [ Topology.Shared ]
+
+(* Invariants resident in [bank]: at least one scheduled direct consumer
+   reads the invariant from there. *)
+let invariant_residents_in s bank =
+  List.filter
+    (fun (inv : Ddg.invariant) ->
+      List.exists
+        (fun c ->
+          Ddg.mem s.g c
+          &&
+          match Schedule.entry s.sched c with
+          | Some e ->
+            Topology.equal_bank
+              (Topology.read_bank s.config (kind_of s c) e.loc)
+              bank
+          | None -> false)
+        inv.inv_consumers)
+    (Ddg.invariants s.g)
+
+let invariant_residents s bank =
+  List.length (invariant_residents_in s bank)
+
+(* Spill one value defined by [d] out of [bank].  For a distributed bank
+   of a hierarchical RF the value is demoted to the shared bank
+   (StoreR + LoadR per consumer); otherwise it goes to memory
+   (Spill_store + Spill_load per consumer).  Returns the number of
+   inserted nodes. *)
+let spill_value s ~bank d =
+  let fresh = ref 0 in
+  let consumers = Ddg.consumers s.g d in
+  let mk kind prio_anchor =
+    let n = Ddg.add_node s.g kind in
+    set_prio s n (prio_of s prio_anchor +. 0.125);
+    Pqueue.push s.pq ~priority:(prio_of s n) n;
+    incr fresh;
+    n
+  in
+  let to_shared =
+    match (s.config.rf, bank) with
+    | Rf.Hierarchical _, Topology.Local _ -> true
+    | _ -> false
+  in
+  let store_kind = if to_shared then Op.Store_r else Op.Spill_store in
+  let load_kind = if to_shared then Op.Load_r else Op.Spill_load in
+  (* The up-copy: a LoadR's value already exists in the shared bank (its
+     own producer), so spilling it is a pure re-load; otherwise reuse an
+     existing StoreR of the value, or insert one. *)
+  let up =
+    let reload_root =
+      if to_shared && Op.equal_kind (kind_of s d) Op.Load_r then
+        match Ddg.operands s.g d with
+        | (e : Ddg.edge) :: _
+          when def_bank_of s e.src = Some Topology.Shared ->
+          Some e.src
+        | _ -> None
+      else if
+        (* a load with no memory dependence can simply be re-issued:
+           spilling its value costs a redundant load, not a store/load
+           round trip *)
+        (not to_shared)
+        && Op.equal_kind (kind_of s d) Op.Load
+        && Ddg.operands s.g d = []
+      then Some d
+      else None
+    in
+    match reload_root with
+    | Some q -> q
+    | None -> (
+      let existing =
+        List.find_opt
+          (fun (e : Ddg.edge) ->
+            Op.equal_kind (kind_of s e.dst) store_kind)
+          consumers
+      in
+      match existing with
+      | Some e -> e.dst
+      | None ->
+        let n = mk store_kind d in
+        Ddg.add_edge s.g ~distance:0 ~dep:Dep.True d n;
+        n)
+  in
+  List.iter
+    (fun (e : Ddg.edge) ->
+      let ck = kind_of s e.dst in
+      if e.dst <> up && not (Op.equal_kind ck store_kind) then begin
+        let down = mk load_kind e.dst in
+        (* a reload copy is already as short as it gets: never respill *)
+        Hashtbl.replace s.spilled down ();
+        Ddg.add_edge s.g ~distance:0 ~dep:Dep.True up down;
+        Ddg.remove_edge s.g e;
+        Ddg.add_edge s.g ~distance:e.distance ~dep:Dep.True down e.dst
+      end)
+    consumers;
+  Hashtbl.replace s.spilled d ();
+  s.st.m_value_spills <- s.st.m_value_spills + 1;
+  s.budget <- s.budget + (s.ratio * !fresh);
+  !fresh
+
+(* Demote an invariant out of [bank]: every scheduled consumer reading
+   it there now reads through a LoadR (hierarchical) or a Spill_load
+   (memory).  Returns the number of inserted nodes. *)
+let spill_invariant s ~bank (inv : Ddg.invariant) =
+  let fresh = ref 0 in
+  let load_kind =
+    match (s.config.rf, bank) with
+    | Rf.Hierarchical _, Topology.Local _ -> Op.Load_r
+    | _ -> Op.Spill_load
+  in
+  let consumers = inv.inv_consumers in
+  List.iter
+    (fun c ->
+      let reads_here =
+        Ddg.mem s.g c
+        &&
+        match Schedule.entry s.sched c with
+        | Some e ->
+          Topology.equal_bank
+            (Topology.read_bank s.config (kind_of s c) e.loc)
+            bank
+        | None -> false
+      in
+      if reads_here then begin
+        let down = Ddg.add_node s.g load_kind in
+        Hashtbl.replace s.spilled down ();
+        set_prio s down (prio_of s c -. 0.25);
+        Pqueue.push s.pq ~priority:(prio_of s down) down;
+        Ddg.add_edge s.g ~distance:0 ~dep:Dep.True down c;
+        inv.inv_consumers <-
+          down :: List.filter (fun x -> x <> c) inv.inv_consumers;
+        incr fresh
+      end)
+    consumers;
+  Hashtbl.replace s.inv_spilled (inv.inv_id, bank_code bank) ();
+  s.st.m_invariant_spills <- s.st.m_invariant_spills + 1;
+  s.budget <- s.budget + (s.ratio * !fresh);
+  !fresh
+
+let spillable_def s ~bank d =
+  (not (Hashtbl.mem s.spilled d))
+  &&
+  match (kind_of s d, bank) with
+  | (Op.Fadd | Op.Fmul | Op.Fdiv | Op.Fsqrt | Op.Load), _ -> true
+  | Op.Load_r, Topology.Local _ -> true  (* re-load from the shared copy *)
+  | (Op.Store_r | Op.Spill_load), Topology.Shared -> true
+  | _ -> false
+
+(* One spill decision for an overflowing [bank]: prefer an unspilled
+   invariant (it frees a whole-loop register), otherwise the value with
+   the longest lifetime span. *)
+let pick_and_spill s ~bank lts =
+  if growth_cap s then 0
+  else
+  let inv_candidate =
+    List.find_opt
+      (fun (inv : Ddg.invariant) ->
+        not (Hashtbl.mem s.inv_spilled (inv.inv_id, bank_code bank)))
+      (invariant_residents_in s bank)
+  in
+  match inv_candidate with
+  | Some inv -> spill_invariant s ~bank inv
+  | None -> (
+    let best =
+      List.fold_left
+        (fun acc (l : Lifetimes.lifetime) ->
+          if
+            Topology.equal_bank l.bank bank
+            && Lifetimes.span l >= 2
+            && spillable_def s ~bank l.def
+          then
+            match acc with
+            | Some b when Lifetimes.span b >= Lifetimes.span l -> acc
+            | _ -> Some l
+          else acc)
+        None lts
+    in
+    match best with
+    | Some l -> spill_value s ~bank l.def
+    | None -> 0)
+
+(* Check every finite bank and insert spill code until the requirement
+   fits (or no candidate remains).  Returns the number of inserted
+   nodes. *)
+(* Check every finite bank; insert spill code until the requirement fits.
+   Returns the number of inserted nodes; [`Unfixable] when a bank stays
+   over capacity with no spill candidate left. *)
+let check_insert_spill ?(force_bank = None) s =
+  let ii = Schedule.ii s.sched in
+  let inserted = ref 0 in
+  let unfixable = ref false in
+  let lts = ref (lazy (Lifetimes.of_schedule s.sched s.g)) in
+  let refresh () = lts := lazy (Lifetimes.of_schedule s.sched s.g) in
+  List.iter
+    (fun bank ->
+      match Topology.bank_capacity s.config bank with
+      | Cap.Inf -> ()
+      | Cap.Finite cap ->
+        let forced =
+          match force_bank with
+          | Some b when Topology.equal_bank b bank -> 1
+          | _ -> 0
+        in
+        let guard = ref 64 in
+        let rec fix extra_required =
+          decr guard;
+          if !guard <= 0 then ()
+          else begin
+            let l = Lazy.force !lts in
+            let used =
+              Lifetimes.pressure ~ii ~bank
+                ~invariant_residents:(invariant_residents s bank)
+                l
+            in
+            if used + extra_required > cap then begin
+              let n = pick_and_spill s ~bank l in
+              inserted := !inserted + n;
+              if n > 0 then begin
+                refresh ();
+                fix extra_required
+              end
+              else begin
+                Logs.debug (fun m ->
+                    m "unfixable: bank %a used=%d cap=%d ii=%d nodes=%d"
+                      Topology.pp_bank bank used cap ii
+                      (Ddg.num_nodes s.g));
+                unfixable := true
+              end
+            end
+          end
+        in
+        fix forced)
+    (banks_of_config s.config);
+  if !unfixable then `Unfixable else `Inserted !inserted
+
+(* ------------------------------------------------------------------ *)
+(* Final cleanup and checks                                            *)
+
+(* Remove communication nodes whose value is never read (left behind by
+   ejection/re-scheduling churn). *)
+let prune_dead_comm s =
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun v ->
+        if
+          Ddg.mem s.g v
+          && is_comm_kind (kind_of s v)
+          && Ddg.consumers s.g v = []
+          && not
+               (List.exists
+                  (fun (inv : Ddg.invariant) ->
+                    List.mem v inv.inv_consumers)
+                  (Ddg.invariants s.g))
+        then begin
+          Schedule.unplace s.sched v;
+          Pqueue.remove s.pq v;
+          Ddg.remove_node s.g v;
+          changed := true
+        end)
+      (Ddg.nodes s.g)
+  done
+
+(* Residual unrouted operand edges can survive rare eject/splice
+   interleavings; route them now exactly as scheduling-time routing
+   would.  Returns the plans applied (fresh nodes already scheduled). *)
+let repair_banks s ~schedule_fresh =
+  let repaired = ref 0 in
+  List.iter
+    (fun (e : Ddg.edge) ->
+      if
+        Ddg.has_edge s.g e
+        && Dep.equal e.dep Dep.True
+        && Op.defines_value (kind_of s e.src)
+        && (not (Op.equal_kind (kind_of s e.dst) Op.Move))
+        && Schedule.is_scheduled s.sched e.src
+        && Schedule.is_scheduled s.sched e.dst
+      then
+        match def_bank_of s e.src with
+        | None -> ()
+        | Some db ->
+          let rb =
+            Topology.read_bank s.config (kind_of s e.dst)
+              (Schedule.loc_of s.sched e.dst)
+          in
+          if not (Topology.equal_bank db rb) then (
+            match plan_route s ~p:e.src ~db ~rb with
+            | None -> ()
+            | Some plan ->
+              incr repaired;
+              schedule_fresh (apply_plan s ~anchor:e.dst e plan)))
+    (Ddg.edges s.g);
+  !repaired
+
+(* Final consistency net for dependences: eject the consumer of any
+   violated edge so it is rescheduled within its window. *)
+let repair_deps s =
+  let ii = Schedule.ii s.sched in
+  let count = ref 0 in
+  List.iter
+    (fun (e : Ddg.edge) ->
+      if Ddg.has_edge s.g e then
+        match (Schedule.entry s.sched e.src, Schedule.entry s.sched e.dst)
+        with
+        | Some a, Some b ->
+          let lat = Latency.of_edge s.lat s.g e in
+          if b.cycle < a.cycle + lat - (ii * e.distance) then begin
+            incr count;
+            eject s e.dst
+          end
+        | None, _ | _, None -> ())
+    (Ddg.edges s.g);
+  !count
+
+let pressure_ok s =
+  let ii = Schedule.ii s.sched in
+  let lts = Lifetimes.of_schedule s.sched s.g in
+  List.for_all
+    (fun bank ->
+      match Topology.bank_capacity s.config bank with
+      | Cap.Inf -> true
+      | Cap.Finite cap ->
+        Lifetimes.pressure ~ii ~bank
+          ~invariant_residents:(invariant_residents s bank)
+          lts
+        <= cap)
+    (banks_of_config s.config)
+
+(* Explicit rotating allocation per bank, with capacity reduced by the
+   invariant residents. *)
+let allocation_failure s =
+  let ii = Schedule.ii s.sched in
+  let lts = Lifetimes.of_schedule s.sched s.g in
+  List.fold_left
+    (fun acc bank ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+        match Topology.bank_capacity s.config bank with
+        | Cap.Inf -> None
+        | Cap.Finite cap -> (
+          let capacity =
+            Cap.Finite (max 0 (cap - invariant_residents s bank))
+          in
+          match Regalloc.allocate_bank ~ii ~bank ~capacity lts with
+          | Some _ -> None
+          | None -> Some bank)))
+    None (banks_of_config s.config)
+
+let all_scheduled s =
+  List.for_all (fun v -> Schedule.is_scheduled s.sched v) (Ddg.nodes s.g)
+
+(* ------------------------------------------------------------------ *)
+(* One attempt at a given II                                           *)
+
+let attempt config opts g0 ~order ~ii =
+  let g = Ddg.copy g0 in
+  let lat = Latency.make ~override:opts.load_override config in
+  let s =
+    {
+      g;
+      config;
+      lat;
+      sched = Schedule.create ~lat config ~ii;
+      pq = Pqueue.create ();
+      prio = Hashtbl.create 64;
+      aux = Hashtbl.create 64;
+      last_force = Hashtbl.create 64;
+      spilled = Hashtbl.create 16;
+      inv_spilled = Hashtbl.create 16;
+      budget = opts.budget_ratio * max 1 (Ddg.num_nodes g);
+      ratio = opts.budget_ratio;
+      opts;
+      n0 = max 1 (Ddg.num_nodes g);
+      st =
+        {
+          m_ejections = 0;
+          m_forcings = 0;
+          m_value_spills = 0;
+          m_invariant_spills = 0;
+          m_comm_inserted = 0;
+          m_attempts = 0;
+        };
+    }
+  in
+  List.iteri (fun i v -> set_prio s v (float_of_int i)) order;
+  List.iter (fun v -> Pqueue.push s.pq ~priority:(prio_of s v) v) order;
+  let schedule_fresh fresh =
+    List.iter (fun (n, loc) -> schedule_node s n ~loc) fresh
+  in
+  let unfixable_steps = ref 0 in
+  let rec loop () =
+    if s.budget <= 0 then None
+    else
+      match Pqueue.pop s.pq with
+      | Some u ->
+        if (not (Ddg.mem s.g u)) || Schedule.is_scheduled s.sched u then
+          loop ()
+        else begin
+          s.budget <- s.budget - 1;
+          s.st.m_attempts <- s.st.m_attempts + 1;
+          (match decide_loc s u with
+          | `Splice -> splice_out s u
+          | `Loc loc ->
+            (* apply one route at a time: placing a fresh copy can eject
+               or splice nodes that other pending plans refer to, so each
+               plan is recomputed against the current graph *)
+            let rec route_all guard =
+              if guard > 0 && Ddg.mem s.g u then
+                match routes_for s u ~loc with
+                | [] -> ()
+                | (edge, plan) :: _ ->
+                  schedule_fresh (apply_plan s ~anchor:u edge plan);
+                  route_all (guard - 1)
+            in
+            route_all 32;
+            if Ddg.mem s.g u then schedule_node s u ~loc);
+          (match check_insert_spill s with
+          | `Unfixable ->
+            (* a bank is over capacity with nothing left to spill right
+               now; keep scheduling — ejections may shorten the
+               offending lifetimes — but only for a bounded number of
+               over-pressure steps, then restart at II+1 *)
+            unfixable_steps := !unfixable_steps + 1;
+            if !unfixable_steps > 4 then raise Attempt_failed
+          | `Inserted _ -> ());
+          loop ()
+        end
+      | None ->
+        if not (all_scheduled s) then
+          (* some node was descheduled without being requeued; give up *)
+          None
+        else if
+          (repair_banks s ~schedule_fresh > 0 || repair_deps s > 0)
+          && s.budget > 0
+        then loop ()
+        else begin
+          prune_dead_comm s;
+          if not (pressure_ok s) then begin
+            match check_insert_spill s with
+            | `Inserted n when n > 0 && s.budget > 0 -> loop ()
+            | `Inserted _ | `Unfixable -> None
+          end
+          else
+            match allocation_failure s with
+            | None -> Some s
+            | Some bank -> (
+              match check_insert_spill ~force_bank:(Some bank) s with
+              | `Inserted n when n > 0 && s.budget > 0 -> loop ()
+              | `Inserted _ | `Unfixable -> None)
+        end
+  in
+  try loop () with Attempt_failed -> None
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+
+let schedule ?(opts = default_options) (config : Config.t) (g0 : Ddg.t) :
+    (outcome, error) result =
+  let t0 = Unix.gettimeofday () in
+  let lat = Latency.make ~override:opts.load_override config in
+  let mii = Mii.compute ~lat config g0 in
+  let max_ii =
+    match opts.max_ii with Some m -> m | None -> max (4 * mii) (mii + 128)
+  in
+  (* the priority order does not depend on II: compute it once *)
+  let order =
+    match opts.ordering with
+    | `Hrms -> Order.compute ~lat config g0
+    | `Topological ->
+      let asap, _ = Order.asap_alap lat g0 in
+      List.sort (fun a b -> compare (asap a, a) (asap b, b)) (Ddg.nodes g0)
+  in
+  let restarts = ref 0 in
+  let rec search ii =
+    if ii > max_ii then Error (`No_schedule ii)
+    else
+      match attempt config opts g0 ~order ~ii with
+      | Some s ->
+        let seconds = Unix.gettimeofday () -. t0 in
+        let bounds = Mii.bounds ~lat:s.lat config s.g in
+        Ok
+          {
+            ii;
+            mii;
+            bounds;
+            sc = Schedule.stage_count s.sched;
+            schedule = s.sched;
+            graph = s.g;
+            invariant_residents = (fun b -> invariant_residents s b);
+            seconds;
+            stats =
+              {
+                ejections = s.st.m_ejections;
+                forcings = s.st.m_forcings;
+                value_spills = s.st.m_value_spills;
+                invariant_spills = s.st.m_invariant_spills;
+                comm_inserted = s.st.m_comm_inserted;
+                attempts = s.st.m_attempts;
+                ii_restarts = !restarts;
+              };
+          }
+      | None ->
+        incr restarts;
+        (* the paper increments II by 1; after many failures we grow
+           geometrically so pathological loops (tiny banks, big bodies)
+           converge in reasonable time — the first 8 steps are faithful *)
+        let step = if !restarts <= 8 then 1 else max 1 (ii / 8) in
+        search (ii + step)
+  in
+  search mii

@@ -1,0 +1,58 @@
+(** The iterative modulo-scheduling engine (MIRS family).
+
+    One engine drives every register-file organization: the {!Topology}
+    of the configuration decides where operations may execute, which
+    bank holds each value, and which communication operations connect
+    banks.  The algorithm is Figure 5 of the paper: HRMS-ordered
+    scheduling with force-and-eject backtracking, lazy communication
+    routing with copy reuse, integrated per-bank register-pressure
+    tracking with spill insertion (StoreR/LoadR between levels,
+    Spill_store/Spill_load to memory, invariant demotion), all bounded
+    by a Budget of [budget_ratio * |V|] attempts; exhaustion restarts at
+    II + 1. *)
+
+type options = {
+  budget_ratio : int;
+  max_ii : int option;  (** absolute cap on the II search (None: auto) *)
+  load_override : int -> int option;
+      (** per-load latency override for binding prefetching *)
+  backtracking : bool;
+      (** false: never force-and-eject; a placement failure discards the
+          attempt and restarts with II+1, as in the non-iterative
+          scheduler of [36] *)
+  ordering : [ `Hrms | `Topological ];
+      (** node ordering: HRMS-style (default) or plain topological *)
+}
+
+val default_options : options
+
+type stats = {
+  ejections : int;
+  forcings : int;
+  value_spills : int;
+  invariant_spills : int;
+  comm_inserted : int;
+  attempts : int;
+  ii_restarts : int;
+}
+
+type outcome = {
+  ii : int;
+  mii : int;  (** of the original graph, before inserted operations *)
+  bounds : Mii.bounds;  (** of the final graph, for bound classification *)
+  sc : int;
+  schedule : Schedule.t;
+  graph : Hcrf_ir.Ddg.t;  (** final graph with all inserted operations *)
+  invariant_residents : Topology.bank -> int;
+      (** whole-loop registers reserved for loop invariants, per bank *)
+  seconds : float;
+  stats : stats;
+}
+
+type error = [ `No_schedule of int (** last II tried *) ]
+
+(** Schedule one loop body.  The input graph is not modified (the
+    outcome's [graph] is an extended copy). *)
+val schedule :
+  ?opts:options -> Hcrf_machine.Config.t -> Hcrf_ir.Ddg.t ->
+  (outcome, error) result

@@ -1,0 +1,30 @@
+(** Dependence-edge latencies.
+
+    A [True] edge waits for the producer's latency; [Anti] edges only
+    require same-cycle-or-later issue (latency 0); [Output] edges require
+    strictly later issue (latency 1).  Binding prefetching (§6.2) is
+    modeled with [override]: selected load operations are scheduled with
+    the cache-miss latency instead of the hit latency. *)
+
+open Hcrf_ir
+open Hcrf_machine
+
+type t = {
+  config : Config.t;
+  override : int -> int option;
+      (** per-node latency override (binding prefetch) *)
+}
+
+let make ?(override = fun _ -> None) config = { config; override }
+
+(** Latency of the value produced by node [id] of kind [k]. *)
+let of_def t ~id ~kind =
+  match t.override id with
+  | Some l -> l
+  | None -> Config.op_latency t.config kind
+
+let of_edge t (g : Ddg.t) (e : Ddg.edge) =
+  match e.dep with
+  | Dep.True -> of_def t ~id:e.src ~kind:(Ddg.kind g e.src)
+  | Dep.Anti -> 0
+  | Dep.Output -> 1

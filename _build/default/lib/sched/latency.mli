@@ -1,0 +1,20 @@
+(** Dependence-edge latencies.
+
+    A [True] edge waits for the producer's latency; [Anti] edges only
+    require same-cycle-or-later issue (latency 0); [Output] edges
+    require strictly later issue (latency 1).  Binding prefetching
+    (§6.2) is modeled with [override]: selected load operations are
+    scheduled with the cache-miss latency instead of the hit latency. *)
+
+type t = {
+  config : Hcrf_machine.Config.t;
+  override : int -> int option;
+      (** per-node latency override (binding prefetch) *)
+}
+
+val make : ?override:(int -> int option) -> Hcrf_machine.Config.t -> t
+
+(** Latency of the value produced by node [id] of kind [kind]. *)
+val of_def : t -> id:int -> kind:Hcrf_ir.Op.kind -> int
+
+val of_edge : t -> Hcrf_ir.Ddg.t -> Hcrf_ir.Ddg.edge -> int

@@ -1,0 +1,143 @@
+(** Lower bounds on the initiation interval.
+
+    [ResMII] assumes perfectly balanced use of the replicated resources
+    (FUs and, when clustered, memory ports), which is the standard bound;
+    [RecMII] is the classic maximum over dependence cycles of
+    ceil(sum latency / sum distance), computed per SCC with a binary
+    search on II and a positive-cycle (Floyd-Warshall) test on edge
+    weights latency - II * distance. *)
+
+open Hcrf_ir
+open Hcrf_machine
+
+type bounds = {
+  fu : int;    (** bound from FU slots *)
+  mem : int;   (** bound from memory ports *)
+  comm : int;  (** bound from inter-bank ports/buses *)
+  rec_ : int;  (** bound from recurrences *)
+}
+
+let mii b = max (max b.fu b.mem) (max b.comm b.rec_)
+
+let pp_bounds ppf b =
+  Fmt.pf ppf "fu=%d mem=%d comm=%d rec=%d" b.fu b.mem b.comm b.rec_
+
+let cdiv a b = if b <= 0 then 0 else (a + b - 1) / b
+
+let cdiv_cap a (c : Cap.t) =
+  match c with Cap.Inf -> 0 | Cap.Finite n -> cdiv a n
+
+(** Resource-constrained bound. *)
+let res_mii (config : Config.t) (g : Ddg.t) =
+  let x = Config.clusters config in
+  let fu_usage = ref 0
+  and mem_ops = ref 0
+  and loadrs = ref 0
+  and storers = ref 0
+  and moves = ref 0 in
+  Ddg.iter_nodes g (fun n ->
+      match n.kind with
+      | Fadd | Fmul | Fdiv | Fsqrt ->
+        let dur =
+          if Latencies.pipelined n.kind then 1
+          else Config.op_latency config n.kind
+        in
+        fu_usage := !fu_usage + dur
+      | Load | Store | Spill_load | Spill_store -> incr mem_ops
+      | Load_r -> incr loadrs
+      | Store_r -> incr storers
+      | Move -> incr moves);
+  let fu = cdiv !fu_usage config.n_fus in
+  let mem = cdiv !mem_ops config.n_mem_ports in
+  let comm =
+    let times_x = function Cap.Inf -> Cap.Inf | Cap.Finite n -> Cap.Finite (x * n) in
+    let lp = times_x (Rf.lp config.rf) and sp = times_x (Rf.sp config.rf) in
+    let via_lp = cdiv_cap (!loadrs + !moves) lp in
+    let via_sp = cdiv_cap (!storers + !moves) sp in
+    let via_bus =
+      match config.rf with
+      | Rf.Clustered { buses; _ } -> cdiv_cap !moves buses
+      | Rf.Monolithic _ | Rf.Hierarchical _ -> 0
+    in
+    max via_lp (max via_sp via_bus)
+  in
+  (fu, mem, comm)
+
+(* Positive-cycle test: is there a cycle with total (latency - ii *
+   distance) > 0 among [nodes]?  Floyd-Warshall with max-plus weights. *)
+let has_positive_cycle (lat : Latency.t) (g : Ddg.t) ~ii nodes =
+  let n = List.length nodes in
+  if n = 0 then false
+  else begin
+    let idx = Hashtbl.create n in
+    List.iteri (fun i v -> Hashtbl.replace idx v i) nodes;
+    let neg_inf = min_int / 4 in
+    let d = Array.make_matrix n n neg_inf in
+    List.iter
+      (fun v ->
+        let i = Hashtbl.find idx v in
+        List.iter
+          (fun (e : Ddg.edge) ->
+            match Hashtbl.find_opt idx e.dst with
+            | None -> ()
+            | Some j ->
+              let w = Latency.of_edge lat g e - (ii * e.distance) in
+              if w > d.(i).(j) then d.(i).(j) <- w)
+          (Ddg.succs g v))
+      nodes;
+    let exception Found in
+    try
+      for k = 0 to n - 1 do
+        for i = 0 to n - 1 do
+          if d.(i).(k) > neg_inf then
+            for j = 0 to n - 1 do
+              if d.(k).(j) > neg_inf && d.(i).(k) + d.(k).(j) > d.(i).(j)
+              then begin
+                d.(i).(j) <- d.(i).(k) + d.(k).(j);
+                if i = j && d.(i).(j) > 0 then raise Found
+              end
+            done
+        done
+      done;
+      (* also catch self loops found during init *)
+      let pos = ref false in
+      for i = 0 to n - 1 do
+        if d.(i).(i) > 0 then pos := true
+      done;
+      !pos
+    with Found -> true
+  end
+
+(** RecMII of one SCC: smallest ii with no positive cycle. *)
+let scc_rec_mii (lat : Latency.t) (g : Ddg.t) nodes =
+  (* Upper bound: total latency around any simple cycle is at most the sum
+     of all node latencies in the SCC (distances are >= 1 on cycles). *)
+  let upper =
+    List.fold_left
+      (fun acc v ->
+        acc + max 1 (Latency.of_def lat ~id:v ~kind:(Ddg.kind g v)))
+      1 nodes
+  in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if has_positive_cycle lat g ~ii:mid nodes then search (mid + 1) hi
+      else search lo mid
+  in
+  search 1 upper
+
+(** Recurrence-constrained bound (1 when the graph is acyclic: an empty
+    recurrence constraint, and II >= 1 always). *)
+let rec_mii (lat : Latency.t) (g : Ddg.t) =
+  List.fold_left
+    (fun acc scc -> max acc (scc_rec_mii lat g scc))
+    1
+    (Scc.recurrences g)
+
+let bounds ?(lat : Latency.t option) (config : Config.t) (g : Ddg.t) =
+  let lat = match lat with Some l -> l | None -> Latency.make config in
+  let fu, mem, comm = res_mii config g in
+  { fu; mem; comm; rec_ = rec_mii lat g }
+
+let compute ?lat config g = max 1 (mii (bounds ?lat config g))

@@ -1,0 +1,32 @@
+(** Lower bounds on the initiation interval.
+
+    [ResMII] assumes perfectly balanced use of the replicated resources
+    (FUs and, when clustered, memory ports); [RecMII] is the classic
+    maximum over dependence cycles of ceil(sum latency / sum distance),
+    computed per SCC with a binary search on II and a positive-cycle
+    (Floyd-Warshall) test on edge weights latency - II * distance. *)
+
+type bounds = {
+  fu : int;    (** bound from FU issue slots (non-pipelined ops count
+                   their whole latency) *)
+  mem : int;   (** bound from memory ports *)
+  comm : int;  (** bound from inter-bank ports/buses *)
+  rec_ : int;  (** bound from recurrences (1 for an acyclic graph) *)
+}
+
+val mii : bounds -> int
+val pp_bounds : Format.formatter -> bounds -> unit
+
+(** The resource components (fu, mem, comm). *)
+val res_mii : Hcrf_machine.Config.t -> Hcrf_ir.Ddg.t -> int * int * int
+
+(** RecMII of one SCC: the smallest II admitting no positive cycle. *)
+val scc_rec_mii : Latency.t -> Hcrf_ir.Ddg.t -> int list -> int
+
+val rec_mii : Latency.t -> Hcrf_ir.Ddg.t -> int
+
+val bounds :
+  ?lat:Latency.t -> Hcrf_machine.Config.t -> Hcrf_ir.Ddg.t -> bounds
+
+(** max(1, max of all bounds). *)
+val compute : ?lat:Latency.t -> Hcrf_machine.Config.t -> Hcrf_ir.Ddg.t -> int

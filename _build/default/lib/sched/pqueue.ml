@@ -1,0 +1,31 @@
+(** Priority list of the iterative scheduler.
+
+    Lower priority value = scheduled earlier.  Original nodes carry their
+    HRMS ordering index; nodes inserted during scheduling (communication,
+    spill) are given fractional priorities adjacent to the operation they
+    serve, and ejected nodes are re-queued with their original priority
+    (§5.1). *)
+
+module S = Set.Make (struct
+  type t = float * int
+
+  let compare = compare
+end)
+
+type t = { mutable set : S.t }
+
+let create () = { set = S.empty }
+let is_empty t = S.is_empty t.set
+let size t = S.cardinal t.set
+let mem t node = S.exists (fun (_, v) -> v = node) t.set
+let push t ~priority node = t.set <- S.add (priority, node) t.set
+
+let pop t =
+  match S.min_elt_opt t.set with
+  | None -> None
+  | Some ((_, v) as e) ->
+    t.set <- S.remove e t.set;
+    Some v
+
+let remove t node =
+  t.set <- S.filter (fun (_, v) -> v <> node) t.set

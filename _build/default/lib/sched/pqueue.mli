@@ -1,0 +1,20 @@
+(** Priority list of the iterative scheduler.
+
+    Lower priority value = scheduled earlier.  Original nodes carry
+    their HRMS ordering index; nodes inserted during scheduling
+    (communication, spill) are given fractional priorities adjacent to
+    the operation they serve, and ejected nodes are re-queued with their
+    original priority (§5.1). *)
+
+type t
+
+val create : unit -> t
+val is_empty : t -> bool
+val size : t -> int
+val mem : t -> int -> bool
+val push : t -> priority:float -> int -> unit
+
+(** Lowest priority first; [None] when empty. *)
+val pop : t -> int option
+
+val remove : t -> int -> unit

@@ -1,0 +1,116 @@
+(** Rotating register allocation for modulo-scheduled lifetimes.
+
+    In a rotating register file of R registers the register name space
+    advances by one every II cycles, so (register, time) pairs form a
+    single wheel of R * II positions: instance i of a value born at
+    kernel cycle b with offset o occupies wheel coordinates
+    [(b mod II) + o * II, + span), independent of i.  Allocation is
+    therefore the placement of one arc per lifetime on that wheel, with
+    the arc's anchor constrained to its birth phase plus a multiple of
+    II (the offset being chosen).  First-fit with the longest arcs first
+    needs R close to MaxLives — the engine retries with more spilling if
+    the bank capacity is exceeded.
+
+    This is the [Register_Allocation] step of Figure 5: it turns the
+    MaxLives feasibility measure into an explicit register assignment
+    that the cycle-accurate executor in {!Hcrf_pipesim} replays through
+    physical registers. *)
+
+type assignment = {
+  bank : Topology.bank;
+  registers_used : int;  (** rotating file size R *)
+  map : (int * int) list;  (** (defining node, register offset) *)
+}
+
+let cdiv a b = (a + b - 1) / b
+
+(* Arc overlap on a circle of circumference [c]. *)
+let overlaps c (s1, len1) (s2, len2) =
+  let within s len x = ((x - s) mod c + c) mod c < len in
+  within s1 len1 s2 || within s2 len2 s1
+
+(** Allocate the lifetimes of one bank.  Returns [None] when [capacity]
+    (if finite) is exceeded. *)
+let allocate_bank ~ii ~(bank : Topology.bank) ~capacity
+    (lts : Lifetimes.lifetime list) =
+  let lts =
+    List.filter
+      (fun (l : Lifetimes.lifetime) ->
+        Topology.equal_bank l.bank bank && Lifetimes.span l > 0)
+      lts
+  in
+  if lts = [] then Some { bank; registers_used = 0; map = [] }
+  else begin
+    let maxlives = Lifetimes.pressure ~ii ~bank lts in
+    let total_span =
+      List.fold_left (fun acc l -> acc + Lifetimes.span l) 0 lts
+    in
+    let max_span =
+      List.fold_left (fun acc l -> max acc (Lifetimes.span l)) 1 lts
+    in
+    let lower =
+      max maxlives (max (cdiv max_span ii) (cdiv total_span ii))
+    in
+    (* longest arcs first keeps fragmentation low *)
+    let arcs =
+      List.map
+        (fun (l : Lifetimes.lifetime) ->
+          (l.Lifetimes.def, ((l.start mod ii) + ii) mod ii,
+           Lifetimes.span l))
+        lts
+      |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+    in
+    let rec try_wheel r =
+      if r > lower + 8 then None
+      else begin
+        let c = r * ii in
+        let placed = ref [] in
+        let map = ref [] in
+        let place_one (def, phase, span) =
+          let rec try_offset o =
+            if o >= r then false
+            else
+              let pos = (phase + (o * ii)) mod c in
+              if List.exists (overlaps c (pos, span)) !placed then
+                try_offset (o + 1)
+              else begin
+                placed := (pos, span) :: !placed;
+                map := (def, o) :: !map;
+                true
+              end
+          in
+          try_offset 0
+        in
+        if List.for_all place_one arcs then Some (r, List.rev !map)
+        else try_wheel (r + 1)
+      end
+    in
+    match try_wheel lower with
+    | None -> None
+    | Some (r, map) ->
+      if Hcrf_machine.Cap.fits r capacity then
+        Some { bank; registers_used = r; map }
+      else None
+  end
+
+(** Allocate every bank of a complete schedule.  Returns the assignment
+    per bank, or the first bank that does not fit. *)
+let allocate (s : Schedule.t) (g : Hcrf_ir.Ddg.t) =
+  let ii = Schedule.ii s in
+  let lts = Lifetimes.of_schedule s g in
+  let config = s.Schedule.config in
+  let results =
+    List.map
+      (fun bank ->
+        let capacity = Topology.bank_capacity config bank in
+        (bank, allocate_bank ~ii ~bank ~capacity lts))
+      (Lifetimes.banks lts)
+  in
+  let failed =
+    List.filter_map
+      (fun (b, r) -> match r with None -> Some b | Some _ -> None)
+      results
+  in
+  match failed with
+  | [] -> Ok (List.filter_map (fun (_, r) -> r) results)
+  | b :: _ -> Error b

@@ -1,0 +1,149 @@
+(** Partial (and, eventually, complete) modulo schedules.
+
+    An entry assigns a node an issue cycle (in the flat, non-modulo time
+    axis — stage count falls out of the maximum cycle) and an execution
+    location.  The reservation table is kept in sync by [place]/[unplace].
+
+    [estart]/[lstart] are the classic windows derived from the *scheduled*
+    neighbours: a node may issue at cycle c only if
+    c >= cycle(p) + latency(e) - II * distance(e) for scheduled
+    predecessors p, and symmetrically for scheduled successors. *)
+
+open Hcrf_ir
+open Hcrf_machine
+
+type entry = { cycle : int; loc : Topology.loc }
+
+type t = {
+  config : Config.t;
+  ii : int;
+  lat : Latency.t;
+  assigns : (int, entry) Hashtbl.t;
+  mrt : Mrt.t;
+}
+
+let create ?(lat : Latency.t option) (config : Config.t) ~ii =
+  let lat = match lat with Some l -> l | None -> Latency.make config in
+  { config; ii; lat; assigns = Hashtbl.create 64; mrt = Mrt.create config ~ii }
+
+let ii t = t.ii
+let is_scheduled t v = Hashtbl.mem t.assigns v
+let entry t v = Hashtbl.find_opt t.assigns v
+
+let entry_exn t v =
+  match entry t v with
+  | Some e -> e
+  | None -> Fmt.invalid_arg "Schedule: node %d not scheduled" v
+
+let cycle_of t v = (entry_exn t v).cycle
+let loc_of t v = (entry_exn t v).loc
+let scheduled_nodes t = Hashtbl.fold (fun v _ acc -> v :: acc) t.assigns []
+let num_scheduled t = Hashtbl.length t.assigns
+
+(** Bank holding the value defined by scheduled node [v], if any. *)
+let def_bank t (g : Ddg.t) v =
+  match entry t v with
+  | None -> None
+  | Some e -> Topology.def_bank t.config (Ddg.kind g v) e.loc
+
+(* Source bank for a [Move]'s reservation: the bank of its producer. *)
+let move_src_bank t (g : Ddg.t) v =
+  let operands = Ddg.operands g v in
+  List.fold_left
+    (fun acc (e : Ddg.edge) ->
+      match acc with Some _ -> acc | None -> def_bank t g e.src)
+    None operands
+
+let uses_of t (g : Ddg.t) v ~loc =
+  let kind = Ddg.kind g v in
+  let src =
+    match kind with Op.Move -> move_src_bank t g v | _ -> None
+  in
+  Topology.uses t.config kind loc ~src
+
+(** Earliest legal issue cycle given the scheduled predecessors. *)
+let estart t (g : Ddg.t) v =
+  List.fold_left
+    (fun acc (e : Ddg.edge) ->
+      match entry t e.src with
+      | None -> acc
+      | Some p ->
+        max acc (p.cycle + Latency.of_edge t.lat g e - (t.ii * e.distance)))
+    0 (Ddg.preds g v)
+
+(** Latest legal issue cycle given the scheduled successors; [None] when
+    no successor is scheduled. *)
+let lstart t (g : Ddg.t) v =
+  List.fold_left
+    (fun acc (e : Ddg.edge) ->
+      match entry t e.dst with
+      | None -> acc
+      | Some s ->
+        let bound = s.cycle - Latency.of_edge t.lat g e + (t.ii * e.distance) in
+        Some (match acc with None -> bound | Some a -> min a bound))
+    None (Ddg.succs g v)
+
+let can_place t g v ~cycle ~loc =
+  Mrt.can_place t.mrt (uses_of t g v ~loc) ~cycle
+
+let place t g v ~cycle ~loc =
+  if is_scheduled t v then Fmt.invalid_arg "Schedule.place: %d placed" v;
+  Mrt.place t.mrt ~node:v (uses_of t g v ~loc) ~cycle;
+  Hashtbl.replace t.assigns v { cycle; loc }
+
+let unplace t v =
+  if is_scheduled t v then begin
+    Mrt.remove t.mrt ~node:v;
+    Hashtbl.remove t.assigns v
+  end
+
+(** Nodes that must be ejected to reserve [v]'s resources at [cycle]. *)
+let resource_conflicts t g v ~cycle ~loc =
+  Mrt.conflicts t.mrt (uses_of t g v ~loc) ~cycle
+
+(** Scheduled neighbours whose dependence constraints are violated by [v]
+    issuing at [cycle]. *)
+let dependence_violations t (g : Ddg.t) v ~cycle =
+  let bad_preds =
+    List.filter_map
+      (fun (e : Ddg.edge) ->
+        match entry t e.src with
+        | Some p
+          when e.src <> v
+               && p.cycle + Latency.of_edge t.lat g e - (t.ii * e.distance)
+                  > cycle ->
+          Some e.src
+        | Some _ | None -> None)
+      (Ddg.preds g v)
+  and bad_succs =
+    List.filter_map
+      (fun (e : Ddg.edge) ->
+        match entry t e.dst with
+        | Some s
+          when e.dst <> v
+               && cycle + Latency.of_edge t.lat g e - (t.ii * e.distance)
+                  > s.cycle ->
+          Some e.dst
+        | Some _ | None -> None)
+      (Ddg.succs g v)
+  in
+  List.sort_uniq compare (bad_preds @ bad_succs)
+
+let max_cycle t =
+  Hashtbl.fold (fun _ e acc -> max acc e.cycle) t.assigns 0
+
+(** Number of stages of II cycles in the kernel. *)
+let stage_count t = (max_cycle t / t.ii) + 1
+
+let pp ppf t =
+  let entries =
+    Hashtbl.fold (fun v e acc -> (v, e) :: acc) t.assigns []
+    |> List.sort (fun (_, a) (_, b) -> compare (a.cycle, a.loc) (b.cycle, b.loc))
+  in
+  Fmt.pf ppf "@[<v>schedule ii=%d sc=%d@," t.ii (stage_count t);
+  List.iter
+    (fun (v, e) ->
+      Fmt.pf ppf "  n%-4d cycle %-4d (slot %-3d) %a@," v e.cycle
+        (e.cycle mod t.ii) Topology.pp_loc e.loc)
+    entries;
+  Fmt.pf ppf "@]"

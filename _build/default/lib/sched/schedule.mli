@@ -1,0 +1,78 @@
+(** Partial (and, eventually, complete) modulo schedules.
+
+    An entry assigns a node an issue cycle (in the flat, non-modulo time
+    axis — stage count falls out of the maximum cycle) and an execution
+    location.  The reservation table is kept in sync by
+    [place]/[unplace].
+
+    [estart]/[lstart] are the classic windows derived from the
+    *scheduled* neighbours: a node may issue at cycle c only if
+    [c >= cycle(p) + latency(e) - II * distance(e)] for scheduled
+    predecessors p, and symmetrically for scheduled successors. *)
+
+type entry = { cycle : int; loc : Topology.loc }
+
+type t = {
+  config : Hcrf_machine.Config.t;
+  ii : int;
+  lat : Latency.t;
+  assigns : (int, entry) Hashtbl.t;
+  mrt : Mrt.t;
+}
+
+val create : ?lat:Latency.t -> Hcrf_machine.Config.t -> ii:int -> t
+val ii : t -> int
+val is_scheduled : t -> int -> bool
+val entry : t -> int -> entry option
+
+(** Raises [Invalid_argument] when not scheduled. *)
+val entry_exn : t -> int -> entry
+
+val cycle_of : t -> int -> int
+val loc_of : t -> int -> Topology.loc
+val scheduled_nodes : t -> int list
+val num_scheduled : t -> int
+
+(** Bank holding the value defined by scheduled node [v], if any. *)
+val def_bank : t -> Hcrf_ir.Ddg.t -> int -> Topology.bank option
+
+(** Source bank for a [Move]'s reservation: the bank of its (scheduled)
+    producer. *)
+val move_src_bank : t -> Hcrf_ir.Ddg.t -> int -> Topology.bank option
+
+(** The resource reservations of [v] at [loc]. *)
+val uses_of :
+  t -> Hcrf_ir.Ddg.t -> int -> loc:Topology.loc ->
+  (Topology.resource * int) list
+
+(** Earliest legal issue cycle given the scheduled predecessors. *)
+val estart : t -> Hcrf_ir.Ddg.t -> int -> int
+
+(** Latest legal issue cycle given the scheduled successors; [None] when
+    no successor is scheduled. *)
+val lstart : t -> Hcrf_ir.Ddg.t -> int -> int option
+
+val can_place :
+  t -> Hcrf_ir.Ddg.t -> int -> cycle:int -> loc:Topology.loc -> bool
+
+(** Raises [Invalid_argument] when already placed. *)
+val place :
+  t -> Hcrf_ir.Ddg.t -> int -> cycle:int -> loc:Topology.loc -> unit
+
+val unplace : t -> int -> unit
+
+(** Nodes that must be ejected to reserve [v]'s resources at [cycle]. *)
+val resource_conflicts :
+  t -> Hcrf_ir.Ddg.t -> int -> cycle:int -> loc:Topology.loc -> int list
+
+(** Scheduled neighbours whose dependence constraints are violated by
+    [v] issuing at [cycle]. *)
+val dependence_violations :
+  t -> Hcrf_ir.Ddg.t -> int -> cycle:int -> int list
+
+val max_cycle : t -> int
+
+(** Number of stages of II cycles in the kernel. *)
+val stage_count : t -> int
+
+val pp : Format.formatter -> t -> unit

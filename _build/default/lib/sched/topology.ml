@@ -1,0 +1,189 @@
+(** Operational semantics of the register-file organizations.
+
+    This module answers, for a given {!Hcrf_machine.Config.t}: where can an
+    operation execute, which bank receives the value it defines, from which
+    bank does it read its operands, which hardware resources does it
+    occupy, and which communication operations are needed to move a value
+    between two banks.
+
+    Conventions:
+    - In a monolithic RF everything executes in the single cluster 0 and
+      every value lives in bank [Local 0].
+    - In a clustered RF ([xCy]) both FUs and memory ports are distributed:
+      all operations execute in some cluster and define into its bank;
+      cross-cluster flow needs a [Move].
+    - In a hierarchical RF ([xCy-Sz]) compute and LoadR/StoreR operations
+      execute in a cluster; memory operations execute globally on the
+      memory ports and exchange values with the [Shared] bank. *)
+
+open Hcrf_ir
+open Hcrf_machine
+
+type loc = Global | Cluster of int
+
+let equal_loc a b =
+  match (a, b) with
+  | Global, Global -> true
+  | Cluster i, Cluster j -> i = j
+  | Global, Cluster _ | Cluster _, Global -> false
+
+let pp_loc ppf = function
+  | Global -> Fmt.string ppf "global"
+  | Cluster i -> Fmt.pf ppf "c%d" i
+
+type bank = Local of int | Shared
+
+let equal_bank a b =
+  match (a, b) with
+  | Shared, Shared -> true
+  | Local i, Local j -> i = j
+  | Shared, Local _ | Local _, Shared -> false
+
+let pp_bank ppf = function
+  | Shared -> Fmt.string ppf "S"
+  | Local i -> Fmt.pf ppf "L%d" i
+
+type resource =
+  | Fu of int   (** FU issue slots of cluster i *)
+  | Mem of int  (** memory ports (per cluster when clustered, else pool 0) *)
+  | Lp of int   (** input ports of bank i (LoadR / incoming move) *)
+  | Sp of int   (** output ports of bank i (StoreR / outgoing move) *)
+  | Bus         (** inter-cluster buses (clustered RF) *)
+
+let pp_resource ppf = function
+  | Fu i -> Fmt.pf ppf "fu%d" i
+  | Mem i -> Fmt.pf ppf "mem%d" i
+  | Lp i -> Fmt.pf ppf "lp%d" i
+  | Sp i -> Fmt.pf ppf "sp%d" i
+  | Bus -> Fmt.string ppf "bus"
+
+(** Available units of a resource. *)
+let units (c : Config.t) = function
+  | Fu _ -> Cap.Finite (Config.fus_per_cluster c)
+  | Mem _ -> Cap.Finite (Config.mem_ports_per_cluster c)
+  | Lp _ -> Rf.lp c.rf
+  | Sp _ -> Rf.sp c.rf
+  | Bus -> (
+    match c.rf with
+    | Rf.Clustered { buses; _ } -> buses
+    | Rf.Monolithic _ | Rf.Hierarchical _ -> Cap.Inf)
+
+(** All resources that exist in the configuration (for validation and
+    reservation-table sizing). *)
+let all_resources (c : Config.t) =
+  let x = Config.clusters c in
+  let clusters f = List.init x f in
+  match c.rf with
+  | Rf.Monolithic _ -> [ Fu 0; Mem 0 ]
+  | Rf.Clustered _ ->
+    clusters (fun i -> Fu i)
+    @ clusters (fun i -> Mem i)
+    @ clusters (fun i -> Lp i)
+    @ clusters (fun i -> Sp i)
+    @ [ Bus ]
+  | Rf.Hierarchical _ ->
+    clusters (fun i -> Fu i)
+    @ [ Mem 0 ]
+    @ clusters (fun i -> Lp i)
+    @ clusters (fun i -> Sp i)
+
+(** Candidate execution locations for an operation kind. *)
+let exec_locs (c : Config.t) (k : Op.kind) : loc list =
+  let x = Config.clusters c in
+  let clusters () = List.init x (fun i -> Cluster i) in
+  match c.rf with
+  | Rf.Monolithic _ -> [ Cluster 0 ]
+  | Rf.Clustered _ -> (
+    match k with
+    | Load_r | Store_r -> [] (* no hierarchy to move through *)
+    | Fadd | Fmul | Fdiv | Fsqrt | Load | Store | Move | Spill_load
+    | Spill_store -> clusters ())
+  | Rf.Hierarchical _ -> (
+    match k with
+    | Fadd | Fmul | Fdiv | Fsqrt | Move | Load_r | Store_r -> clusters ()
+    | Load | Store | Spill_load | Spill_store -> [ Global ])
+
+(** Bank receiving the value defined by kind [k] executed at [loc];
+    [None] when the op defines no value. *)
+let def_bank (c : Config.t) (k : Op.kind) (loc : loc) : bank option =
+  if not (Op.defines_value k) then None
+  else
+    match (c.rf, k, loc) with
+    | Rf.Monolithic _, _, _ -> Some (Local 0)
+    | Rf.Clustered _, _, Cluster i -> Some (Local i)
+    | Rf.Clustered _, _, Global -> invalid_arg "def_bank: global in clustered"
+    | Rf.Hierarchical _, (Load | Spill_load), Global -> Some Shared
+    | Rf.Hierarchical _, Store_r, Cluster _ -> Some Shared
+    | Rf.Hierarchical _, (Fadd | Fmul | Fdiv | Fsqrt | Move | Load_r),
+      Cluster i ->
+      Some (Local i)
+    | Rf.Hierarchical _, _, _ ->
+      Fmt.invalid_arg "def_bank: %s at %a in hierarchical RF"
+        (Op.kind_name k) pp_loc loc
+
+(** Bank an operation reads its operands from. *)
+let read_bank (c : Config.t) (k : Op.kind) (loc : loc) : bank =
+  match (c.rf, k, loc) with
+  | Rf.Monolithic _, _, _ -> Local 0
+  | Rf.Clustered _, _, Cluster i -> Local i
+  | Rf.Clustered _, _, Global -> invalid_arg "read_bank: global in clustered"
+  | Rf.Hierarchical _, (Store | Spill_store | Load_r), _ -> Shared
+  | Rf.Hierarchical _, (Fadd | Fmul | Fdiv | Fsqrt | Store_r | Move),
+    Cluster i ->
+    Local i
+  | Rf.Hierarchical _, (Load | Spill_load), _ ->
+    Shared (* loads read address regs, not modeled; value side is Shared *)
+  | Rf.Hierarchical _, _, _ ->
+    Fmt.invalid_arg "read_bank: %s at %a in hierarchical RF"
+      (Op.kind_name k) pp_loc loc
+
+(* Load_r reads the shared bank even though it executes in a cluster:
+   its operand must live in [Shared]. *)
+
+(** Resources occupied by executing [k] at [loc].  [src] is the bank the
+    (single) operand lives in — needed for [Move], which occupies the
+    output port of the source bank.  Each entry is (resource, number of
+    consecutive cycles occupied starting at the issue cycle). *)
+let uses (c : Config.t) (k : Op.kind) (loc : loc) ~(src : bank option) :
+    (resource * int) list =
+  let dur = if Latencies.pipelined k then 1 else Config.op_latency c k in
+  let cluster_of = function
+    | Cluster i -> i
+    | Global -> 0
+  in
+  match k with
+  | Fadd | Fmul | Fdiv | Fsqrt -> [ (Fu (cluster_of loc), dur) ]
+  | Load | Store | Spill_load | Spill_store ->
+    [ (Mem (cluster_of loc), 1) ]
+  | Load_r -> [ (Lp (cluster_of loc), 1) ]
+  | Store_r -> [ (Sp (cluster_of loc), 1) ]
+  | Move -> (
+    let dst = cluster_of loc in
+    match src with
+    | Some (Local s) -> [ (Sp s, 1); (Bus, 1); (Lp dst, 1) ]
+    | Some Shared | None ->
+      invalid_arg "Topology.uses: Move needs a local source bank")
+
+(** Capacity of a bank. *)
+let bank_capacity (c : Config.t) = function
+  | Local _ -> Rf.local_regs c.rf
+  | Shared -> Rf.shared_regs c.rf
+
+(** Communication operations needed to make a value defined in [src_bank]
+    readable from [dst_bank]: a list of (op kind, execution loc) forming a
+    copy chain.  Empty when the banks match. *)
+let comm_path (c : Config.t) ~(src_bank : bank) ~(dst_bank : bank) :
+    (Op.kind * loc) list =
+  if equal_bank src_bank dst_bank then []
+  else
+    match (c.rf, src_bank, dst_bank) with
+    | Rf.Monolithic _, _, _ -> []
+    | Rf.Clustered _, Local _, Local d -> [ (Op.Move, Cluster d) ]
+      (* the Move occupies Sp s via ~src at reservation time *)
+    | Rf.Clustered _, _, _ ->
+      invalid_arg "comm_path: shared bank in clustered RF"
+    | Rf.Hierarchical _, Local s, Shared -> [ (Op.Store_r, Cluster s) ]
+    | Rf.Hierarchical _, Shared, Local d -> [ (Op.Load_r, Cluster d) ]
+    | Rf.Hierarchical _, Local s, Local d ->
+      [ (Op.Store_r, Cluster s); (Op.Load_r, Cluster d) ]
+    | Rf.Hierarchical _, Shared, Shared -> []

@@ -1,0 +1,75 @@
+(** Operational semantics of the register-file organizations.
+
+    This module answers, for a given {!Hcrf_machine.Config.t}: where can
+    an operation execute, which bank receives the value it defines, from
+    which bank does it read its operands, which hardware resources does
+    it occupy, and which communication operations are needed to move a
+    value between two banks.
+
+    Conventions:
+    - in a monolithic RF everything executes in the single cluster 0 and
+      every value lives in bank [Local 0];
+    - in a clustered RF ([xCy]) both FUs and memory ports are
+      distributed: all operations execute in some cluster and define
+      into its bank; cross-cluster flow needs a [Move];
+    - in a hierarchical RF ([xCy-Sz]) compute and LoadR/StoreR
+      operations execute in a cluster; memory operations execute
+      globally on the memory ports and exchange values with the [Shared]
+      bank. *)
+
+type loc = Global | Cluster of int
+
+val equal_loc : loc -> loc -> bool
+val pp_loc : Format.formatter -> loc -> unit
+
+type bank = Local of int | Shared
+
+val equal_bank : bank -> bank -> bool
+val pp_bank : Format.formatter -> bank -> unit
+
+type resource =
+  | Fu of int   (** FU issue slots of cluster i *)
+  | Mem of int  (** memory ports (per cluster when clustered, else pool 0) *)
+  | Lp of int   (** input ports of bank i (LoadR / incoming move) *)
+  | Sp of int   (** output ports of bank i (StoreR / outgoing move) *)
+  | Bus         (** inter-cluster buses (clustered RF) *)
+
+val pp_resource : Format.formatter -> resource -> unit
+
+(** Available units of a resource. *)
+val units : Hcrf_machine.Config.t -> resource -> Hcrf_machine.Cap.t
+
+(** All resources that exist in the configuration (for reservation-table
+    sizing and validation). *)
+val all_resources : Hcrf_machine.Config.t -> resource list
+
+(** Candidate execution locations for an operation kind (empty when the
+    kind does not exist in the organization, e.g. LoadR in a flat
+    clustered RF). *)
+val exec_locs : Hcrf_machine.Config.t -> Hcrf_ir.Op.kind -> loc list
+
+(** Bank receiving the value defined by the kind executed at [loc];
+    [None] when the operation defines no value. *)
+val def_bank :
+  Hcrf_machine.Config.t -> Hcrf_ir.Op.kind -> loc -> bank option
+
+(** Bank an operation reads its register operands from.  A [Move] is
+    special: it reads whichever local bank its producer is in. *)
+val read_bank : Hcrf_machine.Config.t -> Hcrf_ir.Op.kind -> loc -> bank
+
+(** Resources occupied by executing the kind at [loc], as (resource,
+    consecutive cycles from issue) pairs.  [src] is the operand's bank —
+    required for [Move], which occupies the source bank's output
+    port. *)
+val uses :
+  Hcrf_machine.Config.t -> Hcrf_ir.Op.kind -> loc -> src:bank option ->
+  (resource * int) list
+
+val bank_capacity : Hcrf_machine.Config.t -> bank -> Hcrf_machine.Cap.t
+
+(** Communication operations needed to make a value defined in
+    [src_bank] readable from [dst_bank]: a copy chain, empty when the
+    banks match. *)
+val comm_path :
+  Hcrf_machine.Config.t -> src_bank:bank -> dst_bank:bank ->
+  (Hcrf_ir.Op.kind * loc) list

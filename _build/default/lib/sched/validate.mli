@@ -1,0 +1,32 @@
+(** Independent checker for complete schedules.
+
+    Verifies from scratch — without trusting any incremental state of
+    the engine — that a schedule is a correct software pipeline for its
+    graph and machine: every node placed at a legal location, every
+    dependence satisfied modulo II, no resource oversubscribed at any
+    slot, every register operand read from the bank it was defined in,
+    every bank within its MaxLives capacity, and an explicit rotating
+    register allocation existing for every bank. *)
+
+type issue =
+  | Unscheduled of int
+  | Bad_location of int
+  | Dependence_violated of Hcrf_ir.Ddg.edge
+  | Resource_oversubscribed of Topology.resource * int (** slot *)
+  | Bank_mismatch of Hcrf_ir.Ddg.edge
+      (** operand read from the wrong bank *)
+  | Over_capacity of Topology.bank * int * int (** used, capacity *)
+  | Allocation_failed of Topology.bank
+
+val pp_issue : Format.formatter -> issue -> unit
+
+(** All problems found ([] for a valid schedule).
+    [invariant_residents] gives the per-bank number of whole-loop
+    registers reserved for loop invariants. *)
+val check :
+  ?invariant_residents:(Topology.bank -> int) -> Schedule.t ->
+  Hcrf_ir.Ddg.t -> issue list
+
+val is_valid :
+  ?invariant_residents:(Topology.bank -> int) -> Schedule.t ->
+  Hcrf_ir.Ddg.t -> bool

@@ -1,0 +1,1 @@
+lib/workload/genloop.ml: Ddg Dep Float Fmt Hcrf_ir List Loop Op Rng

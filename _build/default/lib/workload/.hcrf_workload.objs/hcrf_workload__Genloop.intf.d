@@ -1,0 +1,1 @@
+lib/workload/genloop.mli: Hcrf_ir Rng

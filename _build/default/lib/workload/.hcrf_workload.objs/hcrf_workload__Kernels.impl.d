@@ -1,0 +1,1 @@
+lib/workload/kernels.ml: Ddg Dep Fmt Hcrf_ir List Loop Op

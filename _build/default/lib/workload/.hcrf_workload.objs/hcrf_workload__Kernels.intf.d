@@ -1,0 +1,1 @@
+lib/workload/kernels.mli: Hcrf_ir

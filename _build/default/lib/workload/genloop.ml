@@ -1,0 +1,300 @@
+(** Synthetic generator of software-pipelineable innermost loops.
+
+    The paper's workbench is the 1258 innermost loops of the Perfect Club
+    that survive IF-conversion (§2.1).  We cannot ship that proprietary
+    Fortran pipeline, so we generate dependence graphs with the same
+    *shape*: a mix of FP adds/multiplies (rarely divides and square
+    roots), loads and stores wired as mostly-forward expression DAGs, a
+    controlled fraction of loops carrying first-order recurrences of a
+    few operations, a few loop invariants, and log-normal trip counts and
+    entry counts.  The default parameters are calibrated (see
+    bench/main.ml, experiment "calibration") so that under the baseline
+    S128 configuration the bound classification, the achieved IPC and the
+    register pressure reproduce the distributions the paper reports
+    (Figure 1, Table 1). *)
+
+open Hcrf_ir
+
+type params = {
+  min_ops : int;
+  max_ops : int;
+  size_mu : float;        (** log-normal body size *)
+  size_sigma : float;
+  mem_fraction : float;   (** memory ops / all ops *)
+  store_fraction : float; (** stores / memory ops *)
+  div_fraction : float;   (** divides / compute ops *)
+  sqrt_fraction : float;
+  fanin2_prob : float;    (** compute op reads two values (vs one) *)
+  far_pick_prob : float;
+      (** probability an operand is drawn uniformly from all earlier
+          values instead of with the recency bias — long def-use
+          distances are what creates register pressure *)
+  recurrence_prob : float;(** loop carries at least one recurrence *)
+  max_recurrences : int;
+  rec_min_len : int;      (** compute ops in a recurrence circuit *)
+  rec_max_len : int;
+  rec_max_distance : int;
+  mem_rec_fraction : float;
+      (** fraction of recurrences carried through memory (x[i] depends
+          on x[i-d] via a store/load pair), which is what makes the
+          memory latency visible in RecMII *)
+  invariant_max : int;    (** up to this many loop invariants *)
+  trip_mu : float;        (** log-normal iteration count *)
+  trip_sigma : float;
+  entry_mu : float;       (** log-normal times-entered count *)
+  entry_sigma : float;
+}
+
+let default_params =
+  {
+    min_ops = 4;
+    max_ops = 120;
+    size_mu = 3.6;
+    size_sigma = 0.7;
+    mem_fraction = 0.40;
+    store_fraction = 0.30;
+    div_fraction = 0.015;
+    sqrt_fraction = 0.008;
+    fanin2_prob = 0.7;
+    far_pick_prob = 0.25;
+    recurrence_prob = 0.33;
+    max_recurrences = 2;
+    rec_min_len = 1;
+    rec_max_len = 2;
+    rec_max_distance = 3;
+    mem_rec_fraction = 0.45;
+    invariant_max = 3;
+    trip_mu = 7.3;
+    trip_sigma = 1.0;
+    entry_mu = 6.2;
+    entry_sigma = 1.0;
+  }
+
+let clip lo hi x = max lo (min hi x)
+
+let compute_kind rng (p : params) =
+  let x = Rng.float rng in
+  if x < p.div_fraction then Op.Fdiv
+  else if x < p.div_fraction +. p.sqrt_fraction then Op.Fsqrt
+  else if Rng.bool rng 0.5 then Op.Fadd
+  else Op.Fmul
+
+(* Pick a producer from [pool] with a geometric bias towards the most
+   recent entries, which builds deep chain-like graphs (values consumed
+   right after they are produced).  With [far_prob], pick uniformly
+   instead: a shallow value read by a deep consumer lives for many
+   cycles, and these distant picks are what creates register
+   pressure. *)
+let pick_recent ?(far_prob = 0.) rng pool =
+  match pool with
+  | [] -> None
+  | _ ->
+    let n = List.length pool in
+    let idx =
+      if far_prob > 0. && Rng.bool rng far_prob then Rng.int rng n
+      else
+        let rec geo i =
+          if i >= n - 1 || Rng.bool rng 0.5 then i else geo (i + 1)
+        in
+        geo 0
+    in
+    Some (List.nth pool idx)
+
+(** Generate one loop.  [index] individualizes the name and the memory
+    placement. *)
+let generate ?(params = default_params) ~rng ~index () =
+  let p = params in
+  let name = Fmt.str "synth%04d" index in
+  let g = Ddg.create ~name () in
+  let flow ?(d = 0) a b = Ddg.add_edge g ~distance:d ~dep:Dep.True a b in
+  let size =
+    clip p.min_ops p.max_ops
+      (int_of_float (Rng.log_normal rng ~mu:p.size_mu ~sigma:p.size_sigma))
+  in
+  let n_mem =
+    clip 1 (size - 1)
+      (int_of_float (Float.round (p.mem_fraction *. float_of_int size)))
+  in
+  let n_stores =
+    clip 0 (n_mem - 1)
+      (int_of_float (Float.round (p.store_fraction *. float_of_int n_mem)))
+  in
+  let n_loads = n_mem - n_stores in
+  let n_compute = max 1 (size - n_mem) in
+  (* loads are the sources *)
+  let loads = List.init n_loads (fun _ -> Ddg.add_node g Op.Load) in
+  (* recurrence circuits first: chains of compute ops closed by a
+     loop-carried edge, either directly (accumulators) or through a
+     store/load pair (x[i] = f(x[i-d]) in memory) *)
+  let n_recs =
+    if Rng.bool rng p.recurrence_prob then Rng.range rng 1 p.max_recurrences
+    else 0
+  in
+  let rec_nodes = ref [] in
+  let n_rec_ops = ref 0 in
+  let stores = ref [] in
+  let stores_budget = ref n_stores in
+  for _ = 1 to n_recs do
+    let len =
+      min (Rng.range rng p.rec_min_len p.rec_max_len)
+        (max 1 (n_compute - !n_rec_ops))
+    in
+    if len >= 1 && !n_rec_ops + len <= n_compute then begin
+      let chain =
+        List.init len (fun _ ->
+            let k = if Rng.bool rng 0.5 then Op.Fadd else Op.Fmul in
+            Ddg.add_node g k)
+      in
+      let rec link = function
+        | a :: (b :: _ as rest) ->
+          flow a b;
+          link rest
+        | [ _ ] | [] -> ()
+      in
+      link chain;
+      let head = List.hd chain and tail = List.hd (List.rev chain) in
+      let d = Rng.range rng 1 p.rec_max_distance in
+      let through_memory =
+        Rng.bool rng p.mem_rec_fraction && loads <> [] && !stores_budget > 0
+      in
+      if through_memory then begin
+        (* load feeds the chain, the chain is stored, and the store
+           feeds the load of a later iteration through memory *)
+        let l =
+          match pick_recent rng loads with Some l -> l | None -> assert false
+        in
+        let st = Ddg.add_node g Op.Store in
+        decr stores_budget;
+        stores := st :: !stores;
+        flow l head;
+        flow tail st;
+        flow ~d st l
+      end
+      else begin
+        flow ~d tail head;
+        (* feed the chain head from a load if one exists *)
+        match pick_recent rng loads with
+        | Some l -> flow l head
+        | None -> ()
+      end;
+      rec_nodes := !rec_nodes @ chain;
+      n_rec_ops := !n_rec_ops + len
+    end
+  done;
+  let n_stores = !stores_budget in
+  (* remaining compute ops form a forward DAG over everything produced
+     so far *)
+  let pool = ref (List.rev loads @ List.rev !rec_nodes) in
+  (* pool is kept most-recent-first for the recency bias *)
+  let computes = ref !rec_nodes in
+  for _ = !n_rec_ops + 1 to n_compute do
+    let k = compute_kind rng p in
+    let v = Ddg.add_node g k in
+    (* The first operand is recency-biased: it forms the deep dependence
+       chains.  The second is a "far" pick with probability
+       [far_pick_prob]: mostly a load (array values are reused all over
+       a numerical loop body — these long lifetimes are what the shared
+       bank of a hierarchical RF absorbs), sometimes any earlier value
+       (a long-lived temporary). *)
+    (match pick_recent rng !pool with
+    | Some src -> flow src v
+    | None -> ());
+    if Rng.bool rng p.fanin2_prob then (
+      let src =
+        if Rng.bool rng p.far_pick_prob then
+          if Rng.bool rng 0.4 && loads <> [] then
+            Some (List.nth loads (Rng.int rng (List.length loads)))
+          else pick_recent ~far_prob:1.0 rng !pool
+        else pick_recent rng !pool
+      in
+      match src with
+      | Some src -> flow src v
+      | None -> ());
+    pool := v :: !pool;
+    computes := v :: !computes
+  done;
+  (* remaining stores consume values, preferring ones nothing else
+     reads yet *)
+  for _ = 1 to n_stores do
+    let sinks =
+      List.filter (fun v -> Ddg.consumers g v = []) !computes
+    in
+    let src =
+      match pick_recent rng sinks with
+      | Some v -> Some v
+      | None -> pick_recent rng !computes
+    in
+    match src with
+    | Some v ->
+      let st = Ddg.add_node g Op.Store in
+      flow v st;
+      stores := st :: !stores
+    | None -> ()
+  done;
+  (* loop invariants read by a few compute ops *)
+  let n_inv = Rng.int rng (p.invariant_max + 1) in
+  for _ = 1 to n_inv do
+    match pick_recent rng !computes with
+    | Some c -> ignore (Ddg.add_invariant g ~consumers:[ c ])
+    | None -> ()
+  done;
+  (* Memory streams: distinct arrays per loop region, mostly unit
+     stride, some shared-array reuse.  Reuse copies the exact (base,
+     stride) of the array's first reference so that aliasing is
+     entirely within-iteration, and ordering dependences are added for
+     every same-address load/store and store/store pair (the dependence
+     analysis a real front end would provide). *)
+  let region = 64 * index in
+  let arrays = ref [] in (* (base, stride) of each array, most recent first *)
+  let mk_stream op =
+    let base, stride =
+      if Rng.bool rng 0.6 && !arrays <> [] then
+        List.nth !arrays (Rng.int rng (List.length !arrays))
+      else begin
+        let k = region + List.length !arrays in
+        (* stagger bases so distinct arrays do not alias to the same
+           cache set (power-of-two-aligned bases would all map to set 0) *)
+        let base = (k * (1 lsl 16)) + (k * 1056) in
+        let stride =
+          Rng.choose rng [ (0.86, 8); (0.07, 16); (0.06, 64); (0.01, 1024) ]
+        in
+        arrays := !arrays @ [ (base, stride) ];
+        (base, stride)
+      end
+    in
+    { Loop.op; base; stride }
+  in
+  let streams = List.map mk_stream (loads @ List.rev !stores) in
+  (* memory-ordering dependences between same-address references *)
+  let is_store v = Op.equal_kind (Ddg.kind g v) Op.Store in
+  let rec order_pairs = function
+    | [] -> ()
+    | (s : Loop.stream) :: rest ->
+      List.iter
+        (fun (s' : Loop.stream) ->
+          if s'.Loop.base = s.Loop.base && s'.Loop.stride = s.Loop.stride
+          then
+            match (is_store s.Loop.op, is_store s'.Loop.op) with
+            | false, true ->
+              (* write after read, same iteration *)
+              Ddg.add_edge g ~distance:0 ~dep:Dep.Anti s.Loop.op s'.Loop.op
+            | true, true ->
+              Ddg.add_edge g ~distance:0 ~dep:Dep.Output s.Loop.op s'.Loop.op
+            | true, false ->
+              (* a later load of a just-written location reads through
+                 memory: a true memory dependence *)
+              Ddg.add_edge g ~distance:0 ~dep:Dep.True s.Loop.op s'.Loop.op
+            | false, false -> ())
+        rest;
+      order_pairs rest
+  in
+  order_pairs streams;
+  let trip =
+    clip 16 30000
+      (int_of_float (Rng.log_normal rng ~mu:p.trip_mu ~sigma:p.trip_sigma))
+  in
+  let entries =
+    clip 1 20000
+      (int_of_float (Rng.log_normal rng ~mu:p.entry_mu ~sigma:p.entry_sigma))
+  in
+  Loop.make ~trip_count:trip ~entries ~streams g

@@ -1,0 +1,44 @@
+(** Synthetic generator of software-pipelineable innermost loops.
+
+    The paper's workbench is the 1258 innermost loops of the Perfect
+    Club that survive IF-conversion (§2.1).  This generator produces
+    dependence graphs with the same *shape*: FP adds/multiplies (rarely
+    divides and square roots), loads and stores wired as mostly-forward
+    expression DAGs with deep chains plus occasional distant operand
+    picks (register pressure), a controlled fraction of recurrences
+    (some carried through memory, which is what makes the hierarchy's
+    memory latency visible in RecMII), loop invariants, aliasing-
+    consistent memory streams with ordering dependences, and log-normal
+    trip/entry counts.  Default parameters are calibrated against the
+    paper's reported aggregates (Figure 1 IPC, Table 1 shares). *)
+
+type params = {
+  min_ops : int;
+  max_ops : int;
+  size_mu : float;
+  size_sigma : float;
+  mem_fraction : float;
+  store_fraction : float;
+  div_fraction : float;
+  sqrt_fraction : float;
+  fanin2_prob : float;
+  far_pick_prob : float;
+  recurrence_prob : float;
+  max_recurrences : int;
+  rec_min_len : int;
+  rec_max_len : int;
+  rec_max_distance : int;
+  mem_rec_fraction : float;
+  invariant_max : int;
+  trip_mu : float;
+  trip_sigma : float;
+  entry_mu : float;
+  entry_sigma : float;
+}
+
+val default_params : params
+
+(** Generate one loop; [index] individualizes the name and the memory
+    placement. *)
+val generate : ?params:params -> rng:Rng.t -> index:int -> unit ->
+  Hcrf_ir.Loop.t

@@ -1,0 +1,426 @@
+(** Hand-written dependence graphs of classic numerical kernels.
+
+    These are the kind of innermost loops the Perfect Club workbench is
+    made of; they are used by the examples, the unit tests and as sanity
+    anchors for the synthetic suite.  Addresses in the memory streams are
+    double-precision (8-byte) elements; distinct arrays are placed 1 MiB
+    apart. *)
+
+open Hcrf_ir
+
+let array_base k = (k * (1 lsl 20)) + (k * 1056)
+
+(* builder helpers *)
+let flow ?(d = 0) g a b = Ddg.add_edge g ~distance:d ~dep:Dep.True a b
+
+let stream ~op ~array ?(stride = 8) () =
+  { Loop.op; base = array_base array; stride }
+
+(** y[i] = a*x[i] + y[i] — the canonical vector update. *)
+let daxpy () =
+  let g = Ddg.create ~name:"daxpy" () in
+  let lx = Ddg.add_node g Op.Load in
+  let ly = Ddg.add_node g Op.Load in
+  let m = Ddg.add_node g Op.Fmul in
+  let a = Ddg.add_node g Op.Fadd in
+  let st = Ddg.add_node g Op.Store in
+  flow g lx m;
+  ignore (Ddg.add_invariant g ~consumers:[ m ]);
+  flow g m a;
+  flow g ly a;
+  flow g a st;
+  Ddg.add_edge g ~distance:0 ~dep:Dep.Anti ly st;
+  Loop.make ~trip_count:1000 ~entries:50
+    ~streams:
+      [ stream ~op:lx ~array:0 (); stream ~op:ly ~array:1 ();
+        stream ~op:st ~array:1 () ]
+    g
+
+(** s += x[i]*y[i] — dot product; the accumulation is a distance-1
+    recurrence through the add. *)
+let dot () =
+  let g = Ddg.create ~name:"dot" () in
+  let lx = Ddg.add_node g Op.Load in
+  let ly = Ddg.add_node g Op.Load in
+  let m = Ddg.add_node g Op.Fmul in
+  let a = Ddg.add_node g Op.Fadd in
+  flow g lx m;
+  flow g ly m;
+  flow g m a;
+  flow g ~d:1 a a;
+  Loop.make ~trip_count:2000 ~entries:20
+    ~streams:[ stream ~op:lx ~array:0 (); stream ~op:ly ~array:1 () ]
+    g
+
+(** y[i] = a*x[i]. *)
+let vscale () =
+  let g = Ddg.create ~name:"vscale" () in
+  let lx = Ddg.add_node g Op.Load in
+  let m = Ddg.add_node g Op.Fmul in
+  let st = Ddg.add_node g Op.Store in
+  flow g lx m;
+  ignore (Ddg.add_invariant g ~consumers:[ m ]);
+  flow g m st;
+  Loop.make ~trip_count:500 ~entries:100
+    ~streams:[ stream ~op:lx ~array:0 (); stream ~op:st ~array:1 () ]
+    g
+
+(** z[i] = a*x[i] + b*y[i] + c*w[i]. *)
+let saxpy3 () =
+  let g = Ddg.create ~name:"saxpy3" () in
+  let lx = Ddg.add_node g Op.Load in
+  let ly = Ddg.add_node g Op.Load in
+  let lw = Ddg.add_node g Op.Load in
+  let mx = Ddg.add_node g Op.Fmul in
+  let my = Ddg.add_node g Op.Fmul in
+  let mw = Ddg.add_node g Op.Fmul in
+  let a1 = Ddg.add_node g Op.Fadd in
+  let a2 = Ddg.add_node g Op.Fadd in
+  let st = Ddg.add_node g Op.Store in
+  flow g lx mx;
+  flow g ly my;
+  flow g lw mw;
+  ignore (Ddg.add_invariant g ~consumers:[ mx ]);
+  ignore (Ddg.add_invariant g ~consumers:[ my ]);
+  ignore (Ddg.add_invariant g ~consumers:[ mw ]);
+  flow g mx a1;
+  flow g my a1;
+  flow g a1 a2;
+  flow g mw a2;
+  flow g a2 st;
+  Loop.make ~trip_count:800 ~entries:40
+    ~streams:
+      [ stream ~op:lx ~array:0 (); stream ~op:ly ~array:1 ();
+        stream ~op:lw ~array:2 (); stream ~op:st ~array:3 () ]
+    g
+
+(** 5-tap FIR filter: y[i] = sum_k c[k] * x[i+k]. *)
+let fir5 () =
+  let g = Ddg.create ~name:"fir5" () in
+  let taps = 5 in
+  let loads = List.init taps (fun _ -> Ddg.add_node g Op.Load) in
+  let muls = List.init taps (fun _ -> Ddg.add_node g Op.Fmul) in
+  List.iter2 (fun l m -> flow g l m) loads muls;
+  List.iter
+    (fun m -> ignore (Ddg.add_invariant g ~consumers:[ m ]))
+    muls;
+  let sum =
+    List.fold_left
+      (fun acc m ->
+        match acc with
+        | None -> Some m
+        | Some prev ->
+          let a = Ddg.add_node g Op.Fadd in
+          flow g prev a;
+          flow g m a;
+          Some a)
+      None muls
+  in
+  let st = Ddg.add_node g Op.Store in
+  (match sum with Some s -> flow g s st | None -> assert false);
+  Loop.make ~trip_count:1200 ~entries:25
+    ~streams:
+      (stream ~op:st ~array:1 ()
+      :: List.mapi (fun k l -> stream ~op:l ~array:0 ~stride:8 ()
+                    |> fun s -> { s with Loop.base = s.Loop.base + (8 * k) })
+           loads)
+    g
+
+(** y[i] = (x[i-1] + x[i] + x[i+1]) * w — 3-point stencil. *)
+let stencil3 () =
+  let g = Ddg.create ~name:"stencil3" () in
+  let l0 = Ddg.add_node g Op.Load in
+  let l1 = Ddg.add_node g Op.Load in
+  let l2 = Ddg.add_node g Op.Load in
+  let a1 = Ddg.add_node g Op.Fadd in
+  let a2 = Ddg.add_node g Op.Fadd in
+  let m = Ddg.add_node g Op.Fmul in
+  let st = Ddg.add_node g Op.Store in
+  flow g l0 a1;
+  flow g l1 a1;
+  flow g a1 a2;
+  flow g l2 a2;
+  flow g a2 m;
+  ignore (Ddg.add_invariant g ~consumers:[ m ]);
+  flow g m st;
+  Loop.make ~trip_count:1500 ~entries:30
+    ~streams:
+      [ stream ~op:l0 ~array:0 (); stream ~op:l1 ~array:0 ();
+        stream ~op:l2 ~array:0 (); stream ~op:st ~array:1 () ]
+    g
+
+(** x[i] = d[i] - a[i]*x[i-1] — first-order linear recurrence
+    (tridiagonal forward elimination step). *)
+let tridiag () =
+  let g = Ddg.create ~name:"tridiag" () in
+  let ld = Ddg.add_node g Op.Load in
+  let la = Ddg.add_node g Op.Load in
+  let m = Ddg.add_node g Op.Fmul in
+  let sub = Ddg.add_node g Op.Fadd in
+  let st = Ddg.add_node g Op.Store in
+  flow g la m;
+  flow g ld sub;
+  flow g m sub;
+  flow g ~d:1 sub m; (* x[i-1] feeds the multiply *)
+  flow g sub st;
+  Loop.make ~trip_count:400 ~entries:60
+    ~streams:
+      [ stream ~op:ld ~array:0 (); stream ~op:la ~array:1 ();
+        stream ~op:st ~array:2 () ]
+    g
+
+(** p = p*x + c[i] — Horner polynomial evaluation; a tight multiply-add
+    recurrence. *)
+let horner () =
+  let g = Ddg.create ~name:"horner" () in
+  let lc = Ddg.add_node g Op.Load in
+  let m = Ddg.add_node g Op.Fmul in
+  let a = Ddg.add_node g Op.Fadd in
+  ignore (Ddg.add_invariant g ~consumers:[ m ]); (* x *)
+  flow g m a;
+  flow g lc a;
+  flow g ~d:1 a m;
+  Loop.make ~trip_count:64 ~entries:2000
+    ~streams:[ stream ~op:lc ~array:0 () ]
+    g
+
+(** Complex vector multiply: (zr+i zi) = (ar+i ai)(br+i bi). *)
+let cmul () =
+  let g = Ddg.create ~name:"cmul" () in
+  let lar = Ddg.add_node g Op.Load in
+  let lai = Ddg.add_node g Op.Load in
+  let lbr = Ddg.add_node g Op.Load in
+  let lbi = Ddg.add_node g Op.Load in
+  let m1 = Ddg.add_node g Op.Fmul in
+  let m2 = Ddg.add_node g Op.Fmul in
+  let m3 = Ddg.add_node g Op.Fmul in
+  let m4 = Ddg.add_node g Op.Fmul in
+  let sr = Ddg.add_node g Op.Fadd in
+  let si = Ddg.add_node g Op.Fadd in
+  let str = Ddg.add_node g Op.Store in
+  let sti = Ddg.add_node g Op.Store in
+  flow g lar m1; flow g lbr m1;
+  flow g lai m2; flow g lbi m2;
+  flow g lar m3; flow g lbi m3;
+  flow g lai m4; flow g lbr m4;
+  flow g m1 sr; flow g m2 sr;
+  flow g m3 si; flow g m4 si;
+  flow g sr str; flow g si sti;
+  Loop.make ~trip_count:600 ~entries:35
+    ~streams:
+      [ stream ~op:lar ~array:0 (); stream ~op:lai ~array:1 ();
+        stream ~op:lbr ~array:2 (); stream ~op:lbi ~array:3 ();
+        stream ~op:str ~array:4 (); stream ~op:sti ~array:5 () ]
+    g
+
+(** s += x[i]*x[i] — 2-norm accumulation. *)
+let norm2 () =
+  let g = Ddg.create ~name:"norm2" () in
+  let lx = Ddg.add_node g Op.Load in
+  let m = Ddg.add_node g Op.Fmul in
+  let a = Ddg.add_node g Op.Fadd in
+  flow g lx m;
+  flow g m a;
+  flow g ~d:1 a a;
+  Loop.make ~trip_count:2500 ~entries:15
+    ~streams:[ stream ~op:lx ~array:0 () ]
+    g
+
+(** d[i] = sqrt(dx[i]^2 + dy[i]^2) — distance computation with a square
+    root on the critical path. *)
+let dist2d () =
+  let g = Ddg.create ~name:"dist2d" () in
+  let ldx = Ddg.add_node g Op.Load in
+  let ldy = Ddg.add_node g Op.Load in
+  let mx = Ddg.add_node g Op.Fmul in
+  let my = Ddg.add_node g Op.Fmul in
+  let a = Ddg.add_node g Op.Fadd in
+  let sq = Ddg.add_node g Op.Fsqrt in
+  let st = Ddg.add_node g Op.Store in
+  flow g ldx mx; flow g ldx mx;
+  flow g ldy my; flow g ldy my;
+  flow g mx a; flow g my a;
+  flow g a sq;
+  flow g sq st;
+  Loop.make ~trip_count:300 ~entries:10
+    ~streams:
+      [ stream ~op:ldx ~array:0 (); stream ~op:ldy ~array:1 ();
+        stream ~op:st ~array:2 () ]
+    g
+
+(** r[i] = x[i] / y[i] — division throughput. *)
+let vdiv () =
+  let g = Ddg.create ~name:"vdiv" () in
+  let lx = Ddg.add_node g Op.Load in
+  let ly = Ddg.add_node g Op.Load in
+  let d = Ddg.add_node g Op.Fdiv in
+  let st = Ddg.add_node g Op.Store in
+  flow g lx d;
+  flow g ly d;
+  flow g d st;
+  Loop.make ~trip_count:200 ~entries:8
+    ~streams:
+      [ stream ~op:lx ~array:0 (); stream ~op:ly ~array:1 ();
+        stream ~op:st ~array:2 () ]
+    g
+
+(** s[i] = s[i-1] + x[i] — prefix sum written back to memory. *)
+let prefix_sum () =
+  let g = Ddg.create ~name:"prefix_sum" () in
+  let lx = Ddg.add_node g Op.Load in
+  let a = Ddg.add_node g Op.Fadd in
+  let st = Ddg.add_node g Op.Store in
+  flow g lx a;
+  flow g ~d:1 a a;
+  flow g a st;
+  Loop.make ~trip_count:700 ~entries:45
+    ~streams:[ stream ~op:lx ~array:0 (); stream ~op:st ~array:1 () ]
+    g
+
+(** A wide independent expression tree: 8 loads feeding a balanced
+    reduction — lots of ILP and register pressure. *)
+let tree8 () =
+  let g = Ddg.create ~name:"tree8" () in
+  let loads = List.init 8 (fun _ -> Ddg.add_node g Op.Load) in
+  let rec reduce = function
+    | [] -> assert false
+    | [ x ] -> x
+    | xs ->
+      let rec pair = function
+        | a :: b :: rest ->
+          let n = Ddg.add_node g Op.Fadd in
+          flow g a n;
+          flow g b n;
+          n :: pair rest
+        | [ a ] -> [ a ]
+        | [] -> []
+      in
+      reduce (pair xs)
+  in
+  let root = reduce loads in
+  let st = Ddg.add_node g Op.Store in
+  flow g root st;
+  Loop.make ~trip_count:900 ~entries:12
+    ~streams:
+      (stream ~op:st ~array:8 ()
+      :: List.mapi (fun k l -> stream ~op:l ~array:k ()) loads)
+    g
+
+(** Inner loop of matrix-vector product: y[j] += A[j][i] * x[i] — one
+    accumulator per call site, row-major A (large stride). *)
+let matvec_inner () =
+  let g = Ddg.create ~name:"matvec_inner" () in
+  let la = Ddg.add_node g Op.Load in
+  let lx = Ddg.add_node g Op.Load in
+  let m = Ddg.add_node g Op.Fmul in
+  let acc = Ddg.add_node g Op.Fadd in
+  flow g la m;
+  flow g lx m;
+  flow g m acc;
+  flow g ~d:1 acc acc;
+  Loop.make ~trip_count:256 ~entries:256
+    ~streams:
+      [ { (stream ~op:la ~array:0 ()) with Loop.stride = 2048 };
+        stream ~op:lx ~array:1 () ]
+    g
+
+(** Livermore kernel 5 flavour — tri-diagonal elimination, two coupled
+    loads and a multiply inside the recurrence. *)
+let lll5 () =
+  let g = Ddg.create ~name:"lll5" () in
+  let lb = Ddg.add_node g Op.Load in
+  let ld = Ddg.add_node g Op.Load in
+  let m1 = Ddg.add_node g Op.Fmul in
+  let sub = Ddg.add_node g Op.Fadd in
+  let m2 = Ddg.add_node g Op.Fmul in
+  let st = Ddg.add_node g Op.Store in
+  flow g lb m1;
+  flow g ~d:1 m2 m1; (* x[i-1] *)
+  flow g ld sub;
+  flow g m1 sub;
+  flow g sub m2;
+  flow g ld m2;
+  flow g m2 st;
+  Loop.make ~trip_count:500 ~entries:40
+    ~streams:
+      [ stream ~op:lb ~array:0 (); stream ~op:ld ~array:1 ();
+        stream ~op:st ~array:2 () ]
+    g
+
+(** Interleaved min/max-style double accumulation: two independent
+    recurrences sharing the loads. *)
+let twin_acc () =
+  let g = Ddg.create ~name:"twin_acc" () in
+  let lx = Ddg.add_node g Op.Load in
+  let ly = Ddg.add_node g Op.Load in
+  let a1 = Ddg.add_node g Op.Fadd in
+  let a2 = Ddg.add_node g Op.Fmul in
+  flow g lx a1;
+  flow g ly a1;
+  flow g ~d:1 a1 a1;
+  flow g lx a2;
+  flow g ly a2;
+  flow g ~d:1 a2 a2;
+  Loop.make ~trip_count:1500 ~entries:25
+    ~streams:[ stream ~op:lx ~array:0 (); stream ~op:ly ~array:1 () ]
+    g
+
+(** Normalization sweep: y[i] = x[i] / sqrt(s[i]) — a divide and a
+    square root competing for the non-pipelined units. *)
+let normalize () =
+  let g = Ddg.create ~name:"normalize" () in
+  let lx = Ddg.add_node g Op.Load in
+  let ls = Ddg.add_node g Op.Load in
+  let sq = Ddg.add_node g Op.Fsqrt in
+  let d = Ddg.add_node g Op.Fdiv in
+  let st = Ddg.add_node g Op.Store in
+  flow g ls sq;
+  flow g lx d;
+  flow g sq d;
+  flow g d st;
+  Loop.make ~trip_count:350 ~entries:18
+    ~streams:
+      [ stream ~op:lx ~array:0 (); stream ~op:ls ~array:1 ();
+        stream ~op:st ~array:2 () ]
+    g
+
+(** Wide fan-out: one loaded coefficient feeds eight independent
+    multiply/store lanes — stresses the shared bank's LoadR ports in
+    hierarchical organizations. *)
+let broadcast8 () =
+  let g = Ddg.create ~name:"broadcast8" () in
+  let lc = Ddg.add_node g Op.Load in
+  let lanes =
+    List.init 4 (fun _ ->
+        let lx = Ddg.add_node g Op.Load in
+        let m = Ddg.add_node g Op.Fmul in
+        let st = Ddg.add_node g Op.Store in
+        flow g lc m;
+        flow g lx m;
+        flow g m st;
+        (lx, st))
+  in
+  Loop.make ~trip_count:800 ~entries:15
+    ~streams:
+      (stream ~op:lc ~array:0 ()
+      :: List.concat
+           (List.mapi
+              (fun k (lx, st) ->
+                [ stream ~op:lx ~array:(1 + k) ();
+                  stream ~op:st ~array:(5 + k) () ])
+              lanes))
+    g
+
+let all : (string * (unit -> Loop.t)) list =
+  [ ("daxpy", daxpy); ("dot", dot); ("vscale", vscale); ("saxpy3", saxpy3);
+    ("fir5", fir5); ("stencil3", stencil3); ("tridiag", tridiag);
+    ("horner", horner); ("cmul", cmul); ("norm2", norm2);
+    ("dist2d", dist2d); ("vdiv", vdiv); ("prefix_sum", prefix_sum);
+    ("tree8", tree8); ("matvec_inner", matvec_inner); ("lll5", lll5);
+    ("twin_acc", twin_acc); ("normalize", normalize);
+    ("broadcast8", broadcast8) ]
+
+let find name =
+  match List.assoc_opt name all with
+  | Some f -> f ()
+  | None -> Fmt.invalid_arg "Kernels.find: unknown kernel %S" name

@@ -1,0 +1,35 @@
+(** Hand-written dependence graphs of classic numerical kernels —
+    daxpy, dot product, FIR, stencil, tridiagonal elimination, Horner,
+    complex multiply, reductions and friends.  They are used by the
+    examples, the unit tests and as sanity anchors for the synthetic
+    suite. *)
+
+(** Byte address of array [k] (arrays are staggered so they do not
+    alias to the same cache set). *)
+val array_base : int -> int
+
+val daxpy : unit -> Hcrf_ir.Loop.t
+val dot : unit -> Hcrf_ir.Loop.t
+val vscale : unit -> Hcrf_ir.Loop.t
+val saxpy3 : unit -> Hcrf_ir.Loop.t
+val fir5 : unit -> Hcrf_ir.Loop.t
+val stencil3 : unit -> Hcrf_ir.Loop.t
+val tridiag : unit -> Hcrf_ir.Loop.t
+val horner : unit -> Hcrf_ir.Loop.t
+val cmul : unit -> Hcrf_ir.Loop.t
+val norm2 : unit -> Hcrf_ir.Loop.t
+val dist2d : unit -> Hcrf_ir.Loop.t
+val vdiv : unit -> Hcrf_ir.Loop.t
+val prefix_sum : unit -> Hcrf_ir.Loop.t
+val tree8 : unit -> Hcrf_ir.Loop.t
+val matvec_inner : unit -> Hcrf_ir.Loop.t
+val lll5 : unit -> Hcrf_ir.Loop.t
+val twin_acc : unit -> Hcrf_ir.Loop.t
+val normalize : unit -> Hcrf_ir.Loop.t
+val broadcast8 : unit -> Hcrf_ir.Loop.t
+
+(** All kernels by name. *)
+val all : (string * (unit -> Hcrf_ir.Loop.t)) list
+
+(** Raises [Invalid_argument] on an unknown name. *)
+val find : string -> Hcrf_ir.Loop.t

@@ -1,0 +1,59 @@
+(** Deterministic splittable PRNG (SplitMix64).
+
+    The synthetic workbench must be bit-reproducible across runs and
+    platforms, so we do not use [Random]; every loop of the suite is
+    generated from a seed derived from the suite seed and the loop
+    index. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1)
+                  (Int64.of_int bound))
+
+(** Uniform in [lo, hi] inclusive. *)
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range";
+  lo + int t (hi - lo + 1)
+
+(** Uniform float in [0, 1). *)
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next_int64 t) 11)
+  /. 9007199254740992.0 (* 2^53 *)
+
+let bool t p = float t < p
+
+(** Pick from a weighted list. *)
+let choose t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0. choices in
+  let x = float t *. total in
+  let rec go acc = function
+    | [] -> invalid_arg "Rng.choose: empty"
+    | [ (_, v) ] -> v
+    | (w, v) :: rest -> if x < acc +. w then v else go (acc +. w) rest
+  in
+  go 0. choices
+
+(** Derive an independent generator (for per-loop streams). *)
+let split t = { state = next_int64 t }
+
+(** Rough log-normal sample: exp of a normal via Box-Muller. *)
+let log_normal t ~mu ~sigma =
+  let u1 = max 1e-12 (float t) and u2 = float t in
+  let n = sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2) in
+  exp (mu +. (sigma *. n))

@@ -1,0 +1,32 @@
+(** Deterministic splittable PRNG (SplitMix64).
+
+    The synthetic workbench must be bit-reproducible across runs and
+    platforms, so [Random] is not used; every loop of the suite is
+    generated from a seed derived from the suite seed and the loop
+    index. *)
+
+type t
+
+val create : seed:int -> t
+val next_int64 : t -> int64
+
+(** Uniform in [0, bound); raises [Invalid_argument] for bound <= 0. *)
+val int : t -> int -> int
+
+(** Uniform in [lo, hi] inclusive. *)
+val range : t -> int -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** True with probability [p]. *)
+val bool : t -> float -> bool
+
+(** Pick from a weighted list; raises on an empty list. *)
+val choose : t -> (float * 'a) list -> 'a
+
+(** Derive an independent generator. *)
+val split : t -> t
+
+(** Rough log-normal sample (Box-Muller). *)
+val log_normal : t -> mu:float -> sigma:float -> float

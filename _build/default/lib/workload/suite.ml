@@ -1,0 +1,25 @@
+(** The workbench: a deterministic suite standing in for the 1258
+    software-pipelineable Perfect Club loops of §2.1. *)
+
+let paper_loop_count = 1258
+let default_seed = 2003
+
+(** Generate the suite.  Each loop gets an independent RNG derived from
+    the seed, so subsets are stable: loop [i] is identical whatever [n]
+    is. *)
+let generate ?(seed = default_seed) ?(n = paper_loop_count)
+    ?(params = Genloop.default_params) () =
+  let root = Rng.create ~seed in
+  List.init n (fun index ->
+      let rng = Rng.create ~seed:(seed + (index * 7919)) in
+      ignore (Rng.next_int64 root);
+      Genloop.generate ~params ~rng ~index ())
+
+(** The full paper-sized workbench. *)
+let full () = generate ()
+
+(** A small deterministic subset for unit tests and quick runs. *)
+let small ?(n = 60) () = generate ~n ()
+
+(** The named kernels, as a list of loops (sanity anchors). *)
+let kernels () = List.map (fun (_, f) -> f ()) Kernels.all

@@ -1,0 +1,21 @@
+(** The workbench: a deterministic suite standing in for the 1258
+    software-pipelineable Perfect Club loops of §2.1. *)
+
+val paper_loop_count : int
+val default_seed : int
+
+(** Generate the suite.  Each loop gets an independent RNG derived from
+    the seed, so subsets are stable: loop [i] is identical whatever [n]
+    is. *)
+val generate :
+  ?seed:int -> ?n:int -> ?params:Genloop.params -> unit ->
+  Hcrf_ir.Loop.t list
+
+(** The full paper-sized workbench (1258 loops). *)
+val full : unit -> Hcrf_ir.Loop.t list
+
+(** A small deterministic subset for unit tests and quick runs. *)
+val small : ?n:int -> unit -> Hcrf_ir.Loop.t list
+
+(** The named kernels, as a list of loops. *)
+val kernels : unit -> Hcrf_ir.Loop.t list

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Hcrf_core Hcrf_ir Hcrf_model Hcrf_sched Hcrf_workload List Loop Op String

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Ddg Dep Fmt Fun Hcrf_ir Hcrf_workload Lazy List Loop Op QCheck QCheck_alcotest Scc

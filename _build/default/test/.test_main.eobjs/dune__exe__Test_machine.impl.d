@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Cap Config Hcrf_ir Hcrf_machine Latencies List QCheck QCheck_alcotest Rf

@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest Cache Hcrf_ir Hcrf_machine Hcrf_memsim Hcrf_model Hcrf_workload List Prefetch Sim

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Cacti Cap Config Fmt Hcrf_eval Hcrf_machine Hcrf_model Hw_table Latencies List Ports Presets Rf Timing

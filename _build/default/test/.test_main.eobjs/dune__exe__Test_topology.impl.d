@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Cap Config Ddg Hcrf_core Hcrf_ir Hcrf_machine Hcrf_model Hcrf_sched Hcrf_workload Lazy List Loop Op Schedule Topology Validate

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Ddg Fmt Hcrf_ir Hcrf_workload List Loop Op Scc

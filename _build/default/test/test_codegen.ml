@@ -1,0 +1,53 @@
+(* Tests for the VLIW code emitter. *)
+
+open Hcrf_ir
+
+let check = Alcotest.(check bool)
+
+let emit_kernel config_name kernel_name =
+  let config = Hcrf_model.Presets.published config_name in
+  let loop = Hcrf_workload.Kernels.find kernel_name in
+  match Hcrf_core.Mirs_hc.schedule config loop.Loop.ddg with
+  | Error _ -> Alcotest.fail "no schedule"
+  | Ok o -> (
+    match Hcrf_core.Codegen.of_outcome config o with
+    | Error _ -> Alcotest.fail "allocation failed"
+    | Ok code -> (o, code))
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_emit_daxpy () =
+  let o, code = emit_kernel "S128" "daxpy" in
+  check "mentions the config" true (contains code.Hcrf_core.Codegen.kernel "S128");
+  check "has every op kind" true
+    (List.for_all
+       (fun k -> contains code.Hcrf_core.Codegen.kernel (Op.kind_name k))
+       [ Op.Load; Op.Fmul; Op.Fadd; Op.Store ]);
+  Alcotest.(check int) "ii recorded" o.Hcrf_sched.Engine.ii
+    code.Hcrf_core.Codegen.ii
+
+let test_emit_hierarchical () =
+  let _, code = emit_kernel "4C16S16" "fir5" in
+  let k = code.Hcrf_core.Codegen.kernel in
+  check "loadr emitted" true (contains k "loadr");
+  check "cluster placements shown" true (contains k "[c");
+  check "rotating banks reported" true (contains k "rotating registers")
+
+let test_kernel_has_ii_rows () =
+  let o, code = emit_kernel "S32" "tree8" in
+  (* one "<slot>:" row per modulo slot *)
+  let rows = ref 0 in
+  String.split_on_char '\n' code.Hcrf_core.Codegen.kernel
+  |> List.iter (fun line ->
+         if String.length line > 2 && String.get line 2 = ':' then incr rows);
+  Alcotest.(check int) "rows = II" o.Hcrf_sched.Engine.ii !rows
+
+let tests =
+  [
+    ("codegen: daxpy", `Quick, test_emit_daxpy);
+    ("codegen: hierarchical", `Quick, test_emit_hierarchical);
+    ("codegen: one row per slot", `Quick, test_kernel_has_ii_rows);
+  ]

@@ -1,0 +1,279 @@
+(* End-to-end tests of the MIRS_HC engine: every kernel on every RF
+   organization must produce a schedule that the independent checker
+   accepts, plus anchored IIs, spill behaviour, invariant handling,
+   determinism, and the non-iterative baseline. *)
+
+open Hcrf_ir
+open Hcrf_machine
+open Hcrf_sched
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let published = Hcrf_model.Presets.published
+
+let schedule_ok ?opts config (l : Loop.t) =
+  match Hcrf_core.Mirs_hc.schedule ?opts config l.Loop.ddg with
+  | Error (`No_schedule ii) ->
+    Alcotest.fail
+      (Fmt.str "%s on %s: no schedule up to II=%d" (Ddg.name l.Loop.ddg)
+         config.Config.name ii)
+  | Ok o ->
+    let issues = Hcrf_core.Mirs_hc.validate o in
+    if issues <> [] then
+      Alcotest.fail
+        (Fmt.str "%s on %s: %a" (Ddg.name l.Loop.ddg) config.Config.name
+           Fmt.(list ~sep:comma Validate.pp_issue)
+           issues);
+    o
+
+(* every kernel on every published configuration *)
+let test_kernels_on_config cname () =
+  let config = published cname in
+  List.iter
+    (fun (_, mk) -> ignore (schedule_ok config (mk ())))
+    Hcrf_workload.Kernels.all
+
+let test_anchored_iis () =
+  (* recurrence-bound kernels reach exactly their RecMII on the
+     monolithic baseline *)
+  let config = published "S128" in
+  let ii name =
+    (schedule_ok config (Hcrf_workload.Kernels.find name)).Engine.ii
+  in
+  check_int "dot" 4 (ii "dot");
+  check_int "tridiag" 8 (ii "tridiag");
+  check_int "horner" 8 (ii "horner");
+  check_int "norm2" 4 (ii "norm2");
+  check_int "prefix_sum" 4 (ii "prefix_sum");
+  check_int "daxpy" 1 (ii "daxpy")
+
+let test_ii_at_least_mii () =
+  let config = published "4C32" in
+  List.iter
+    (fun (_, mk) ->
+      let o = schedule_ok config (mk ()) in
+      check "ii >= mii" true (o.Engine.ii >= o.Engine.mii))
+    Hcrf_workload.Kernels.all
+
+let test_deterministic () =
+  let config = published "4C16S16" in
+  let l = Hcrf_workload.Kernels.find "fir5" in
+  let a = schedule_ok config l and b = schedule_ok config l in
+  check_int "same ii" a.Engine.ii b.Engine.ii;
+  check_int "same sc" a.Engine.sc b.Engine.sc;
+  check_int "same node count" (Ddg.num_nodes a.Engine.graph)
+    (Ddg.num_nodes b.Engine.graph)
+
+let test_hierarchy_inserts_copies () =
+  (* on a hierarchical RF, a load feeding a compute op needs a LoadR and
+     a computed store operand needs a StoreR *)
+  let config = published "1C32S64" in
+  let o = schedule_ok config (Hcrf_workload.Kernels.find "daxpy") in
+  let count k =
+    Ddg.count_kind o.Engine.graph (Op.equal_kind k)
+  in
+  check "loadr inserted" true (count Op.Load_r >= 2);
+  check "storer inserted" true (count Op.Store_r >= 1);
+  check "no moves in hierarchical" true (count Op.Move = 0)
+
+let test_monolithic_inserts_nothing () =
+  let config = published "S128" in
+  let l = Hcrf_workload.Kernels.find "saxpy3" in
+  let o = schedule_ok config l in
+  check_int "no inserted ops" (Ddg.num_nodes l.Loop.ddg)
+    (Ddg.num_nodes o.Engine.graph)
+
+let test_clustered_uses_moves () =
+  (* tree8 has more parallelism than one cluster of 4C32 can hold, so
+     cross-cluster values must move *)
+  let config = published "4C32" in
+  let o = schedule_ok config (Hcrf_workload.Kernels.find "tree8") in
+  let moves = Ddg.count_kind o.Engine.graph (Op.equal_kind Op.Move) in
+  let used_clusters =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun v ->
+           match Schedule.loc_of o.Engine.schedule v with
+           | Topology.Cluster c -> Some c
+           | Topology.Global -> None)
+         (Schedule.scheduled_nodes o.Engine.schedule))
+  in
+  check "several clusters used" true (List.length used_clusters >= 2);
+  check "moves present iff cross-cluster flow" true (moves >= 1)
+
+let test_spill_on_tiny_bank () =
+  (* six loop-carried accumulators stay live whatever the II is, so a
+     4-register monolithic RF cannot hold them without spilling *)
+  let g = Ddg.create ~name:"pressure" () in
+  let l = Ddg.add_node g Op.Load in
+  for _ = 1 to 3 do
+    (* an accumulator whose value is also stored four iterations later:
+       its lifetime spans ~4 II whatever the II, so the register demand
+       cannot be escaped by slowing the loop down *)
+    let a = Ddg.add_node g Op.Fadd in
+    Ddg.add_edge g ~dep:Dep.True l a;
+    Ddg.add_edge g ~distance:1 ~dep:Dep.True a a;
+    let st = Ddg.add_node g Op.Store in
+    Ddg.add_edge g ~distance:4 ~dep:Dep.True a st
+  done;
+  let loop = Loop.make g in
+  let tiny =
+    Config.make ~lats:Latencies.baseline ~cycle_ns:1.0 (Rf.monolithic 6)
+  in
+  let o = schedule_ok tiny loop in
+  let spills = Ddg.count_kind o.Engine.graph (fun k -> Op.is_spill k) in
+  check "spill code inserted" true (spills > 0);
+  check "memory traffic grew" true
+    (Ddg.num_memory_ops o.Engine.graph > Loop.memory_refs_per_iter loop)
+
+let test_larger_bank_no_spill () =
+  let big = Config.make (Rf.monolithic 128) in
+  let o = schedule_ok big (Hcrf_workload.Kernels.find "tree8") in
+  check_int "no spill needed at 128 regs" 0
+    (Ddg.count_kind o.Engine.graph Op.is_spill)
+
+let test_invariant_demotion () =
+  (* fir5 has 5 invariants; on a 4-register bank some must be demoted *)
+  let tiny = Config.make (Rf.monolithic 4) in
+  let l = Hcrf_workload.Kernels.find "fir5" in
+  match Hcrf_core.Mirs_hc.schedule tiny l.Loop.ddg with
+  | Error _ -> () (* acceptable: may genuinely not fit *)
+  | Ok o ->
+    let issues = Hcrf_core.Mirs_hc.validate o in
+    check "valid if scheduled" true (issues = []);
+    check "invariant spill loads present" true
+      (Ddg.count_kind o.Engine.graph (Op.equal_kind Op.Spill_load) > 0)
+
+let test_stats_populated () =
+  let config = published "4C16S16" in
+  let o = schedule_ok config (Hcrf_workload.Kernels.find "cmul") in
+  check "attempts counted" true (o.Engine.stats.attempts > 0);
+  check "comm ops counted" true (o.Engine.stats.comm_inserted > 0);
+  check "seconds measured" true (o.Engine.seconds >= 0.)
+
+let test_budget_zero_fails_fast () =
+  (* with no budget the engine cannot schedule anything non-trivial, but
+     it must terminate and report failure rather than hang *)
+  let config = published "S128" in
+  let opts = { Engine.default_options with budget_ratio = 0; max_ii = Some 3 } in
+  match
+    Engine.schedule ~opts config (Hcrf_workload.Kernels.find "fir5").Loop.ddg
+  with
+  | Error (`No_schedule _) -> ()
+  | Ok _ -> Alcotest.fail "expected failure with zero budget"
+
+let test_max_ii_respected () =
+  let config = published "S128" in
+  let opts = { Engine.default_options with max_ii = Some 2 } in
+  (* tridiag needs II=8; capping at 2 must fail *)
+  match
+    Engine.schedule ~opts config
+      (Hcrf_workload.Kernels.find "tridiag").Loop.ddg
+  with
+  | Error (`No_schedule _) -> ()
+  | Ok _ -> Alcotest.fail "expected failure with max_ii=2"
+
+let test_noniter_never_better_on_suite () =
+  (* Table 4's headline: the iterative scheduler wins overall *)
+  let config = published "1C32S64" in
+  let loops = Hcrf_workload.Suite.generate ~n:30 () in
+  let sum_ni = ref 0 and sum_hc = ref 0 in
+  List.iter
+    (fun (l : Loop.t) ->
+      match
+        ( Hcrf_core.Noniter.schedule config l.Loop.ddg,
+          Hcrf_core.Mirs_hc.schedule config l.Loop.ddg )
+      with
+      | Ok ni, Ok hc ->
+        sum_ni := !sum_ni + ni.Engine.ii;
+        sum_hc := !sum_hc + hc.Engine.ii
+      | _ -> ())
+    loops;
+  check
+    (Fmt.str "sum II: mirs_hc %d <= noniter %d" !sum_hc !sum_ni)
+    true (!sum_hc <= !sum_ni)
+
+let test_prefetch_pressure_on_shared () =
+  (* binding prefetching lengthens load lifetimes; in a hierarchical RF
+     that pressure lands on the shared bank (the paper's argument for
+     the organization) *)
+  let config = published "1C32S64" in
+  let l = Hcrf_workload.Kernels.find "saxpy3" in
+  let miss = Config.miss_cycles config in
+  let opts =
+    { Engine.default_options with
+      load_override =
+        (fun v ->
+          (* the engine also queries inserted nodes: only original loads
+             are prefetched *)
+          if
+            Ddg.mem l.Loop.ddg v
+            && Op.equal_kind (Ddg.kind l.Loop.ddg v) Op.Load
+          then Some miss
+          else None);
+    }
+  in
+  let o = schedule_ok ~opts config l in
+  (* every consumer of a prefetched load is scheduled at least the miss
+     latency later: the miss is hidden by the software pipeline *)
+  let g = o.Engine.graph in
+  Ddg.iter_nodes g (fun n ->
+      if Op.equal_kind n.kind Op.Load then
+        List.iter
+          (fun (e : Ddg.edge) ->
+            let gap =
+              Schedule.cycle_of o.Engine.schedule e.dst
+              + (o.Engine.ii * e.distance)
+              - Schedule.cycle_of o.Engine.schedule n.id
+            in
+            check "consumer waits out the miss" true (gap >= miss))
+          (Ddg.consumers g n.id))
+
+(* property: random suite loops × a rotating set of configs all validate *)
+let prop_suite_valid =
+  let configs =
+    [| "S64"; "S32"; "2C32"; "4C32"; "1C32S64"; "2C32S32"; "4C16S16";
+       "8C16S16" |]
+  in
+  let loops = lazy (Hcrf_workload.Suite.generate ~n:48 ()) in
+  QCheck.Test.make ~name:"suite loops validate on all organizations"
+    ~count:48
+    QCheck.(int_range 0 47)
+    (fun i ->
+      let l = List.nth (Lazy.force loops) i in
+      let config = published configs.(i mod Array.length configs) in
+      match Hcrf_eval.Runner.run_loop config l with
+      | None -> false
+      | Some r ->
+        Validate.is_valid
+          ~invariant_residents:r.Hcrf_eval.Runner.outcome.Engine.invariant_residents
+          r.Hcrf_eval.Runner.outcome.Engine.schedule
+          r.Hcrf_eval.Runner.outcome.Engine.graph)
+
+let tests =
+  [
+    ("engine: kernels on S128", `Quick, test_kernels_on_config "S128");
+    ("engine: kernels on S32", `Quick, test_kernels_on_config "S32");
+    ("engine: kernels on 2C64", `Quick, test_kernels_on_config "2C64");
+    ("engine: kernels on 4C32", `Quick, test_kernels_on_config "4C32");
+    ("engine: kernels on 1C64S32", `Quick, test_kernels_on_config "1C64S32");
+    ("engine: kernels on 2C32S32", `Quick, test_kernels_on_config "2C32S32");
+    ("engine: kernels on 4C16S16", `Slow, test_kernels_on_config "4C16S16");
+    ("engine: kernels on 8C16S16", `Slow, test_kernels_on_config "8C16S16");
+    ("engine: anchored IIs", `Quick, test_anchored_iis);
+    ("engine: ii >= mii", `Quick, test_ii_at_least_mii);
+    ("engine: deterministic", `Quick, test_deterministic);
+    ("engine: hierarchy copies", `Quick, test_hierarchy_inserts_copies);
+    ("engine: monolithic clean", `Quick, test_monolithic_inserts_nothing);
+    ("engine: clustered moves", `Quick, test_clustered_uses_moves);
+    ("engine: spill on tiny bank", `Quick, test_spill_on_tiny_bank);
+    ("engine: no spill at 128", `Quick, test_larger_bank_no_spill);
+    ("engine: invariant demotion", `Quick, test_invariant_demotion);
+    ("engine: stats", `Quick, test_stats_populated);
+    ("engine: zero budget", `Quick, test_budget_zero_fails_fast);
+    ("engine: max_ii", `Quick, test_max_ii_respected);
+    ("engine: vs non-iterative", `Slow, test_noniter_never_better_on_suite);
+    ("engine: prefetch pressure", `Quick, test_prefetch_pressure_on_shared);
+    QCheck_alcotest.to_alcotest ~long:true prop_suite_valid;
+  ]

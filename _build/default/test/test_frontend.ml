@@ -1,0 +1,315 @@
+(* Tests for the loop-language front end: compilation, CSE, dependence
+   analysis, IF-conversion — and full functional verification of
+   compiled loops through the pipeline executor. *)
+
+open Hcrf_ir
+open Hcrf_frontend
+open Ast
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let daxpy_src =
+  make ~name:"daxpy_src"
+    [ store "y" (param "a" *: arr "x" +: arr "y") ]
+
+let test_compile_daxpy () =
+  let loop = Compile.compile daxpy_src in
+  let g = loop.Loop.ddg in
+  check "well-formed" true (Ddg.validate g);
+  (* 2 loads, 1 mul, 1 add, 1 store *)
+  check_int "nodes" 5 (Ddg.num_nodes g);
+  check_int "one invariant" 1 (List.length (Ddg.invariants g));
+  check_int "streams cover memory ops" 3 (List.length loop.Loop.streams);
+  (* y is read and written at the same offset: an anti dependence *)
+  check "anti dependence present" true
+    (List.exists
+       (fun (e : Ddg.edge) -> e.dep = Dep.Anti && e.distance = 0)
+       (Ddg.edges g))
+
+let test_cse_within_iteration () =
+  (* x[i] appears twice: one load *)
+  let loop =
+    Compile.compile
+      (make ~name:"square" [ store "y" (arr "x" *: arr "x") ])
+  in
+  check_int "single load" 1
+    (Ddg.count_kind loop.Loop.ddg (Op.equal_kind Op.Load))
+
+let test_store_kills_cse () =
+  (* load after a store to the same location must be a fresh load fed by
+     the store *)
+  let loop =
+    Compile.compile
+      (make ~name:"rmw"
+         [ store "a" (arr "a" +: param "c"); def "t" (arr "a" *: arr "a");
+           store ~off:1 "b" (var "t") ])
+  in
+  let g = loop.Loop.ddg in
+  check_int "two loads of a" 2
+    (Ddg.count_kind g (Op.equal_kind Op.Load));
+  (* the second load reads what the store wrote: a true d0 edge *)
+  check "store feeds reload" true
+    (List.exists
+       (fun (e : Ddg.edge) ->
+         e.dep = Dep.True && e.distance = 0
+         && Op.equal_kind (Ddg.kind g e.src) Op.Store
+         && Op.equal_kind (Ddg.kind g e.dst) Op.Load)
+       (Ddg.edges g))
+
+let test_loop_carried_scalar () =
+  (* s = s@-1 + x[i]: a first-order recurrence with RecMII = add latency *)
+  let loop =
+    Compile.compile
+      (make ~name:"sum" [ def "s" (prev "s" +: arr "x") ])
+  in
+  check "has recurrence" true (Scc.has_recurrence loop.Loop.ddg);
+  let config = Hcrf_model.Presets.published "S128" in
+  check_int "recmii = 4" 4 (Hcrf_sched.Mii.compute config loop.Loop.ddg)
+
+let test_memory_carried_dependence () =
+  (* b[i] = b[i-1] + x[i]: flow through memory, distance 1 *)
+  let loop =
+    Compile.compile
+      (make ~name:"scan" [ store "b" (arr ~off:(-1) "b" +: arr "x") ])
+  in
+  let g = loop.Loop.ddg in
+  check "true memory dep distance 1" true
+    (List.exists
+       (fun (e : Ddg.edge) ->
+         e.dep = Dep.True && e.distance = 1
+         && Op.equal_kind (Ddg.kind g e.src) Op.Store)
+       (Ddg.edges g));
+  check "is a recurrence" true (Scc.has_recurrence g)
+
+let test_forward_memory_flow () =
+  (* a[i+2] = f(a[i]): iteration i+2 loads what iteration i stored — a
+     true memory dependence of distance 2, i.e. a recurrence *)
+  let loop =
+    Compile.compile
+      (make ~name:"shift" [ store ~off:2 "a" (arr "a" *: param "w") ])
+  in
+  let g = loop.Loop.ddg in
+  check "true memory flow, distance 2" true
+    (List.exists
+       (fun (e : Ddg.edge) ->
+         e.dep = Dep.True && e.distance = 2
+         && Op.equal_kind (Ddg.kind g e.src) Op.Store)
+       (Ddg.edges g));
+  check "is a recurrence" true (Scc.has_recurrence g);
+  (* and the mirror case: a[i] = f(a[i+2]) reads ahead of the store,
+     an anti dependence of distance 2 *)
+  let loop' =
+    Compile.compile
+      (make ~name:"shiftback" [ store "a" (arr ~off:2 "a" *: param "w") ])
+  in
+  check "anti distance 2" true
+    (List.exists
+       (fun (e : Ddg.edge) -> e.dep = Dep.Anti && e.distance = 2)
+       (Ddg.edges loop'.Loop.ddg))
+
+let test_if_conversion () =
+  (* if c then s = a else s = b; both sides always execute, merged by a
+     select *)
+  let src =
+    make ~name:"clip"
+      [
+        def "c" (arr "x" -: param "t");
+        if_ (var "c")
+          [ def "v" (arr "x" *: param "g") ]
+          [ def "v" (param "t" +: arr "x") ];
+        store "y" (var "v" +: var "c");
+      ]
+  in
+  let converted = If_convert.run src in
+  check "no conditionals left" true
+    (List.for_all
+       (function If _ -> false | Def _ | Store _ -> true)
+       converted.Ast.body);
+  let loop = Compile.compile src in
+  check "compiles" true (Ddg.validate loop.Loop.ddg);
+  (* both branch bodies present: two ops for the branches + the select
+     blend (2 muls + add) *)
+  check "bigger than one branch" true (Ddg.num_nodes loop.Loop.ddg >= 9)
+
+let test_if_conversion_store () =
+  (* a conditional store becomes an unconditional read-modify-write *)
+  let src =
+    make ~name:"condstore"
+      [
+        def "c" (arr "x" -: param "t");
+        if_ (var "c") [ store "y" (arr "x") ] [];
+      ]
+  in
+  let loop = Compile.compile src in
+  let g = loop.Loop.ddg in
+  check_int "store is unconditional" 1
+    (Ddg.count_kind g (Op.equal_kind Op.Store));
+  (* the old value of y[i] is loaded to blend *)
+  check "y is loaded for the blend" true
+    (Ddg.count_kind g (Op.equal_kind Op.Load) >= 2)
+
+let test_undefined_scalar_rejected () =
+  check "undefined scalar" true
+    (try
+       ignore (Compile.compile (make ~name:"bad" [ store "y" (var "nope") ]));
+       false
+     with Compile.Error _ -> true)
+
+let test_nested_if () =
+  let src =
+    make ~name:"nested"
+      [
+        def "c1" (arr "x" -: param "a");
+        def "c2" (arr "x" -: param "b");
+        if_ (var "c1")
+          [ if_ (var "c2") [ def "v" (arr "x" *: arr "x") ]
+              [ def "v" (arr "x" +: arr "x") ] ]
+          [ def "v" (param "a" *: arr "x") ];
+        store "y" (var "v");
+      ]
+  in
+  let loop = Compile.compile src in
+  check "nested conversion compiles" true (Ddg.validate loop.Loop.ddg)
+
+(* end to end: compile, schedule on a hierarchical clustered RF, and
+   execute the pipeline against the sequential reference *)
+let test_functional_end_to_end () =
+  let sources =
+    [
+      daxpy_src;
+      make ~name:"scan2" [ store "b" (arr ~off:(-1) "b" +: arr "x") ];
+      make ~name:"horner2" [ def "p" ((prev "p" *: param "x") +: arr "c") ];
+      make ~name:"clipped"
+        [
+          def "c" (arr "x" -: param "t");
+          if_ (var "c")
+            [ def "v" (sqrt_ (arr "x")) ]
+            [ def "v" (arr "x" /: param "t") ];
+          store "y" (var "v");
+        ];
+    ]
+  in
+  List.iter
+    (fun src ->
+      let loop = Compile.compile src in
+      List.iter
+        (fun cname ->
+          let config = Hcrf_model.Presets.published cname in
+          match Hcrf_core.Mirs_hc.schedule config loop.Loop.ddg with
+          | Error _ ->
+            Alcotest.fail (Fmt.str "%s on %s: no schedule" src.Ast.name cname)
+          | Ok o -> (
+            match Hcrf_pipesim.Pipe_exec.check loop o ~iterations:10 () with
+            | Ok _ -> ()
+            | Error e ->
+              Alcotest.fail
+                (Fmt.str "%s on %s: %a" src.Ast.name cname
+                   Hcrf_pipesim.Pipe_exec.pp_error e)))
+        [ "S128"; "4C32"; "2C32S32" ])
+    sources
+
+(* Random programs: build well-formed sources by construction, compile
+   them, schedule on a rotating set of configurations, and verify the
+   pipeline functionally.  Exercises CSE, dependence analysis,
+   IF-conversion, scheduling, allocation and the executor together. *)
+let random_source seed =
+  let rng = Hcrf_workload.Rng.create ~seed in
+  let arrays = [| "a"; "b"; "c"; "d" |] in
+  let params = [| "p"; "q" |] in
+  let scalars = ref [] in
+  let pick l = List.nth l (Hcrf_workload.Rng.int rng (List.length l)) in
+  let rec expr depth =
+    let leaf () =
+      match Hcrf_workload.Rng.int rng 4 with
+      | 0 | 1 ->
+        arr
+          ~off:(Hcrf_workload.Rng.range rng (-2) 2)
+          arrays.(Hcrf_workload.Rng.int rng (Array.length arrays))
+      | 2 when !scalars <> [] ->
+        if Hcrf_workload.Rng.bool rng 0.3 then
+          prev ~d:(Hcrf_workload.Rng.range rng 1 3) (pick !scalars)
+        else var (pick !scalars)
+      | _ -> param params.(Hcrf_workload.Rng.int rng (Array.length params))
+    in
+    if depth <= 0 then leaf ()
+    else
+      match Hcrf_workload.Rng.int rng 5 with
+      | 0 -> expr (depth - 1) +: expr (depth - 1)
+      | 1 -> expr (depth - 1) *: expr (depth - 1)
+      | 2 -> expr (depth - 1) -: expr (depth - 1)
+      | 3 -> sqrt_ (expr (depth - 1))
+      | _ -> leaf ()
+  in
+  let rec stmts n ~allow_if =
+    List.concat
+      (List.init n (fun _ ->
+           match Hcrf_workload.Rng.int rng 4 with
+           | 0 | 1 ->
+             let name = Fmt.str "s%d" (Hcrf_workload.Rng.int rng 4) in
+             let s = def name (expr 1 +: expr 1) in
+             scalars := name :: List.filter (( <> ) name) !scalars;
+             [ s ]
+           | 2 ->
+             [ store
+                 ~off:(Hcrf_workload.Rng.range rng (-1) 1)
+                 arrays.(Hcrf_workload.Rng.int rng (Array.length arrays))
+                 (expr 2) ]
+           | _ when allow_if ->
+             let c = Fmt.str "s%d" (Hcrf_workload.Rng.int rng 4) in
+             scalars := c :: List.filter (( <> ) c) !scalars;
+             def c (expr 0 +: expr 0)
+             :: [ if_ (var c) (stmts 2 ~allow_if:false)
+                    (stmts 1 ~allow_if:false) ]
+           | _ -> [ store "out" (expr 2) ]))
+  in
+  (* pre-define every scalar so a branch definition always has a prior
+     binding to merge with (a scalar local to one branch is invisible
+     after IF-conversion, by design) *)
+  let preamble =
+    List.init 4 (fun k ->
+        let name = Fmt.str "s%d" k in
+        scalars := name :: !scalars;
+        def name (arr arrays.(k mod Array.length arrays)))
+  in
+  let body = preamble @ stmts 5 ~allow_if:true @ [ store "out" (expr 2) ] in
+  make ~name:(Fmt.str "rand%d" seed) ~trip_count:64 body
+
+let prop_random_programs =
+  let configs = [| "S64"; "S32"; "4C32"; "2C32S32"; "4C16S16" |] in
+  QCheck.Test.make ~name:"random programs pipe-execute correctly" ~count:40
+    QCheck.(int_range 0 39)
+    (fun seed ->
+      let src = random_source (seed * 131 + 7) in
+      let loop = Compile.compile src in
+      let config =
+        Hcrf_model.Presets.published configs.(seed mod Array.length configs)
+      in
+      match Hcrf_eval.Runner.run_loop config loop with
+      | None -> false
+      | Some r -> (
+        match
+          Hcrf_pipesim.Pipe_exec.check loop r.Hcrf_eval.Runner.outcome
+            ~iterations:8 ()
+        with
+        | Ok _ -> true
+        | Error e ->
+          Fmt.epr "random program %s on %s: %a@." src.Ast.name
+            config.Hcrf_machine.Config.name Hcrf_pipesim.Pipe_exec.pp_error e;
+          false))
+
+let tests =
+  [
+    ("frontend: daxpy", `Quick, test_compile_daxpy);
+    ("frontend: cse", `Quick, test_cse_within_iteration);
+    ("frontend: store kills cse", `Quick, test_store_kills_cse);
+    ("frontend: loop-carried scalar", `Quick, test_loop_carried_scalar);
+    ("frontend: memory-carried dep", `Quick, test_memory_carried_dependence);
+    ("frontend: memory flow directions", `Quick, test_forward_memory_flow);
+    ("frontend: if conversion", `Quick, test_if_conversion);
+    ("frontend: conditional store", `Quick, test_if_conversion_store);
+    ("frontend: undefined scalar", `Quick, test_undefined_scalar_rejected);
+    ("frontend: nested if", `Quick, test_nested_if);
+    ("frontend: functional end-to-end", `Quick, test_functional_end_to_end);
+    QCheck_alcotest.to_alcotest prop_random_programs;
+  ]

@@ -1,0 +1,260 @@
+(* Unit and property tests for the IR: operations, dependence graphs,
+   SCC analysis and loop metadata. *)
+
+open Hcrf_ir
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Op *)
+
+let test_op_predicates () =
+  check "load is memory" true (Op.is_memory Op.Load);
+  check "spill store is memory" true (Op.is_memory Op.Spill_store);
+  check "fadd is not memory" false (Op.is_memory Op.Fadd);
+  check "fdiv is compute" true (Op.is_compute Op.Fdiv);
+  check "loadr is not compute" false (Op.is_compute Op.Load_r);
+  check "move is communication" true (Op.is_communication Op.Move);
+  check "storer is communication" true (Op.is_communication Op.Store_r);
+  check "spill load is not communication" false
+    (Op.is_communication Op.Spill_load);
+  check "store defines no value" false (Op.defines_value Op.Store);
+  check "spill store defines no value" false (Op.defines_value Op.Spill_store);
+  check "load defines a value" true (Op.defines_value Op.Load);
+  check "storer defines a value" true (Op.defines_value Op.Store_r);
+  check "fadd is original" true (Op.is_original Op.Fadd);
+  check "move is not original" false (Op.is_original Op.Move)
+
+let test_op_partition () =
+  (* every kind is exactly one of memory / compute / communication *)
+  List.iter
+    (fun k ->
+      let classes =
+        [ Op.is_memory k; Op.is_compute k; Op.is_communication k ]
+      in
+      check_int
+        (Fmt.str "%s in exactly one class" (Op.kind_name k))
+        1
+        (List.length (List.filter Fun.id classes)))
+    Op.all_kinds
+
+let test_op_names_unique () =
+  let names = List.map Op.kind_name Op.all_kinds in
+  check_int "kind names unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+(* ------------------------------------------------------------------ *)
+(* Ddg *)
+
+let diamond () =
+  (* l -> a -> s, l -> b -> s *)
+  let g = Ddg.create ~name:"diamond" () in
+  let l = Ddg.add_node g Op.Load in
+  let a = Ddg.add_node g Op.Fadd in
+  let b = Ddg.add_node g Op.Fmul in
+  let s = Ddg.add_node g Op.Store in
+  Ddg.add_edge g ~dep:Dep.True l a;
+  Ddg.add_edge g ~dep:Dep.True l b;
+  Ddg.add_edge g ~dep:Dep.True a s;
+  Ddg.add_edge g ~dep:Dep.True b s;
+  (g, l, a, b, s)
+
+let test_ddg_basics () =
+  let g, l, a, _, s = diamond () in
+  check_int "node count" 4 (Ddg.num_nodes g);
+  check_int "edge count" 4 (Ddg.num_edges g);
+  check "well-formed" true (Ddg.validate g);
+  check_int "load consumers" 2 (List.length (Ddg.consumers g l));
+  check_int "store operands" 2 (List.length (Ddg.operands g s));
+  check_int "add preds" 1 (List.length (Ddg.preds g a));
+  check_int "memory ops" 2 (Ddg.num_memory_ops g);
+  check_int "compute ops" 2 (Ddg.num_compute_ops g)
+
+let test_ddg_remove_node () =
+  let g, _, a, _, s = diamond () in
+  Ddg.remove_node g a;
+  check "still well-formed" true (Ddg.validate g);
+  check_int "nodes after removal" 3 (Ddg.num_nodes g);
+  check_int "store operands after removal" 1
+    (List.length (Ddg.operands g s));
+  check "removed node is gone" false (Ddg.mem g a)
+
+let test_ddg_remove_edge_single_occurrence () =
+  (* x * x: two identical parallel edges; removing one must keep the
+     other *)
+  let g = Ddg.create () in
+  let l = Ddg.add_node g Op.Load in
+  let m = Ddg.add_node g Op.Fmul in
+  Ddg.add_edge g ~dep:Dep.True l m;
+  Ddg.add_edge g ~dep:Dep.True l m;
+  check_int "two parallel edges" 2 (List.length (Ddg.operands g m));
+  (match Ddg.operands g m with
+  | e :: _ -> Ddg.remove_edge g e
+  | [] -> Alcotest.fail "missing edge");
+  check_int "one edge left" 1 (List.length (Ddg.operands g m));
+  check "still well-formed" true (Ddg.validate g)
+
+let test_ddg_copy_independent () =
+  let g, l, a, _, _ = diamond () in
+  let g' = Ddg.copy g in
+  Ddg.remove_node g' a;
+  check "original keeps node" true (Ddg.mem g a);
+  check_int "original keeps consumers" 2 (List.length (Ddg.consumers g l));
+  check "copy is well-formed" true (Ddg.validate g')
+
+let test_ddg_invariants () =
+  let g, _, a, b, _ = diamond () in
+  let inv = Ddg.add_invariant g ~consumers:[ a; b ] in
+  check_int "one invariant" 1 (List.length (Ddg.invariants g));
+  Ddg.add_invariant_consumer g ~inv_id:inv a;
+  (match Ddg.invariants g with
+  | [ i ] -> check_int "consumer list grew" 3 (List.length i.inv_consumers)
+  | _ -> Alcotest.fail "expected one invariant");
+  Ddg.remove_node g a;
+  (match Ddg.invariants g with
+  | [ i ] ->
+    check "removed node purged from invariant" false
+      (List.mem a i.inv_consumers)
+  | _ -> Alcotest.fail "expected one invariant")
+
+let test_ddg_has_edge () =
+  let g, l, a, _, _ = diamond () in
+  match Ddg.operands g a with
+  | e :: _ ->
+    check "has edge" true (Ddg.has_edge g e);
+    Ddg.remove_edge g e;
+    check "edge gone" false (Ddg.has_edge g e);
+    check "endpoints remain" true (Ddg.mem g l && Ddg.mem g a)
+  | [] -> Alcotest.fail "missing edge"
+
+let test_ddg_negative_distance_rejected () =
+  let g = Ddg.create () in
+  let a = Ddg.add_node g Op.Fadd in
+  let b = Ddg.add_node g Op.Fadd in
+  Alcotest.check_raises "negative distance"
+    (Invalid_argument "Ddg.add_edge: negative distance") (fun () ->
+      Ddg.add_edge g ~distance:(-1) ~dep:Dep.True a b)
+
+(* ------------------------------------------------------------------ *)
+(* Scc *)
+
+let test_scc_acyclic () =
+  let g, _, _, _, _ = diamond () in
+  check "no recurrence in a DAG" false (Scc.has_recurrence g);
+  check_int "four singleton components" 4 (List.length (Scc.sccs g))
+
+let test_scc_self_loop () =
+  let g = Ddg.create () in
+  let a = Ddg.add_node g Op.Fadd in
+  Ddg.add_edge g ~distance:1 ~dep:Dep.True a a;
+  check "self loop is a recurrence" true (Scc.has_recurrence g);
+  check_int "one recurrence" 1 (List.length (Scc.recurrences g))
+
+let test_scc_cycle () =
+  let g = Ddg.create () in
+  let a = Ddg.add_node g Op.Fadd in
+  let b = Ddg.add_node g Op.Fmul in
+  let c = Ddg.add_node g Op.Fadd in
+  Ddg.add_edge g ~dep:Dep.True a b;
+  Ddg.add_edge g ~dep:Dep.True b c;
+  Ddg.add_edge g ~distance:2 ~dep:Dep.True c a;
+  let recs = Scc.recurrences g in
+  check_int "one recurrence" 1 (List.length recs);
+  check_int "three nodes in it" 3 (List.length (List.hd recs))
+
+let test_scc_two_components () =
+  let g = Ddg.create () in
+  let a = Ddg.add_node g Op.Fadd in
+  let b = Ddg.add_node g Op.Fadd in
+  Ddg.add_edge g ~distance:1 ~dep:Dep.True a a;
+  Ddg.add_edge g ~distance:1 ~dep:Dep.True b b;
+  Ddg.add_edge g ~dep:Dep.True a b;
+  check_int "two recurrences" 2 (List.length (Scc.recurrences g))
+
+(* ------------------------------------------------------------------ *)
+(* Loop *)
+
+let test_loop_metadata () =
+  let g, l, _, _, s = diamond () in
+  let loop =
+    Loop.make ~trip_count:10 ~entries:3
+      ~streams:[ { Loop.op = l; base = 0; stride = 8 } ]
+      g
+  in
+  check_int "total iterations" 30 (Loop.total_iterations loop);
+  check_int "memory refs per iter" 2 (Loop.memory_refs_per_iter loop);
+  check "stream found" true (Loop.stream_for loop l <> None);
+  check "no stream for store" true (Loop.stream_for loop s = None)
+
+let test_loop_rejects_bad_counts () =
+  let g, _, _, _, _ = diamond () in
+  Alcotest.check_raises "zero trip count"
+    (Invalid_argument "Loop.make: trip_count < 1") (fun () ->
+      ignore (Loop.make ~trip_count:0 g))
+
+(* ------------------------------------------------------------------ *)
+(* Properties over generated graphs *)
+
+let suite_graphs = lazy (Hcrf_workload.Suite.generate ~n:40 ())
+
+let prop_generated_well_formed =
+  QCheck.Test.make ~name:"generated DDGs are well-formed" ~count:40
+    QCheck.(int_range 0 39)
+    (fun i ->
+      let l = List.nth (Lazy.force suite_graphs) i in
+      Ddg.validate l.Loop.ddg)
+
+let prop_copy_equals =
+  QCheck.Test.make ~name:"copy preserves node and edge counts" ~count:40
+    QCheck.(int_range 0 39)
+    (fun i ->
+      let l = List.nth (Lazy.force suite_graphs) i in
+      let g = l.Loop.ddg in
+      let g' = Ddg.copy g in
+      Ddg.num_nodes g = Ddg.num_nodes g'
+      && Ddg.num_edges g = Ddg.num_edges g')
+
+let prop_cycles_carry_distance =
+  (* every recurrence circuit must contain a loop-carried edge, otherwise
+     the loop would be unschedulable *)
+  QCheck.Test.make ~name:"every SCC cycle has distance >= 1" ~count:40
+    QCheck.(int_range 0 39)
+    (fun i ->
+      let l = List.nth (Lazy.force suite_graphs) i in
+      let g = l.Loop.ddg in
+      List.for_all
+        (fun scc ->
+          let in_scc v = List.mem v scc in
+          (* total distance around the component is positive: at least
+             one edge inside the SCC carries distance *)
+          List.exists
+            (fun v ->
+              List.exists
+                (fun (e : Ddg.edge) -> in_scc e.dst && e.distance > 0)
+                (Ddg.succs g v))
+            scc)
+        (Scc.recurrences g))
+
+let tests =
+  [
+    ("op: predicates", `Quick, test_op_predicates);
+    ("op: exactly one class", `Quick, test_op_partition);
+    ("op: names unique", `Quick, test_op_names_unique);
+    ("ddg: basics", `Quick, test_ddg_basics);
+    ("ddg: remove node", `Quick, test_ddg_remove_node);
+    ("ddg: parallel edges", `Quick, test_ddg_remove_edge_single_occurrence);
+    ("ddg: copy independent", `Quick, test_ddg_copy_independent);
+    ("ddg: invariants", `Quick, test_ddg_invariants);
+    ("ddg: has_edge", `Quick, test_ddg_has_edge);
+    ("ddg: negative distance", `Quick, test_ddg_negative_distance_rejected);
+    ("scc: acyclic", `Quick, test_scc_acyclic);
+    ("scc: self loop", `Quick, test_scc_self_loop);
+    ("scc: cycle", `Quick, test_scc_cycle);
+    ("scc: two components", `Quick, test_scc_two_components);
+    ("loop: metadata", `Quick, test_loop_metadata);
+    ("loop: bad counts", `Quick, test_loop_rejects_bad_counts);
+    QCheck_alcotest.to_alcotest prop_generated_well_formed;
+    QCheck_alcotest.to_alcotest prop_copy_equals;
+    QCheck_alcotest.to_alcotest prop_cycles_carry_distance;
+  ]

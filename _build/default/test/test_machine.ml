@@ -1,0 +1,169 @@
+(* Tests for the machine description: capacities, RF organizations and
+   their notation, latencies and processor configurations. *)
+
+open Hcrf_machine
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Cap *)
+
+let test_cap () =
+  check "fits finite" true (Cap.fits 4 (Cap.Finite 4));
+  check "exceeds finite" true (Cap.exceeds 5 (Cap.Finite 4));
+  check "inf fits anything" true (Cap.fits max_int Cap.Inf);
+  check "min finite inf" true (Cap.equal (Cap.min Cap.Inf (Cap.Finite 3)) (Cap.Finite 3));
+  check_int "to_int_exn" 7 (Cap.to_int_exn (Cap.Finite 7));
+  Alcotest.check_raises "to_int_exn on inf"
+    (Invalid_argument "Cap.to_int_exn: unbounded capacity") (fun () ->
+      ignore (Cap.to_int_exn Cap.Inf));
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Cap.of_int: negative capacity") (fun () ->
+      ignore (Cap.of_int (-1)))
+
+(* ------------------------------------------------------------------ *)
+(* Rf notation *)
+
+let test_rf_notation_print () =
+  check_str "monolithic" "S128" (Rf.notation (Rf.monolithic 128));
+  check_str "clustered" "4C32"
+    (Rf.notation (Rf.clustered ~clusters:4 ~regs_per_bank:32 ()));
+  check_str "hierarchical" "2C32S64"
+    (Rf.notation
+       (Rf.hierarchical ~clusters:2 ~regs_per_bank:32 ~shared_regs:64 ()))
+
+let test_rf_notation_parse () =
+  List.iter
+    (fun s -> check_str ("round trip " ^ s) s (Rf.notation (Rf.of_notation s)))
+    [ "S128"; "S64"; "S32"; "2C64"; "4C32"; "1C64S32"; "2C32S32"; "8C16S16";
+      "Sinf"; "4CinfSinf" ]
+
+let test_rf_notation_rejects () =
+  List.iter
+    (fun s ->
+      check ("rejects " ^ s) true
+        (try
+           ignore (Rf.of_notation s);
+           false
+         with Failure _ -> true))
+    [ "X128"; "C32"; "4C"; "S"; "0C32"; "fooS12" ]
+
+let test_rf_capacities () =
+  let h = Rf.of_notation "4C16S64" in
+  check "local regs" true (Cap.equal (Rf.local_regs h) (Cap.Finite 16));
+  check "shared regs" true (Cap.equal (Rf.shared_regs h) (Cap.Finite 64));
+  check "total" true (Cap.equal (Rf.total_regs h) (Cap.Finite 128));
+  check_int "clusters" 4 (Rf.clusters h);
+  check "hierarchical" true (Rf.is_hierarchical h);
+  check "clustered too" true (Rf.is_clustered h);
+  let m = Rf.monolithic 64 in
+  check "monolithic not clustered" false (Rf.is_clustered m);
+  check "monolithic total" true (Cap.equal (Rf.total_regs m) (Cap.Finite 64));
+  let c = Rf.clustered ~clusters:2 ~regs_per_bank:32 () in
+  check "clustered total" true (Cap.equal (Rf.total_regs c) (Cap.Finite 64));
+  check "flat cluster is not hierarchical" false (Rf.is_hierarchical c)
+
+let test_rf_clustered_needs_two () =
+  Alcotest.check_raises "1-cluster flat RF rejected"
+    (Invalid_argument "Rf.clustered: needs >= 2 clusters") (fun () ->
+      ignore (Rf.clustered ~clusters:1 ~regs_per_bank:32 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Latencies *)
+
+let test_latencies_baseline () =
+  let l = Latencies.baseline in
+  check_int "fadd" 4 (Latencies.of_kind l Hcrf_ir.Op.Fadd);
+  check_int "fdiv" 17 (Latencies.of_kind l Hcrf_ir.Op.Fdiv);
+  check_int "fsqrt" 30 (Latencies.of_kind l Hcrf_ir.Op.Fsqrt);
+  check_int "load" 2 (Latencies.of_kind l Hcrf_ir.Op.Load);
+  check_int "store" 1 (Latencies.of_kind l Hcrf_ir.Op.Store);
+  check_int "spill load = load" 2 (Latencies.of_kind l Hcrf_ir.Op.Spill_load);
+  check "div not pipelined" false (Latencies.pipelined Hcrf_ir.Op.Fdiv);
+  check "sqrt not pipelined" false (Latencies.pipelined Hcrf_ir.Op.Fsqrt);
+  check "add pipelined" true (Latencies.pipelined Hcrf_ir.Op.Fadd);
+  check "load pipelined" true (Latencies.pipelined Hcrf_ir.Op.Load)
+
+(* ------------------------------------------------------------------ *)
+(* Config *)
+
+let test_config_defaults () =
+  let c = Config.make (Rf.monolithic 128) in
+  check_int "8 FUs" 8 c.Config.n_fus;
+  check_int "4 mem ports" 4 c.Config.n_mem_ports;
+  check_int "1 cluster" 1 (Config.clusters c);
+  check_int "8 fus per cluster" 8 (Config.fus_per_cluster c);
+  check_str "auto name" "S128" c.Config.name
+
+let test_config_distribution () =
+  let c = Config.make (Rf.of_notation "4C32") in
+  check_int "2 fus per cluster" 2 (Config.fus_per_cluster c);
+  check_int "1 mem port per cluster" 1 (Config.mem_ports_per_cluster c);
+  let h = Config.make (Rf.of_notation "8C16S16") in
+  check_int "1 fu per cluster" 1 (Config.fus_per_cluster h);
+  (* hierarchical: memory ports are global *)
+  check_int "4 global mem ports" 4 (Config.mem_ports_per_cluster h)
+
+let test_config_rejects_indivisible () =
+  check "3 clusters of 8 FUs rejected" true
+    (try
+       ignore
+         (Config.make
+            (Rf.hierarchical ~clusters:3 ~regs_per_bank:16 ~shared_regs:32 ()));
+       false
+     with Invalid_argument _ -> true);
+  (* 8 flat clusters with 4 memory ports is impossible (the paper's
+     motivation for the hierarchy) *)
+  check "8 flat clusters rejected" true
+    (try
+       ignore (Config.make (Rf.clustered ~clusters:8 ~regs_per_bank:16 ()));
+       false
+     with Invalid_argument _ -> true);
+  (* ... but 8 hierarchical clusters are fine *)
+  check "8 hierarchical clusters ok" true
+    (try
+       ignore
+         (Config.make
+            (Rf.hierarchical ~clusters:8 ~regs_per_bank:16 ~shared_regs:16 ()));
+       true
+     with Invalid_argument _ -> false)
+
+let test_config_miss_cycles () =
+  let c = Config.make ~cycle_ns:1.0 (Rf.monolithic 64) in
+  check_int "10ns at 1ns clock" 10 (Config.miss_cycles c);
+  let f = Config.make ~cycle_ns:0.389 (Rf.monolithic 64) in
+  check_int "10ns at 0.389ns clock" 26 (Config.miss_cycles f)
+
+let prop_notation_roundtrip =
+  QCheck.Test.make ~name:"rf notation round-trips" ~count:200
+    QCheck.(
+      triple (int_range 1 8) (int_range 1 512) (option (int_range 1 512)))
+    (fun (x, y, z) ->
+      QCheck.assume (z <> None || x >= 2);
+      let rf =
+        match z with
+        | None ->
+          if x = 1 then Rf.monolithic y
+          else Rf.clustered ~clusters:x ~regs_per_bank:y ()
+        | Some z ->
+          Rf.hierarchical ~clusters:x ~regs_per_bank:y ~shared_regs:z ()
+      in
+      Rf.equal rf (Rf.of_notation (Rf.notation rf)))
+
+let tests =
+  [
+    ("cap: operations", `Quick, test_cap);
+    ("rf: notation print", `Quick, test_rf_notation_print);
+    ("rf: notation parse", `Quick, test_rf_notation_parse);
+    ("rf: notation rejects", `Quick, test_rf_notation_rejects);
+    ("rf: capacities", `Quick, test_rf_capacities);
+    ("rf: clustered needs two", `Quick, test_rf_clustered_needs_two);
+    ("latencies: baseline", `Quick, test_latencies_baseline);
+    ("config: defaults", `Quick, test_config_defaults);
+    ("config: distribution", `Quick, test_config_distribution);
+    ("config: indivisible", `Quick, test_config_rejects_indivisible);
+    ("config: miss cycles", `Quick, test_config_miss_cycles);
+    QCheck_alcotest.to_alcotest prop_notation_roundtrip;
+  ]

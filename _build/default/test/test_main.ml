@@ -1,0 +1,18 @@
+(* Test entry point: one alcotest section per library. *)
+
+let () =
+  Alcotest.run "hcrf"
+    [
+      ("ir", Test_ir.tests);
+      ("machine", Test_machine.tests);
+      ("model", Test_model.tests);
+      ("sched", Test_sched.tests);
+      ("engine", Test_engine.tests);
+      ("workload", Test_workload.tests);
+      ("memsim", Test_memsim.tests);
+      ("eval", Test_eval.tests);
+      ("pipesim", Test_pipesim.tests);
+      ("frontend", Test_frontend.tests);
+      ("codegen", Test_codegen.tests);
+      ("topology", Test_topology.tests);
+    ]

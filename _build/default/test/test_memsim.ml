@@ -1,0 +1,186 @@
+(* Tests for the memory hierarchy: cache behaviour, the MSHR/stall
+   model and the selective binding-prefetch planner. *)
+
+open Hcrf_memsim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Cache *)
+
+let test_cache_geometry () =
+  let c = Cache.create () in
+  check_int "line bytes" 32 c.Cache.line_bytes;
+  check_int "sets (32KB, 2-way)" 512 c.Cache.sets;
+  Alcotest.check_raises "bad geometry"
+    (Invalid_argument "Cache.create: size not divisible by line*assoc")
+    (fun () -> ignore (Cache.create ~size_bytes:1000 ()))
+
+let test_cache_unit_stride () =
+  (* stride-8 doubles: one miss per 32-byte line, then 3 hits *)
+  let c = Cache.create () in
+  for i = 0 to 4 * 100 - 1 do
+    ignore (Cache.access c (i * 8))
+  done;
+  check_int "one miss per line" 100 c.Cache.misses;
+  check_int "hits" 300 c.Cache.hits
+
+let test_cache_temporal_reuse () =
+  let c = Cache.create () in
+  ignore (Cache.access c 64);
+  check "second access hits" true (Cache.access c 64);
+  check "same line hits" true (Cache.access c 65)
+
+let test_cache_lru_eviction () =
+  let c = Cache.create ~size_bytes:128 ~line_bytes:32 ~assoc:2 () in
+  (* 2 sets of 2 ways; three lines mapping to set 0: 0, 128, 256 *)
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 128);
+  ignore (Cache.access c 0);   (* touch 0: 128 becomes LRU *)
+  ignore (Cache.access c 256); (* evicts 128 *)
+  check "0 still resident" true (Cache.access c 0);
+  check "128 evicted" false (Cache.access c 128)
+
+let test_cache_counters_reset () =
+  let c = Cache.create () in
+  ignore (Cache.access c 0);
+  Cache.reset_counters c;
+  check_int "misses cleared" 0 c.Cache.misses;
+  check "hit rate 1.0 when empty" true (Cache.hit_rate c = 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Sim *)
+
+let mk_ref ?(node = 0) ?(is_load = true) ?(offset = 0) ?(sched = 2)
+    ?(base = 0) ?(stride = 8) () =
+  { Sim.node; is_load; issue_offset = offset; sched_latency = sched; base;
+    stride }
+
+let test_sim_all_hits_no_stall () =
+  (* stride 0: after the first fill everything hits; with a generous
+     schedule latency the single compulsory miss is absorbed *)
+  let r =
+    Sim.run ~ii:4 ~hit_read:2 ~miss_cycles:10 ~n:100 ~e:1
+      [ mk_ref ~stride:0 ~sched:10 () ]
+  in
+  check "no stall" true (r.Sim.stall_cycles = 0.);
+  check_int "one compulsory miss" 1 r.Sim.misses
+
+let test_sim_hit_scheduled_miss_stalls () =
+  (* a load scheduled with hit latency that misses pays ~(miss - hit) *)
+  let r =
+    Sim.run ~ii:4 ~hit_read:2 ~miss_cycles:12 ~n:1 ~e:1
+      [ mk_ref ~sched:2 () ]
+  in
+  check "stalls by miss - hit" true (r.Sim.stall_cycles = 10.)
+
+let test_sim_prefetched_miss_no_stall () =
+  let r =
+    Sim.run ~ii:4 ~hit_read:2 ~miss_cycles:12 ~n:64 ~e:1
+      [ mk_ref ~sched:12 () ]
+  in
+  check "prefetch hides misses" true (r.Sim.stall_cycles = 0.)
+
+let test_sim_stall_scales_with_entries () =
+  let one =
+    Sim.run ~ii:4 ~hit_read:2 ~miss_cycles:12 ~n:1 ~e:1 [ mk_ref () ]
+  in
+  let ten =
+    Sim.run ~ii:4 ~hit_read:2 ~miss_cycles:12 ~n:1 ~e:10 [ mk_ref () ]
+  in
+  check "10 entries, 10x stall" true
+    (ten.Sim.stall_cycles = 10. *. one.Sim.stall_cycles)
+
+let test_sim_mshr_merge () =
+  (* two loads of the same line in the same iteration: one fill, the
+     second merges (no double stall) *)
+  let refs = [ mk_ref ~node:0 ~sched:12 (); mk_ref ~node:1 ~offset:1 ~sched:12 () ] in
+  let r = Sim.run ~ii:8 ~hit_read:2 ~miss_cycles:12 ~n:32 ~e:1 refs in
+  check "merged fills cause no stall" true (r.Sim.stall_cycles = 0.)
+
+let test_sim_bandwidth_bound () =
+  (* 9 distinct streams with stride 32 miss every iteration; with only
+     2 MSHRs and a long miss the memory cannot keep up, so even
+     prefetched loads stall *)
+  let refs =
+    List.init 9 (fun k ->
+        mk_ref ~node:k ~base:(k * 1000000) ~stride:32 ~sched:20 ())
+  in
+  let r = Sim.run ~mshrs:2 ~ii:4 ~hit_read:2 ~miss_cycles:20 ~n:256 ~e:1 refs in
+  check "bandwidth bound stalls" true (r.Sim.stall_cycles > 0.)
+
+let test_sim_stores_never_stall () =
+  let refs =
+    List.init 6 (fun k ->
+        mk_ref ~node:k ~is_load:false ~base:(k * 1000000) ~stride:32
+          ~sched:0 ())
+  in
+  let r = Sim.run ~ii:2 ~hit_read:2 ~miss_cycles:20 ~n:128 ~e:1 refs in
+  check "store misses don't stall" true (r.Sim.stall_cycles = 0.);
+  check "store misses counted" true (r.Sim.misses > 0)
+
+let test_sim_iteration_cap () =
+  let r =
+    Sim.run ~ii:4 ~hit_read:2 ~miss_cycles:12 ~n:1_000_000 ~e:1
+      [ mk_ref () ]
+  in
+  check_int "bounded simulation" Sim.max_sim_iterations
+    r.Sim.simulated_iterations
+
+(* ------------------------------------------------------------------ *)
+(* Prefetch *)
+
+let test_prefetch_plan () =
+  let config = Hcrf_model.Presets.published "S64" in
+  let l = Hcrf_workload.Kernels.find "daxpy" in
+  let plan = Prefetch.plan config l in
+  (* daxpy: both loads are outside recurrences -> prefetched with the
+     miss latency *)
+  Hcrf_ir.Ddg.iter_nodes l.Hcrf_ir.Loop.ddg (fun n ->
+      if Hcrf_ir.Op.equal_kind n.kind Hcrf_ir.Op.Load then
+        check "load prefetched" true
+          (plan n.id = Some (Hcrf_machine.Config.miss_cycles config))
+      else check "non-load untouched" true (plan n.id = None))
+
+let test_prefetch_skips_recurrence_loads () =
+  let config = Hcrf_model.Presets.published "S64" in
+  (* build a memory-carried recurrence: load -> add -> store -> load *)
+  let g = Hcrf_ir.Ddg.create () in
+  let l = Hcrf_ir.Ddg.add_node g Hcrf_ir.Op.Load in
+  let a = Hcrf_ir.Ddg.add_node g Hcrf_ir.Op.Fadd in
+  let s = Hcrf_ir.Ddg.add_node g Hcrf_ir.Op.Store in
+  Hcrf_ir.Ddg.add_edge g ~dep:Hcrf_ir.Dep.True l a;
+  Hcrf_ir.Ddg.add_edge g ~dep:Hcrf_ir.Dep.True a s;
+  Hcrf_ir.Ddg.add_edge g ~distance:1 ~dep:Hcrf_ir.Dep.True s l;
+  let loop = Hcrf_ir.Loop.make ~trip_count:1000 g in
+  let plan = Prefetch.plan config loop in
+  check "recurrence load kept at hit latency" true (plan l = None)
+
+let test_prefetch_skips_short_loops () =
+  let config = Hcrf_model.Presets.published "S64" in
+  let l = Hcrf_workload.Kernels.find "daxpy" in
+  let short = { l with Hcrf_ir.Loop.trip_count = 8 } in
+  let plan = Prefetch.plan config short in
+  Hcrf_ir.Ddg.iter_nodes short.Hcrf_ir.Loop.ddg (fun n ->
+      check "short loop: nothing prefetched" true (plan n.id = None))
+
+let tests =
+  [
+    ("cache: geometry", `Quick, test_cache_geometry);
+    ("cache: unit stride", `Quick, test_cache_unit_stride);
+    ("cache: temporal reuse", `Quick, test_cache_temporal_reuse);
+    ("cache: lru eviction", `Quick, test_cache_lru_eviction);
+    ("cache: counters", `Quick, test_cache_counters_reset);
+    ("sim: all hits", `Quick, test_sim_all_hits_no_stall);
+    ("sim: hit-scheduled miss", `Quick, test_sim_hit_scheduled_miss_stalls);
+    ("sim: prefetched miss", `Quick, test_sim_prefetched_miss_no_stall);
+    ("sim: scales with entries", `Quick, test_sim_stall_scales_with_entries);
+    ("sim: mshr merge", `Quick, test_sim_mshr_merge);
+    ("sim: bandwidth bound", `Quick, test_sim_bandwidth_bound);
+    ("sim: stores", `Quick, test_sim_stores_never_stall);
+    ("sim: iteration cap", `Quick, test_sim_iteration_cap);
+    ("prefetch: plan", `Quick, test_prefetch_plan);
+    ("prefetch: recurrence loads", `Quick, test_prefetch_skips_recurrence_loads);
+    ("prefetch: short loops", `Quick, test_prefetch_skips_short_loops);
+  ]

@@ -1,0 +1,202 @@
+(* Tests for the technology model: per-bank ports, the CACTI surrogate
+   against the paper's published numbers, and the FO4 timing
+   derivation. *)
+
+open Hcrf_machine
+open Hcrf_model
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Ports *)
+
+let test_ports_monolithic () =
+  (* §3: S128 has 20 read ports (2/FU + 1/mem port) and 12 write ports *)
+  let c = Config.make (Rf.of_notation "S128") in
+  let p = Ports.local_bank c in
+  check_int "reads" 20 p.Ports.reads;
+  check_int "writes" 12 p.Ports.writes;
+  check "no shared bank" true (Ports.shared_bank c = None)
+
+let test_ports_clustered () =
+  let c = Config.make (Rf.of_notation "4C32") in
+  let p = Ports.local_bank c in
+  (* 2 FUs: 4r+2w; 1 mem port: 1r+1w; bus: 1 in (w) + 1 out (r) *)
+  check_int "reads" 6 p.Ports.reads;
+  check_int "writes" 4 p.Ports.writes
+
+let test_ports_hierarchical () =
+  let c =
+    Config.make
+      (Rf.hierarchical ~clusters:4 ~regs_per_bank:16 ~shared_regs:16
+         ~lp:(Cap.Finite 2) ~sp:(Cap.Finite 1) ())
+  in
+  let local = Ports.local_bank c in
+  (* 2 FUs: 4r+2w; sp=1 read out; lp=2 writes in *)
+  check_int "local reads" 5 local.Ports.reads;
+  check_int "local writes" 4 local.Ports.writes;
+  match Ports.shared_bank c with
+  | None -> Alcotest.fail "expected a shared bank"
+  | Some shared ->
+    (* 4 mem ports (4r+4w) + 4 clusters * (lp=2 reads, sp=1 writes) *)
+    check_int "shared reads" 12 shared.Ports.reads;
+    check_int "shared writes" 8 shared.Ports.writes
+
+(* ------------------------------------------------------------------ *)
+(* Cacti surrogate vs published access times *)
+
+let test_cacti_vs_published () =
+  (* the analytic surrogate must stay within 20% of every published
+     local-bank access time of Table 5 *)
+  List.iter
+    (fun (row : Hw_table.row) ->
+      let r = Hcrf_eval.Experiments.hw_row row in
+      let err =
+        abs_float (r.Hcrf_eval.Experiments.model_access_c -. row.access_local_ns)
+        /. row.access_local_ns
+      in
+      check
+        (Fmt.str "%s access within 20%% (got %.3f vs %.3f)" row.notation
+           r.Hcrf_eval.Experiments.model_access_c row.access_local_ns)
+        true (err < 0.20))
+    Hw_table.table5
+
+let test_cacti_monotonic_in_regs () =
+  let t r = Cacti.access_time_ns (Cacti.bank ~regs:r ~ports:16 ()) in
+  check "64 < 128" true (t 64 < t 128);
+  check "32 < 64" true (t 32 < t 64)
+
+let test_cacti_monotonic_in_ports () =
+  let t p = Cacti.access_time_ns (Cacti.bank ~regs:64 ~ports:p ()) in
+  check "8 < 16" true (t 8 < t 16);
+  check "16 < 32" true (t 16 < t 32)
+
+let test_cacti_area_monotonic () =
+  let a r p = Cacti.area_mlambda2 (Cacti.bank ~regs:r ~ports:p ()) in
+  check "area grows with regs" true (a 64 16 < a 128 16);
+  check "area grows with ports" true (a 64 8 < a 64 16)
+
+let test_cacti_clustering_shrinks_banks () =
+  (* the core claim of §3: a distributed bank is much faster than the
+     monolithic RF of the same total capacity *)
+  let mono = Cacti.estimate (Config.make (Rf.of_notation "S128")) in
+  let clus = Cacti.estimate (Config.make (Rf.of_notation "4C32")) in
+  check "cluster bank at least 2x faster" true
+    (clus.Cacti.local_access_ns *. 2. < mono.Cacti.local_access_ns);
+  check "clustered total area smaller" true
+    (clus.Cacti.total_area_mlambda2 < mono.Cacti.total_area_mlambda2)
+
+(* ------------------------------------------------------------------ *)
+(* Timing *)
+
+let test_timing_depth_and_clock () =
+  (* the S128 anchor of Table 5: 1.145ns -> 31 FO4 -> 1.181ns clock *)
+  check_int "S128 depth" 31 (Timing.logic_depth_fo4 ~access_ns:1.145);
+  Alcotest.(check (float 0.001))
+    "S128 clock" 1.181
+    (Timing.cycle_ns ~access_ns:1.145);
+  check_int "S32 depth" 18 (Timing.logic_depth_fo4 ~access_ns:0.685);
+  Alcotest.(check (float 0.001))
+    "S32 clock" 0.713
+    (Timing.cycle_ns ~access_ns:0.685)
+
+let test_timing_vs_published_table5 () =
+  (* from each published access time, the derived clock must match the
+     published clock exactly, and the latencies within one cycle *)
+  let exact = ref 0 in
+  List.iter
+    (fun (row : Hw_table.row) ->
+      let clk = Timing.cycle_ns ~access_ns:row.access_local_ns in
+      if abs_float (clk -. row.clock_ns) < 0.0005 then incr exact;
+      let fu = Timing.fu_latency ~cycle_ns:clk in
+      check
+        (Fmt.str "%s fu latency within 1 (got %d vs %d)" row.notation fu
+           row.fu_latency)
+        true
+        (abs (fu - row.fu_latency) <= 1);
+      let mem = Timing.mem_read_latency ~cycle_ns:clk ~fu_latency:fu in
+      check
+        (Fmt.str "%s mem latency within 1 (got %d vs %d)" row.notation mem
+           row.mem_latency)
+        true
+        (abs (mem - row.mem_latency) <= 1))
+    Hw_table.table5;
+  check (Fmt.str "clock exact on >= 12/15 rows (got %d)" !exact) true
+    (!exact >= 12)
+
+let test_timing_latency_scaling () =
+  check_int "div scales from fu" 17 (Timing.fdiv_latency ~fu_latency:4);
+  check_int "sqrt scales from fu" 30 (Timing.fsqrt_latency ~fu_latency:4);
+  check_int "div at fu=6" 26 (Timing.fdiv_latency ~fu_latency:6);
+  check_int "loadr 1 cycle when shared fast" 1
+    (Timing.inter_level_latency ~cycle_ns:0.533 ~shared_access_ns:0.51);
+  check_int "loadr 2 cycles when shared slow" 2
+    (Timing.inter_level_latency ~cycle_ns:0.389 ~shared_access_ns:0.532)
+
+(* ------------------------------------------------------------------ *)
+(* Hw_table / Presets *)
+
+let test_hw_table_lookup () =
+  check_int "15 published rows" 15 (List.length Hw_table.table5);
+  check "find S128" true (Hw_table.find "S128" <> None);
+  check "find 1C64S64" true (Hw_table.find "1C64S64" <> None);
+  check "missing row" true (Hw_table.find "S1024" = None)
+
+let test_presets_published () =
+  let c = Presets.published "4C16S16" in
+  (* Table 5 row 4C16S16: Mem/FU latencies = 4 / 7 *)
+  check_int "fu latency" 7 c.Config.lats.Latencies.fadd;
+  check_int "mem latency" 4 c.Config.lats.Latencies.mem_read;
+  check_int "loadr latency" 2 c.Config.lats.Latencies.loadr;
+  Alcotest.(check (float 0.0001)) "clock" 0.425 c.Config.cycle_ns;
+  check_int "all 15 configs build" 15
+    (List.length (Presets.table5_configs ()))
+
+let test_presets_static () =
+  List.iter
+    (fun notation ->
+      let c = Presets.static_config ~bounded_bandwidth:true notation in
+      check (notation ^ " has unbounded registers") true
+        (Cap.is_inf (Rf.local_regs c.Config.rf)))
+    Presets.table3_notations;
+  (* bounded vs unbounded bandwidth differ *)
+  let b = Presets.static_config ~bounded_bandwidth:true "4CinfSinf" in
+  let u = Presets.static_config ~bounded_bandwidth:false "4CinfSinf" in
+  check "bounded has finite lp" true
+    (not (Cap.is_inf (Rf.lp b.Config.rf)));
+  check "unbounded has infinite lp" true (Cap.is_inf (Rf.lp u.Config.rf))
+
+let test_presets_of_model () =
+  let c = Presets.of_model (Rf.of_notation "4C32") in
+  check "derived clock positive" true (c.Config.cycle_ns > 0.1);
+  check "faster than monolithic" true
+    (c.Config.cycle_ns < (Presets.of_model (Rf.of_notation "S128")).Config.cycle_ns)
+
+let test_figure1_configs () =
+  let cs = Presets.figure1_configs () in
+  check_int "five points" 5 (List.length cs);
+  List.iter
+    (fun (c : Config.t) ->
+      check_int "2:1 fu/mem ratio" c.Config.n_fus (2 * c.Config.n_mem_ports))
+    cs
+
+let tests =
+  [
+    ("ports: monolithic", `Quick, test_ports_monolithic);
+    ("ports: clustered", `Quick, test_ports_clustered);
+    ("ports: hierarchical", `Quick, test_ports_hierarchical);
+    ("cacti: vs published", `Quick, test_cacti_vs_published);
+    ("cacti: monotonic regs", `Quick, test_cacti_monotonic_in_regs);
+    ("cacti: monotonic ports", `Quick, test_cacti_monotonic_in_ports);
+    ("cacti: area monotonic", `Quick, test_cacti_area_monotonic);
+    ("cacti: clustering shrinks", `Quick, test_cacti_clustering_shrinks_banks);
+    ("timing: depth and clock", `Quick, test_timing_depth_and_clock);
+    ("timing: vs table5", `Quick, test_timing_vs_published_table5);
+    ("timing: latency scaling", `Quick, test_timing_latency_scaling);
+    ("hw_table: lookup", `Quick, test_hw_table_lookup);
+    ("presets: published", `Quick, test_presets_published);
+    ("presets: static", `Quick, test_presets_static);
+    ("presets: of_model", `Quick, test_presets_of_model);
+    ("presets: figure1", `Quick, test_figure1_configs);
+  ]

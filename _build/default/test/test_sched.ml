@@ -1,0 +1,350 @@
+(* Unit tests for the scheduling substrate: MII bounds, HRMS ordering,
+   the modulo reservation table, lifetimes, the priority queue and the
+   rotating register allocator. *)
+
+open Hcrf_ir
+open Hcrf_machine
+open Hcrf_sched
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let s128 = lazy (Hcrf_model.Presets.published "S128")
+let kernel = Hcrf_workload.Kernels.find
+
+(* ------------------------------------------------------------------ *)
+(* Mii *)
+
+let test_mii_daxpy () =
+  let l = kernel "daxpy" in
+  let b = Mii.bounds (Lazy.force s128) l.Loop.ddg in
+  (* 2 compute ops / 8 FUs -> 1; 3 memory ops / 4 ports -> 1; acyclic *)
+  check_int "fu bound" 1 b.Mii.fu;
+  check_int "mem bound" 1 b.Mii.mem;
+  check_int "rec bound" 1 b.Mii.rec_;
+  check_int "mii" 1 (Mii.compute (Lazy.force s128) l.Loop.ddg)
+
+let test_mii_dot_recurrence () =
+  (* s += x*y: the accumulator add (latency 4, distance 1) gives
+     RecMII 4 *)
+  let l = kernel "dot" in
+  let b = Mii.bounds (Lazy.force s128) l.Loop.ddg in
+  check_int "rec bound" 4 b.Mii.rec_;
+  check_int "mii" 4 (Mii.compute (Lazy.force s128) l.Loop.ddg)
+
+let test_mii_tridiag_recurrence () =
+  (* x[i] = d[i] - a[i]*x[i-1]: mul + sub in the circuit -> 8 *)
+  let l = kernel "tridiag" in
+  check_int "mii" 8 (Mii.compute (Lazy.force s128) l.Loop.ddg)
+
+let test_mii_distance_divides () =
+  (* a 2-op circuit with distance 2 has RecMII ceil(8/2) = 4 *)
+  let g = Ddg.create () in
+  let a = Ddg.add_node g Op.Fadd in
+  let b = Ddg.add_node g Op.Fmul in
+  Ddg.add_edge g ~dep:Dep.True a b;
+  Ddg.add_edge g ~distance:2 ~dep:Dep.True b a;
+  let lat = Latency.make (Lazy.force s128) in
+  check_int "recmii" 4 (Mii.rec_mii lat g)
+
+let test_mii_non_pipelined_div () =
+  (* 17-cycle non-pipelined divides occupy their FU for 17 slots: two of
+     them need ceil(34/8) = 5 cycles of FU issue bandwidth *)
+  let g = Ddg.create () in
+  ignore (Ddg.add_node g Op.Fdiv);
+  ignore (Ddg.add_node g Op.Fdiv);
+  let b = Mii.bounds (Lazy.force s128) g in
+  check_int "fu bound counts occupancy" 5 b.Mii.fu
+
+let test_mii_mem_ports () =
+  let g = Ddg.create () in
+  for _ = 1 to 9 do
+    ignore (Ddg.add_node g Op.Load)
+  done;
+  let b = Mii.bounds (Lazy.force s128) g in
+  check_int "9 loads on 4 ports" 3 b.Mii.mem
+
+let test_mii_prefetch_raises_recmii () =
+  (* scheduling the recurrence load with miss latency lengthens the
+     memory-carried circuit *)
+  let g = Ddg.create () in
+  let l = Ddg.add_node g Op.Load in
+  let a = Ddg.add_node g Op.Fadd in
+  let st = Ddg.add_node g Op.Store in
+  Ddg.add_edge g ~dep:Dep.True l a;
+  Ddg.add_edge g ~dep:Dep.True a st;
+  Ddg.add_edge g ~distance:1 ~dep:Dep.True st l;
+  let config = Lazy.force s128 in
+  let hit = Latency.make config in
+  let miss = Latency.make ~override:(fun v -> if v = l then Some 10 else None) config in
+  check_int "hit-scheduled recmii" 7 (Mii.rec_mii hit g);
+  check_int "miss-scheduled recmii" 15 (Mii.rec_mii miss g)
+
+(* ------------------------------------------------------------------ *)
+(* Order *)
+
+let test_order_is_permutation () =
+  List.iter
+    (fun (name, mk) ->
+      let l = mk () in
+      let order = Order.compute (Lazy.force s128) l.Loop.ddg in
+      check (name ^ ": permutation") true
+        (List.sort compare order = Ddg.nodes l.Loop.ddg))
+    Hcrf_workload.Kernels.all
+
+let test_order_recurrence_first () =
+  (* nodes of the hardest recurrence come first *)
+  let l = kernel "tridiag" in
+  let order = Order.compute (Lazy.force s128) l.Loop.ddg in
+  let g = l.Loop.ddg in
+  let rec_nodes = List.concat (Scc.recurrences g) in
+  let first = List.hd order in
+  check "first ordered node is in the recurrence" true
+    (List.mem first rec_nodes)
+
+let test_order_asap_alap_bounds () =
+  let l = kernel "fir5" in
+  let lat = Latency.make (Lazy.force s128) in
+  let asap, alap = Order.asap_alap lat l.Loop.ddg in
+  List.iter
+    (fun v ->
+      check "asap <= alap" true (asap v <= alap v);
+      check "asap >= 0" true (asap v >= 0))
+    (Ddg.nodes l.Loop.ddg)
+
+(* ------------------------------------------------------------------ *)
+(* Mrt *)
+
+let test_mrt_place_remove () =
+  let config = Lazy.force s128 in
+  let mrt = Mrt.create config ~ii:2 in
+  let uses = [ (Topology.Mem 0, 1) ] in
+  check "empty fits" true (Mrt.can_place mrt uses ~cycle:0);
+  (* 4 memory ports: 4 placements at the same slot fit, the 5th not *)
+  for n = 1 to 4 do
+    Mrt.place mrt ~node:n uses ~cycle:0
+  done;
+  check "full slot rejects" false (Mrt.can_place mrt uses ~cycle:0);
+  check "other slot fits" true (Mrt.can_place mrt uses ~cycle:1);
+  check "wraps modulo ii" false (Mrt.can_place mrt uses ~cycle:2);
+  Mrt.remove mrt ~node:3;
+  check "freed after removal" true (Mrt.can_place mrt uses ~cycle:0);
+  check_int "occupancy" 3 (Mrt.occupancy mrt (Topology.Mem 0) ~slot:0)
+
+let test_mrt_non_pipelined_duration () =
+  let config = Lazy.force s128 in
+  let mrt = Mrt.create config ~ii:4 in
+  (* a 17-cycle reservation covers every slot of ii=4 *)
+  Mrt.place mrt ~node:1 [ (Topology.Fu 0, 17) ] ~cycle:0;
+  for slot = 0 to 3 do
+    check_int (Fmt.str "slot %d occupied" slot) 1
+      (Mrt.occupancy mrt (Topology.Fu 0) ~slot)
+  done;
+  Mrt.remove mrt ~node:1;
+  for slot = 0 to 3 do
+    check_int (Fmt.str "slot %d freed" slot) 0
+      (Mrt.occupancy mrt (Topology.Fu 0) ~slot)
+  done
+
+let test_mrt_conflicts () =
+  let config = Hcrf_model.Presets.published "4C32" in
+  let mrt = Mrt.create config ~ii:1 in
+  let uses = [ (Topology.Mem 2, 1) ] in
+  Mrt.place mrt ~node:7 uses ~cycle:0;
+  check "slot full" false (Mrt.can_place mrt uses ~cycle:0);
+  check "conflict names the occupant" true
+    (Mrt.conflicts mrt uses ~cycle:0 = [ 7 ]);
+  check "no conflict on other resource" true
+    (Mrt.conflicts mrt [ (Topology.Mem 1, 1) ] ~cycle:0 = [])
+
+let test_mrt_double_place_rejected () =
+  let config = Lazy.force s128 in
+  let mrt = Mrt.create config ~ii:2 in
+  Mrt.place mrt ~node:1 [ (Topology.Fu 0, 1) ] ~cycle:0;
+  check "double place raises" true
+    (try
+       Mrt.place mrt ~node:1 [ (Topology.Fu 0, 1) ] ~cycle:1;
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue *)
+
+let test_pqueue () =
+  let q = Pqueue.create () in
+  check "empty" true (Pqueue.is_empty q);
+  Pqueue.push q ~priority:2.0 10;
+  Pqueue.push q ~priority:1.0 20;
+  Pqueue.push q ~priority:3.0 30;
+  check_int "size" 3 (Pqueue.size q);
+  check "mem" true (Pqueue.mem q 20);
+  check "pop lowest priority first" true (Pqueue.pop q = Some 20);
+  Pqueue.remove q 30;
+  check "pop after remove" true (Pqueue.pop q = Some 10);
+  check "drained" true (Pqueue.pop q = None)
+
+(* ------------------------------------------------------------------ *)
+(* Lifetimes (via a tiny hand schedule) *)
+
+let test_lifetimes_pressure () =
+  let config = Lazy.force s128 in
+  let g = Ddg.create () in
+  let a = Ddg.add_node g Op.Fadd in
+  let b = Ddg.add_node g Op.Fadd in
+  Ddg.add_edge g ~dep:Dep.True a b;
+  let s = Schedule.create config ~ii:2 in
+  Schedule.place s g a ~cycle:0 ~loc:(Topology.Cluster 0);
+  Schedule.place s g b ~cycle:8 ~loc:(Topology.Cluster 0);
+  let lts = Lifetimes.of_schedule s g in
+  (* a's value is born at write-back (cycle 4) and read at cycle 8:
+     span 4 over ii=2 -> 2 overlapping copies *)
+  (match List.find_opt (fun (l : Lifetimes.lifetime) -> l.def = a) lts with
+  | Some l ->
+    check_int "birth at write-back" 4 l.Lifetimes.start;
+    check_int "until last read" 8 l.Lifetimes.stop
+  | None -> Alcotest.fail "missing lifetime");
+  check_int "pressure counts overlapped copies" 2
+    (Lifetimes.pressure ~ii:2 ~bank:(Topology.Local 0) lts);
+  check_int "invariants add residents" 5
+    (Lifetimes.pressure ~ii:2 ~bank:(Topology.Local 0)
+       ~invariant_residents:3 lts)
+
+let test_lifetimes_loop_carried_read () =
+  let config = Lazy.force s128 in
+  let g = Ddg.create () in
+  let a = Ddg.add_node g Op.Fadd in
+  Ddg.add_edge g ~distance:1 ~dep:Dep.True a a;
+  let s = Schedule.create config ~ii:5 in
+  Schedule.place s g a ~cycle:0 ~loc:(Topology.Cluster 0);
+  match Lifetimes.of_schedule s g with
+  | [ l ] ->
+    (* read one iteration later: at cycle 0 + 1*5 *)
+    check_int "loop-carried stop" 5 l.Lifetimes.stop;
+    check_int "birth" 4 l.Lifetimes.start
+  | _ -> Alcotest.fail "expected one lifetime"
+
+(* ------------------------------------------------------------------ *)
+(* Regalloc *)
+
+let test_regalloc_simple () =
+  let mk def start stop =
+    { Lifetimes.def; bank = Topology.Local 0; start; stop }
+  in
+  (* two disjoint lifetimes share one register *)
+  match
+    Regalloc.allocate_bank ~ii:4 ~bank:(Topology.Local 0)
+      ~capacity:(Cap.Finite 8)
+      [ mk 0 0 2; mk 1 2 4 ]
+  with
+  | Some a -> check_int "one register" 1 a.Regalloc.registers_used
+  | None -> Alcotest.fail "allocation failed"
+
+let test_regalloc_overlap () =
+  let mk def start stop =
+    { Lifetimes.def; bank = Topology.Local 0; start; stop }
+  in
+  match
+    Regalloc.allocate_bank ~ii:4 ~bank:(Topology.Local 0)
+      ~capacity:(Cap.Finite 8)
+      [ mk 0 0 3; mk 1 1 4; mk 2 2 5 ]
+  with
+  | Some a ->
+    check "needs at least maxlives" true (a.Regalloc.registers_used >= 3)
+  | None -> Alcotest.fail "allocation failed"
+
+let test_regalloc_capacity () =
+  let mk def start stop =
+    { Lifetimes.def; bank = Topology.Local 0; start; stop }
+  in
+  check "over capacity fails" true
+    (Regalloc.allocate_bank ~ii:2 ~bank:(Topology.Local 0)
+       ~capacity:(Cap.Finite 1)
+       [ mk 0 0 2; mk 1 0 2 ]
+    = None)
+
+let prop_regalloc_geq_maxlives =
+  QCheck.Test.make ~name:"allocation uses >= MaxLives registers" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 12) (pair (int_range 0 20) (int_range 1 12)))
+    (fun spans ->
+      let ii = 4 in
+      let lts =
+        List.mapi
+          (fun i (start, len) ->
+            { Lifetimes.def = i; bank = Topology.Local 0; start;
+              stop = start + len })
+          spans
+      in
+      let maxlives = Lifetimes.pressure ~ii ~bank:(Topology.Local 0) lts in
+      match
+        Regalloc.allocate_bank ~ii ~bank:(Topology.Local 0) ~capacity:Cap.Inf
+          lts
+      with
+      | Some a -> a.Regalloc.registers_used >= maxlives
+      | None -> false)
+
+let prop_mrt_place_remove_roundtrip =
+  QCheck.Test.make ~name:"mrt place/remove restores occupancy" ~count:200
+    QCheck.(
+      pair (int_range 1 16)
+        (small_list (pair (int_range 0 40) (int_range 1 20))))
+    (fun (ii, reservations) ->
+      let config = Lazy.force s128 in
+      let mrt = Mrt.create config ~ii in
+      List.iteri
+        (fun node (cycle, dur) ->
+          Mrt.place mrt ~node [ (Topology.Fu 0, dur) ] ~cycle)
+        reservations;
+      List.iteri (fun node _ -> Mrt.remove mrt ~node) reservations;
+      let clean = ref true in
+      for slot = 0 to ii - 1 do
+        if Mrt.occupancy mrt (Topology.Fu 0) ~slot <> 0 then clean := false
+      done;
+      !clean)
+
+let prop_pressure_monotone =
+  (* removing lifetimes can only lower the requirement *)
+  QCheck.Test.make ~name:"MaxLives is monotone in the lifetime set"
+    ~count:200
+    QCheck.(
+      pair (int_range 1 12)
+        (small_list (pair (int_range 0 30) (int_range 1 15))))
+    (fun (ii, spans) ->
+      let lts =
+        List.mapi
+          (fun i (start, len) ->
+            { Lifetimes.def = i; bank = Topology.Local 0; start;
+              stop = start + len })
+          spans
+      in
+      let p = Lifetimes.pressure ~ii ~bank:(Topology.Local 0) lts in
+      match lts with
+      | [] -> p = 0
+      | _ :: rest ->
+        Lifetimes.pressure ~ii ~bank:(Topology.Local 0) rest <= p)
+
+let tests =
+  [
+    ("mii: daxpy", `Quick, test_mii_daxpy);
+    ("mii: dot recurrence", `Quick, test_mii_dot_recurrence);
+    ("mii: tridiag recurrence", `Quick, test_mii_tridiag_recurrence);
+    ("mii: distance divides", `Quick, test_mii_distance_divides);
+    ("mii: non-pipelined div", `Quick, test_mii_non_pipelined_div);
+    ("mii: memory ports", `Quick, test_mii_mem_ports);
+    ("mii: prefetch raises recmii", `Quick, test_mii_prefetch_raises_recmii);
+    ("order: permutation", `Quick, test_order_is_permutation);
+    ("order: recurrence first", `Quick, test_order_recurrence_first);
+    ("order: asap/alap", `Quick, test_order_asap_alap_bounds);
+    ("mrt: place/remove", `Quick, test_mrt_place_remove);
+    ("mrt: non-pipelined duration", `Quick, test_mrt_non_pipelined_duration);
+    ("mrt: conflicts", `Quick, test_mrt_conflicts);
+    ("mrt: double place", `Quick, test_mrt_double_place_rejected);
+    ("pqueue: ordering", `Quick, test_pqueue);
+    ("lifetimes: pressure", `Quick, test_lifetimes_pressure);
+    ("lifetimes: loop carried", `Quick, test_lifetimes_loop_carried_read);
+    ("regalloc: disjoint", `Quick, test_regalloc_simple);
+    ("regalloc: overlap", `Quick, test_regalloc_overlap);
+    ("regalloc: capacity", `Quick, test_regalloc_capacity);
+    QCheck_alcotest.to_alcotest prop_regalloc_geq_maxlives;
+    QCheck_alcotest.to_alcotest prop_mrt_place_remove_roundtrip;
+    QCheck_alcotest.to_alcotest prop_pressure_monotone;
+  ]

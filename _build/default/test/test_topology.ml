@@ -1,0 +1,208 @@
+(* Unit tests for the operational semantics of each RF organization,
+   and negative tests proving the validator catches specific
+   corruptions. *)
+
+open Hcrf_ir
+open Hcrf_machine
+open Hcrf_sched
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mono = lazy (Hcrf_model.Presets.published "S128")
+let flat = lazy (Hcrf_model.Presets.published "4C32")
+let hier = lazy (Hcrf_model.Presets.published "4C16S16")
+
+(* ------------------------------------------------------------------ *)
+(* exec_locs *)
+
+let test_exec_locs () =
+  check_int "monolithic: one location" 1
+    (List.length (Topology.exec_locs (Lazy.force mono) Op.Fadd));
+  check_int "clustered: compute anywhere" 4
+    (List.length (Topology.exec_locs (Lazy.force flat) Op.Fadd));
+  check_int "clustered: loads in clusters too" 4
+    (List.length (Topology.exec_locs (Lazy.force flat) Op.Load));
+  check "clustered: no LoadR" true
+    (Topology.exec_locs (Lazy.force flat) Op.Load_r = []);
+  check "hierarchical: loads are global" true
+    (Topology.exec_locs (Lazy.force hier) Op.Load = [ Topology.Global ]);
+  check_int "hierarchical: LoadR in clusters" 4
+    (List.length (Topology.exec_locs (Lazy.force hier) Op.Load_r))
+
+(* ------------------------------------------------------------------ *)
+(* banks *)
+
+let test_def_read_banks () =
+  let h = Lazy.force hier in
+  check "load defines into shared" true
+    (Topology.def_bank h Op.Load Topology.Global = Some Topology.Shared);
+  check "storer defines into shared" true
+    (Topology.def_bank h Op.Store_r (Topology.Cluster 2)
+    = Some Topology.Shared);
+  check "loadr defines locally" true
+    (Topology.def_bank h Op.Load_r (Topology.Cluster 2)
+    = Some (Topology.Local 2));
+  check "store defines nothing" true
+    (Topology.def_bank h Op.Store Topology.Global = None);
+  check "store reads shared" true
+    (Topology.equal_bank
+       (Topology.read_bank h Op.Store Topology.Global)
+       Topology.Shared);
+  check "loadr reads shared" true
+    (Topology.equal_bank
+       (Topology.read_bank h Op.Load_r (Topology.Cluster 1))
+       Topology.Shared);
+  check "compute reads its cluster" true
+    (Topology.equal_bank
+       (Topology.read_bank h Op.Fmul (Topology.Cluster 3))
+       (Topology.Local 3));
+  (* monolithic: everything in Local 0 *)
+  let m = Lazy.force mono in
+  check "monolithic load defines Local 0" true
+    (Topology.def_bank m Op.Load (Topology.Cluster 0)
+    = Some (Topology.Local 0))
+
+(* ------------------------------------------------------------------ *)
+(* comm paths *)
+
+let test_comm_paths () =
+  let h = Lazy.force hier in
+  check_int "local->shared is one StoreR" 1
+    (List.length
+       (Topology.comm_path h ~src_bank:(Topology.Local 0)
+          ~dst_bank:Topology.Shared));
+  check_int "shared->local is one LoadR" 1
+    (List.length
+       (Topology.comm_path h ~src_bank:Topology.Shared
+          ~dst_bank:(Topology.Local 2)));
+  check_int "local->local is StoreR + LoadR" 2
+    (List.length
+       (Topology.comm_path h ~src_bank:(Topology.Local 0)
+          ~dst_bank:(Topology.Local 1)));
+  check "same bank: nothing" true
+    (Topology.comm_path h ~src_bank:(Topology.Local 1)
+       ~dst_bank:(Topology.Local 1)
+    = []);
+  let f = Lazy.force flat in
+  (match
+     Topology.comm_path f ~src_bank:(Topology.Local 0)
+       ~dst_bank:(Topology.Local 3)
+   with
+  | [ (Op.Move, Topology.Cluster 3) ] -> ()
+  | _ -> Alcotest.fail "clustered cross-bank should be one Move")
+
+let test_units () =
+  let h = Lazy.force hier in
+  check "1 FU per cluster at 8/8... (4 clusters of 8 FUs -> 2)" true
+    (Topology.units h (Topology.Fu 0) = Cap.Finite 2);
+  check "global memory pool" true
+    (Topology.units h (Topology.Mem 0) = Cap.Finite 4);
+  check "lp ports" true (Topology.units h (Topology.Lp 1) = Cap.Finite 2);
+  check "sp ports" true (Topology.units h (Topology.Sp 1) = Cap.Finite 1);
+  let f = Lazy.force flat in
+  check "clustered mem ports distributed" true
+    (Topology.units f (Topology.Mem 2) = Cap.Finite 1)
+
+let test_move_uses_source_port () =
+  let f = Lazy.force flat in
+  let uses =
+    Topology.uses f Op.Move (Topology.Cluster 2)
+      ~src:(Some (Topology.Local 0))
+  in
+  check "occupies source sp" true (List.mem_assoc (Topology.Sp 0) uses);
+  check "occupies dest lp" true (List.mem_assoc (Topology.Lp 2) uses);
+  check "occupies a bus" true (List.mem_assoc Topology.Bus uses)
+
+let test_non_pipelined_occupancy () =
+  let m = Lazy.force mono in
+  match Topology.uses m Op.Fdiv (Topology.Cluster 0) ~src:None with
+  | [ (Topology.Fu 0, dur) ] ->
+    check_int "div occupies its FU for its whole latency"
+      (Config.op_latency m Op.Fdiv) dur
+  | _ -> Alcotest.fail "unexpected reservation shape"
+
+(* ------------------------------------------------------------------ *)
+(* the validator catches specific corruptions *)
+
+let scheduled_kernel () =
+  let config = Lazy.force hier in
+  let loop = Hcrf_workload.Kernels.find "stencil3" in
+  match Hcrf_core.Mirs_hc.schedule config loop.Loop.ddg with
+  | Ok o -> o
+  | Error _ -> Alcotest.fail "no schedule"
+
+let has_issue p issues = List.exists p issues
+
+let test_validate_catches_unscheduled () =
+  let o = scheduled_kernel () in
+  let v = List.hd (Ddg.nodes o.Hcrf_sched.Engine.graph) in
+  Schedule.unplace o.Hcrf_sched.Engine.schedule v;
+  check "unscheduled reported" true
+    (has_issue
+       (function Validate.Unscheduled x -> x = v | _ -> false)
+       (Hcrf_core.Mirs_hc.validate o))
+
+let test_validate_catches_dependence () =
+  let o = scheduled_kernel () in
+  let g = o.Hcrf_sched.Engine.graph in
+  let s = o.Hcrf_sched.Engine.schedule in
+  (* move a consumer of a loaded value to cycle 0 *)
+  let victim =
+    List.find
+      (fun v ->
+        Op.is_compute (Ddg.kind g v)
+        && Ddg.operands g v <> []
+        && Schedule.cycle_of s v > 0)
+      (Ddg.nodes g)
+  in
+  let loc = Schedule.loc_of s victim in
+  Schedule.unplace s victim;
+  Schedule.place s g victim ~cycle:0 ~loc;
+  check "dependence violation reported" true
+    (has_issue
+       (function Validate.Dependence_violated _ -> true | _ -> false)
+       (Hcrf_core.Mirs_hc.validate o))
+
+let test_validate_catches_bank_mismatch () =
+  let o = scheduled_kernel () in
+  let g = o.Hcrf_sched.Engine.graph in
+  let s = o.Hcrf_sched.Engine.schedule in
+  (* move a compute op with a locally-defined operand to another
+     cluster without inserting communication *)
+  let victim =
+    List.find
+      (fun v ->
+        Op.is_compute (Ddg.kind g v)
+        && List.exists
+             (fun (e : Ddg.edge) ->
+               match Schedule.def_bank s g e.src with
+               | Some (Topology.Local _) -> true
+               | _ -> false)
+             (Ddg.operands g v))
+      (Ddg.nodes g)
+  in
+  let other =
+    match Schedule.loc_of s victim with
+    | Topology.Cluster c -> Topology.Cluster ((c + 1) mod 4)
+    | Topology.Global -> Topology.Cluster 0
+  in
+  Schedule.unplace s victim;
+  Schedule.place s g victim ~cycle:200 ~loc:other;
+  check "bank mismatch reported" true
+    (has_issue
+       (function Validate.Bank_mismatch _ -> true | _ -> false)
+       (Hcrf_core.Mirs_hc.validate o))
+
+let tests =
+  [
+    ("topology: exec locations", `Quick, test_exec_locs);
+    ("topology: def/read banks", `Quick, test_def_read_banks);
+    ("topology: comm paths", `Quick, test_comm_paths);
+    ("topology: units", `Quick, test_units);
+    ("topology: move ports", `Quick, test_move_uses_source_port);
+    ("topology: non-pipelined", `Quick, test_non_pipelined_occupancy);
+    ("validate: unscheduled", `Quick, test_validate_catches_unscheduled);
+    ("validate: dependence", `Quick, test_validate_catches_dependence);
+    ("validate: bank mismatch", `Quick, test_validate_catches_bank_mismatch);
+  ]

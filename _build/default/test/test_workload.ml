@@ -1,0 +1,151 @@
+(* Tests for the workload: hand-written kernels and the synthetic
+   suite (determinism, structural invariants, calibration ranges). *)
+
+open Hcrf_ir
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_kernels_well_formed () =
+  List.iter
+    (fun (name, mk) ->
+      let l = mk () in
+      check (name ^ " well-formed") true (Ddg.validate l.Loop.ddg);
+      check (name ^ " non-empty") true (Ddg.num_nodes l.Loop.ddg > 0))
+    Hcrf_workload.Kernels.all
+
+let test_kernels_streams_cover_memory_ops () =
+  List.iter
+    (fun (name, mk) ->
+      let l = mk () in
+      Ddg.iter_nodes l.Loop.ddg (fun n ->
+          if Op.is_memory n.kind then
+            check
+              (Fmt.str "%s: stream for node %d" name n.id)
+              true
+              (Loop.stream_for l n.id <> None)))
+    Hcrf_workload.Kernels.all
+
+let test_kernels_find () =
+  check "find daxpy" true (Ddg.num_nodes (Hcrf_workload.Kernels.find "daxpy").Loop.ddg = 5);
+  Alcotest.check_raises "unknown kernel"
+    (Invalid_argument "Kernels.find: unknown kernel \"nope\"") (fun () ->
+      ignore (Hcrf_workload.Kernels.find "nope"))
+
+let test_recurrence_kernels () =
+  List.iter
+    (fun name ->
+      check (name ^ " has recurrence") true
+        (Scc.has_recurrence (Hcrf_workload.Kernels.find name).Loop.ddg))
+    [ "dot"; "tridiag"; "horner"; "norm2"; "prefix_sum" ];
+  List.iter
+    (fun name ->
+      check (name ^ " is acyclic") false
+        (Scc.has_recurrence (Hcrf_workload.Kernels.find name).Loop.ddg))
+    [ "daxpy"; "fir5"; "cmul"; "tree8" ]
+
+let test_rng_deterministic () =
+  let a = Hcrf_workload.Rng.create ~seed:42 in
+  let b = Hcrf_workload.Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    check_int "same stream" (Hcrf_workload.Rng.int a 1000)
+      (Hcrf_workload.Rng.int b 1000)
+  done
+
+let test_rng_ranges () =
+  let r = Hcrf_workload.Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Hcrf_workload.Rng.range r 3 9 in
+    check "in range" true (x >= 3 && x <= 9);
+    let f = Hcrf_workload.Rng.float r in
+    check "float in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_rng_choose_weights () =
+  let r = Hcrf_workload.Rng.create ~seed:11 in
+  let hits = ref 0 in
+  for _ = 1 to 1000 do
+    if Hcrf_workload.Rng.choose r [ (0.9, true); (0.1, false) ] then
+      incr hits
+  done;
+  check (Fmt.str "90%% weight picked ~900 times (got %d)" !hits) true
+    (!hits > 830 && !hits < 960)
+
+let test_suite_deterministic () =
+  let a = Hcrf_workload.Suite.generate ~n:10 () in
+  let b = Hcrf_workload.Suite.generate ~n:10 () in
+  List.iter2
+    (fun (la : Loop.t) (lb : Loop.t) ->
+      check_int "same nodes" (Ddg.num_nodes la.Loop.ddg)
+        (Ddg.num_nodes lb.Loop.ddg);
+      check_int "same edges" (Ddg.num_edges la.Loop.ddg)
+        (Ddg.num_edges lb.Loop.ddg);
+      check_int "same trip" la.Loop.trip_count lb.Loop.trip_count)
+    a b
+
+let test_suite_prefix_stable () =
+  (* loop i must not depend on how many loops are generated *)
+  let a = Hcrf_workload.Suite.generate ~n:5 () in
+  let b = Hcrf_workload.Suite.generate ~n:20 () in
+  List.iteri
+    (fun i (la : Loop.t) ->
+      let lb = List.nth b i in
+      check_int "stable prefix" (Ddg.num_edges la.Loop.ddg)
+        (Ddg.num_edges lb.Loop.ddg))
+    a
+
+let test_suite_structure () =
+  let loops = Hcrf_workload.Suite.generate ~n:60 () in
+  List.iter
+    (fun (l : Loop.t) ->
+      let g = l.Loop.ddg in
+      check "well-formed" true (Ddg.validate g);
+      check "at least one memory op" true (Ddg.num_memory_ops g >= 1);
+      check "streams cover memory ops" true
+        (List.length l.Loop.streams = Ddg.num_memory_ops g);
+      check "trip positive" true (l.Loop.trip_count >= 1);
+      check "sizes in range" true
+        (Ddg.num_nodes g >= 4 && Ddg.num_nodes g <= 120))
+    loops
+
+let test_suite_distributions () =
+  (* coarse calibration invariants on a mid-size sample *)
+  let loops = Hcrf_workload.Suite.generate ~n:150 () in
+  let n = List.length loops in
+  let with_rec =
+    List.length
+      (List.filter (fun (l : Loop.t) -> Scc.has_recurrence l.Loop.ddg) loops)
+  in
+  let frac = float_of_int with_rec /. float_of_int n in
+  check (Fmt.str "recurrence share ~1/3 (got %.2f)" frac) true
+    (frac > 0.2 && frac < 0.5);
+  let mem_frac =
+    let m, t =
+      List.fold_left
+        (fun (m, t) (l : Loop.t) ->
+          (m + Ddg.num_memory_ops l.Loop.ddg, t + Ddg.num_nodes l.Loop.ddg))
+        (0, 0) loops
+    in
+    float_of_int m /. float_of_int t
+  in
+  check (Fmt.str "memory fraction ~0.4 (got %.2f)" mem_frac) true
+    (mem_frac > 0.3 && mem_frac < 0.5)
+
+let test_paper_count () =
+  check_int "paper loop count" 1258 Hcrf_workload.Suite.paper_loop_count
+
+let tests =
+  [
+    ("kernels: well-formed", `Quick, test_kernels_well_formed);
+    ("kernels: streams", `Quick, test_kernels_streams_cover_memory_ops);
+    ("kernels: find", `Quick, test_kernels_find);
+    ("kernels: recurrences", `Quick, test_recurrence_kernels);
+    ("rng: deterministic", `Quick, test_rng_deterministic);
+    ("rng: ranges", `Quick, test_rng_ranges);
+    ("rng: choose", `Quick, test_rng_choose_weights);
+    ("suite: deterministic", `Quick, test_suite_deterministic);
+    ("suite: prefix stable", `Quick, test_suite_prefix_stable);
+    ("suite: structure", `Quick, test_suite_structure);
+    ("suite: distributions", `Quick, test_suite_distributions);
+    ("suite: paper count", `Quick, test_paper_count);
+  ]
