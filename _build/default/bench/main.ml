@@ -5,10 +5,13 @@
      dune exec bench/main.exe                 # every paper experiment
      dune exec bench/main.exe -- tab6 fig6    # a subset
      dune exec bench/main.exe -- quick        # all, on a small suite
+     dune exec bench/main.exe -- stats        # scheduler-effort counters
      dune exec bench/main.exe -- micro        # bechamel micro-benchmarks
 
-   Experiments: fig1 tab1 tab2 tab3 tab4 fig4 tab5 tab6 fig6 calib micro.
-   The loop count can be overridden with HCRF_LOOPS=<n>. *)
+   Experiments: fig1 tab1 tab2 tab3 tab4 fig4 tab5 tab6 fig6 calib stats
+   micro.  The loop count can be overridden with HCRF_LOOPS=<n>; the
+   suite drivers fan loops out over HCRF_JOBS=<n> domains (default: the
+   recommended domain count of this machine). *)
 
 open Hcrf_eval
 
@@ -18,21 +21,43 @@ let time_section name f =
   Fmt.pr "  [%s took %.1fs]@.@." name (Unix.gettimeofday () -. t0);
   r
 
-let suite_size () =
+(* HCRF_LOOPS override; a typo must not invisibly run the full
+   1258-loop suite, so anything non-numeric or <= 0 warns loudly. *)
+let loops_override () =
   match Sys.getenv_opt "HCRF_LOOPS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Some n
+    | Some _ | None ->
+      Logs.warn (fun m ->
+          m "ignoring HCRF_LOOPS=%S (expected a positive integer); \
+             falling back to the default loop count" s);
+      None)
+
+let suite_size () =
+  Option.value ~default:Hcrf_workload.Suite.paper_loop_count
+    (loops_override ())
+
+let jobs () =
+  match Sys.getenv_opt "HCRF_JOBS" with
+  | None -> Par.default_jobs ()
   | Some s -> (
     match int_of_string_opt s with
     | Some n when n > 0 -> n
-    | Some _ | None -> Hcrf_workload.Suite.paper_loop_count)
-  | None -> Hcrf_workload.Suite.paper_loop_count
+    | Some _ | None ->
+      Logs.warn (fun m ->
+          m "ignoring HCRF_JOBS=%S (expected a positive integer); using %d"
+            s (Par.default_jobs ()));
+      Par.default_jobs ())
 
-let fig1 ~loops () =
+let fig1 ~loops ~jobs () =
   time_section "fig1" (fun () ->
-      Fmt.pr "%a@." Experiments.pp_figure1 (Experiments.figure1 ~loops))
+      Fmt.pr "%a@." Experiments.pp_figure1 (Experiments.figure1 ~jobs ~loops ()))
 
-let tab1 ~loops () =
+let tab1 ~loops ~jobs () =
   time_section "tab1" (fun () ->
-      Fmt.pr "%a@." Experiments.pp_table1 (Experiments.table1 ~loops))
+      Fmt.pr "%a@." Experiments.pp_table1 (Experiments.table1 ~jobs ~loops ()))
 
 let tab2 () =
   time_section "tab2" (fun () ->
@@ -41,17 +66,17 @@ let tab2 () =
            ~title:"Table 2: access time & area, equal-capacity RFs")
         (Experiments.table2 ()))
 
-let tab3 ~loops () =
+let tab3 ~loops ~jobs () =
   time_section "tab3" (fun () ->
-      Fmt.pr "%a@." Experiments.pp_table3 (Experiments.table3 ~loops))
+      Fmt.pr "%a@." Experiments.pp_table3 (Experiments.table3 ~jobs ~loops ()))
 
-let tab4 ~loops () =
+let tab4 ~loops ~jobs () =
   time_section "tab4" (fun () ->
-      Fmt.pr "%a@." Experiments.pp_table4 (Experiments.table4 ~loops ()))
+      Fmt.pr "%a@." Experiments.pp_table4 (Experiments.table4 ~jobs ~loops ()))
 
-let fig4 ~loops () =
+let fig4 ~loops ~jobs () =
   time_section "fig4" (fun () ->
-      Fmt.pr "%a@." Experiments.pp_figure4 (Experiments.figure4 ~loops ()))
+      Fmt.pr "%a@." Experiments.pp_figure4 (Experiments.figure4 ~jobs ~loops ()))
 
 let tab5 () =
   time_section "tab5" (fun () ->
@@ -59,20 +84,36 @@ let tab5 () =
         (Experiments.pp_hw_rows ~title:"Table 5: hardware evaluation")
         (Experiments.table5 ()))
 
-let tab6 ~loops () =
+let tab6 ~loops ~jobs () =
   time_section "tab6" (fun () ->
-      Fmt.pr "%a@." Experiments.pp_table6 (Experiments.table6 ~loops))
+      Fmt.pr "%a@." Experiments.pp_table6 (Experiments.table6 ~jobs ~loops ()))
 
-let fig6 ~loops () =
+let fig6 ~loops ~jobs () =
   time_section "fig6" (fun () ->
-      Fmt.pr "%a@." Experiments.pp_figure6 (Experiments.figure6 ~loops))
+      Fmt.pr "%a@." Experiments.pp_figure6 (Experiments.figure6 ~jobs ~loops ()))
 
-let ablate ~loops () =
+let ablate ~loops ~jobs () =
   time_section "ablate" (fun () ->
       (* the ablation sweep is expensive: bound the sample *)
       let sample = List.filteri (fun i _ -> i < 150) loops in
       Fmt.pr "%a@." Experiments.pp_ablations
-        (Experiments.ablations ~loops:sample ()))
+        (Experiments.ablations ~jobs ~loops:sample ()))
+
+(* Scheduler-effort counters over the suite: how hard the engine worked
+   (attempts, ejections, spill/communication insertions, II restarts,
+   escalation retries).  A per-PR perf regression in the scheduler shows
+   up here long before it shows up in wall-clock time. *)
+let stats ~loops ~jobs () =
+  time_section "stats" (fun () ->
+      List.iter
+        (fun name ->
+          let config = Hcrf_model.Presets.published name in
+          let results = Runner.run_suite ~jobs config loops in
+          let a = Runner.aggregate config results in
+          Fmt.pr "%a@." Metrics.pp_aggregate a;
+          Fmt.pr "  sched-seconds=%.2f jobs=%d@." a.Metrics.sched_seconds
+            jobs)
+        [ "S64"; "4C32"; "4C32S16" ])
 
 (* Workbench statistics: how the synthetic suite compares with the
    distributions the paper reports for the Perfect Club loops. *)
@@ -198,34 +239,43 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning);
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> a <> "--") args in
   let quick = List.mem "quick" args in
   let args = List.filter (fun a -> a <> "quick") args in
   let selected = if args = [] then [ "all" ] else args in
   let wants name = List.mem name selected || List.mem "all" selected in
-  let n = if quick then 120 else suite_size () in
+  (* quick caps the suite at 120 loops but still honours an explicit
+     HCRF_LOOPS (the dune smoke test runs "quick" with HCRF_LOOPS=20) *)
+  let n =
+    if quick then Option.value ~default:120 (loops_override ())
+    else suite_size ()
+  in
+  let jobs = jobs () in
   let needs_loops =
     List.exists wants
       [ "fig1"; "tab1"; "tab3"; "tab4"; "fig4"; "tab6"; "fig6"; "calib";
-        "ablate" ]
+        "ablate"; "stats" ]
   in
   let loops =
     if needs_loops then begin
-      Fmt.pr "Generating the %d-loop workbench...@." n;
+      Fmt.pr "Generating the %d-loop workbench (%d jobs)...@." n jobs;
       Hcrf_workload.Suite.generate ~n ()
     end
     else []
   in
   if wants "calib" then calib ~loops ();
-  if wants "fig1" then fig1 ~loops ();
-  if wants "tab1" then tab1 ~loops ();
+  if wants "fig1" then fig1 ~loops ~jobs ();
+  if wants "tab1" then tab1 ~loops ~jobs ();
   if wants "tab2" then tab2 ();
-  if wants "tab3" then tab3 ~loops ();
-  if wants "tab4" then tab4 ~loops ();
-  if wants "fig4" then fig4 ~loops ();
+  if wants "tab3" then tab3 ~loops ~jobs ();
+  if wants "tab4" then tab4 ~loops ~jobs ();
+  if wants "fig4" then fig4 ~loops ~jobs ();
   if wants "tab5" then tab5 ();
-  if wants "tab6" then tab6 ~loops ();
-  if wants "fig6" then fig6 ~loops ();
-  if wants "ablate" then ablate ~loops ();
+  if wants "tab6" then tab6 ~loops ~jobs ();
+  if wants "fig6" then fig6 ~loops ~jobs ();
+  if wants "ablate" then ablate ~loops ~jobs ();
+  if wants "stats" then stats ~loops ~jobs ();
   if wants "micro" then micro ()

@@ -30,15 +30,37 @@ let n_arg =
   let doc = "Number of synthetic workbench loops." in
   Arg.(value & opt int 200 & info [ "n"; "loops" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for suite evaluation (1 = serial; results are \
+     identical for any value)."
+  in
+  Arg.(
+    value
+    & opt int (Hcrf_eval.Par.default_jobs ())
+    & info [ "j"; "jobs" ] ~doc)
+
+(* Proper enum converters so a typo reports the valid values instead of
+   dying with an uncaught Failure backtrace. *)
+let kernel_conv =
+  Arg.enum (List.map (fun (name, _) -> (name, name)) Hcrf_workload.Kernels.all)
+
+let memory_conv =
+  Arg.enum
+    [
+      ("ideal", Hcrf_eval.Runner.Ideal);
+      ("real", Hcrf_eval.Runner.Real { prefetch = false });
+      ("prefetch", Hcrf_eval.Runner.Real { prefetch = true });
+    ]
+
 (* ------------------------------------------------------------------ *)
 
 let schedule_cmd =
   let kernel_arg =
-    let doc =
-      Fmt.str "Kernel to schedule: %s."
-        (String.concat ", " (List.map fst Hcrf_workload.Kernels.all))
-    in
-    Arg.(value & opt string "daxpy" & info [ "k"; "kernel" ] ~doc)
+    let doc = "Kernel to schedule, $(docv) one of the built-in kernels." in
+    Arg.(
+      value & opt kernel_conv "daxpy"
+      & info [ "k"; "kernel" ] ~doc ~docv:"KERNEL")
   in
   let dump_arg =
     Arg.(value & flag & info [ "dump" ] ~doc:"Print the full schedule.")
@@ -70,20 +92,22 @@ let schedule_cmd =
 
 let suite_cmd =
   let memory_arg =
-    let doc = "Memory scenario: ideal, real, or prefetch." in
-    Arg.(value & opt string "ideal" & info [ "m"; "memory" ] ~doc)
-  in
-  let run config_name n memory =
-    let config = config_of_string config_name in
-    let scenario =
-      match memory with
-      | "ideal" -> Hcrf_eval.Runner.Ideal
-      | "real" -> Hcrf_eval.Runner.Real { prefetch = false }
-      | "prefetch" -> Hcrf_eval.Runner.Real { prefetch = true }
-      | other -> failwith ("unknown memory scenario: " ^ other)
+    let doc =
+      Fmt.str "Memory scenario, $(docv) is %s."
+        (Arg.doc_alts_enum
+           [ ("ideal", ()); ("real", ()); ("prefetch", ()) ])
     in
+    Arg.(
+      value
+      & opt memory_conv Hcrf_eval.Runner.Ideal
+      & info [ "m"; "memory" ] ~doc ~docv:"SCENARIO")
+  in
+  let run config_name n scenario jobs =
+    let config = config_of_string config_name in
     let loops = Hcrf_workload.Suite.generate ~n () in
-    let results = Hcrf_eval.Runner.run_suite ~scenario config loops in
+    let results =
+      Hcrf_eval.Runner.run_suite ~scenario ~jobs:(max 1 jobs) config loops
+    in
     let a = Hcrf_eval.Runner.aggregate config results in
     Fmt.pr "%a@." Hcrf_eval.Metrics.pp_aggregate a;
     List.iter
@@ -95,7 +119,7 @@ let suite_cmd =
   Cmd.v
     (Cmd.info "suite"
        ~doc:"Schedule the synthetic workbench on one configuration")
-    Term.(const run $ config_arg $ n_arg $ memory_arg)
+    Term.(const run $ config_arg $ n_arg $ memory_arg $ jobs_arg)
 
 let hw_cmd =
   let all_arg =
@@ -125,7 +149,7 @@ let hw_cmd =
 let ports_cmd =
   (* sweep the inter-level port counts of a hierarchical RF and report
      the ΣII impact — the §4 design decision, measurable per design *)
-  let run config_name n =
+  let run config_name n jobs =
     let base = Hcrf_machine.Rf.of_notation config_name in
     (match base with
     | Hcrf_machine.Rf.Hierarchical h ->
@@ -141,7 +165,9 @@ let ports_cmd =
                 sp = Hcrf_machine.Cap.Finite sp }
           in
           let config = Hcrf_model.Presets.of_model rf in
-          let results = Hcrf_eval.Runner.run_suite config loops in
+          let results =
+            Hcrf_eval.Runner.run_suite ~jobs:(max 1 jobs) config loops
+          in
           let a = Hcrf_eval.Runner.aggregate config results in
           Fmt.pr "  %2d %2d | %5d | %4.1f@." lp sp a.Hcrf_eval.Metrics.sum_ii
             a.Hcrf_eval.Metrics.pct_at_mii)
@@ -151,19 +177,21 @@ let ports_cmd =
   Cmd.v
     (Cmd.info "ports"
        ~doc:"Sweep the LoadR/StoreR port counts of a hierarchical RF")
-    Term.(const run $ config_arg $ n_arg)
+    Term.(const run $ config_arg $ n_arg $ jobs_arg)
 
 let duel_cmd =
-  let run config_name n =
+  let run config_name n jobs =
     let config = config_of_string config_name in
     let loops = Hcrf_workload.Suite.generate ~n () in
-    let t = Hcrf_eval.Experiments.table4 ~config ~loops () in
+    let t =
+      Hcrf_eval.Experiments.table4 ~config ~jobs:(max 1 jobs) ~loops ()
+    in
     Fmt.pr "%a@." Hcrf_eval.Experiments.pp_table4 t
   in
   Cmd.v
     (Cmd.info "duel"
        ~doc:"Compare MIRS_HC against the non-iterative scheduler of [36]")
-    Term.(const run $ config_arg $ n_arg)
+    Term.(const run $ config_arg $ n_arg $ jobs_arg)
 
 let () =
   let info =

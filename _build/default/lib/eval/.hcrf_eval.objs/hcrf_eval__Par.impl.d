@@ -1,0 +1,1 @@
+lib/eval/par.ml: Array Domain Fun List Mutex Printexc

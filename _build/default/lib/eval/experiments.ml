@@ -11,10 +11,10 @@ open Hcrf_sched
 (* ------------------------------------------------------------------ *)
 (* Figure 1: IPC vs resources, monolithic RF with unbounded registers  *)
 
-let figure1 ~loops =
+let figure1 ?jobs ~loops () =
   List.map
     (fun config ->
-      let results = Runner.run_suite config loops in
+      let results = Runner.run_suite ?jobs config loops in
       let a = Runner.aggregate config results in
       (config.Config.name, Metrics.ipc a))
     (Presets.figure1_configs ())
@@ -43,10 +43,10 @@ let table1_configs () =
   [ Presets.published "S128"; Presets.published "4C32";
     Presets.of_published row ]
 
-let table1 ~loops =
+let table1 ?jobs ~loops () =
   List.map
     (fun config ->
-      let results = Runner.run_suite config loops in
+      let results = Runner.run_suite ?jobs config loops in
       let a = Runner.aggregate config results in
       let nloops = float_of_int a.Metrics.loops in
       {
@@ -163,14 +163,14 @@ type table3_row = {
   t3_bounded : float * int * float;
 }
 
-let table3 ~loops =
+let table3 ?jobs ~loops () =
   List.map
     (fun notation ->
       let run bounded =
         let config =
           Presets.static_config ~bounded_bandwidth:bounded notation
         in
-        let a = Runner.aggregate config (Runner.run_suite config loops) in
+        let a = Runner.aggregate config (Runner.run_suite ?jobs config loops) in
         (a.Metrics.pct_at_mii, a.Metrics.sum_ii, a.Metrics.sched_seconds)
       in
       {
@@ -202,17 +202,24 @@ type table4 = {
   t4_worse : int * int * int;   (** loops where [36] is better *)
 }
 
-let table4 ?(config = Presets.published "1C32S64") ~loops () =
+let table4 ?(config = Presets.published "1C32S64") ?jobs ~loops () =
   let better = ref (0, 0, 0) and equal = ref (0, 0, 0)
   and worse = ref (0, 0, 0) in
   let bump r ni hc =
     let a, b, c = !r in
     r := (a + 1, b + ni, c + hc)
   in
+  (* both schedulers run per loop independently: fan the duels out and
+     fold the ordered results serially *)
+  let duels =
+    Par.map ?jobs
+      (fun (l : Hcrf_ir.Loop.t) ->
+        ( Hcrf_core.Noniter.schedule config l.Hcrf_ir.Loop.ddg,
+          Hcrf_core.Mirs_hc.schedule config l.Hcrf_ir.Loop.ddg ))
+      loops
+  in
   List.iter
-    (fun (l : Hcrf_ir.Loop.t) ->
-      let ni = Hcrf_core.Noniter.schedule config l.Hcrf_ir.Loop.ddg in
-      let hc = Hcrf_core.Mirs_hc.schedule config l.Hcrf_ir.Loop.ddg in
+    (fun (ni, hc) ->
       match (ni, hc) with
       | Ok ni, Ok hc ->
         let nii = ni.Engine.ii and hii = hc.Engine.ii in
@@ -224,7 +231,7 @@ let table4 ?(config = Presets.published "1C32S64") ~loops () =
         bump better (4 * hc.Engine.ii) hc.Engine.ii
       | Ok ni, Error _ -> bump worse ni.Engine.ii (4 * ni.Engine.ii)
       | Error _, Error _ -> ())
-    loops;
+    duels;
   { t4_better = !better; t4_equal = !equal; t4_worse = !worse }
 
 let pp_table4 ppf t =
@@ -260,13 +267,13 @@ let port_demand (o : Engine.outcome) ~clusters =
   let avg_ports n = (n + (clusters * ii) - 1) / (clusters * ii) in
   (avg_ports (count Hcrf_ir.Op.Load_r), avg_ports (count Hcrf_ir.Op.Store_r))
 
-let figure4 ?(max_lp = 6) ?(max_sp = 4) ~loops () =
+let figure4 ?(max_lp = 6) ?(max_sp = 4) ?jobs ~loops () =
   List.map
     (fun clusters ->
       let notation = Fmt.str "%dCinfSinf" clusters in
       let config = Presets.static_config ~bounded_bandwidth:false notation in
       let demands =
-        List.filter_map
+        Par.filter_map ?jobs
           (fun (l : Hcrf_ir.Loop.t) ->
             match Hcrf_core.Mirs_hc.schedule config l.Hcrf_ir.Loop.ddg with
             | Ok o -> Some (port_demand o ~clusters)
@@ -316,11 +323,13 @@ type perf_row = {
   p_speedup : float;        (** S64 time / this time *)
 }
 
-let perf_rows ~scenario ~configs ~loops =
+let perf_rows ?jobs ~scenario ~configs ~loops () =
   let aggregates =
     List.map
       (fun config ->
-        (config, Runner.aggregate config (Runner.run_suite ~scenario config loops)))
+        ( config,
+          Runner.aggregate config
+            (Runner.run_suite ~scenario ?jobs config loops) ))
       configs
   in
   let base =
@@ -349,9 +358,9 @@ let perf_rows ~scenario ~configs ~loops =
       })
     aggregates
 
-let table6 ~loops =
-  perf_rows ~scenario:Runner.Ideal ~configs:(Presets.table5_configs ())
-    ~loops
+let table6 ?jobs ~loops () =
+  perf_rows ?jobs ~scenario:Runner.Ideal ~configs:(Presets.table5_configs ())
+    ~loops ()
 
 let pp_table6 ppf rows =
   Fmt.pf ppf "@[<v>Table 6: performance, ideal memory (relative to S64)@,";
@@ -378,7 +387,7 @@ type ablation_row = {
 (** Scheduler ablations on one configuration: the full iterative engine
     against variants with backtracking disabled, plain topological
     ordering, and smaller/larger Budget ratios. *)
-let ablations ?(config = Presets.published "2C32S32") ~loops () =
+let ablations ?(config = Presets.published "2C32S32") ?jobs ~loops () =
   let variants =
     [
       ("mirs_hc (full)", Engine.default_options);
@@ -398,15 +407,21 @@ let ablations ?(config = Presets.published "2C32S32") ~loops () =
       let t0 = Unix.gettimeofday () in
       let sum_ii = ref 0 and at_mii = ref 0 and failed = ref 0 in
       let n = ref 0 in
+      let outcomes =
+        Par.map ?jobs
+          (fun (l : Hcrf_ir.Loop.t) ->
+            Engine.schedule ~opts config l.Hcrf_ir.Loop.ddg)
+          loops
+      in
       List.iter
-        (fun (l : Hcrf_ir.Loop.t) ->
+        (fun outcome ->
           incr n;
-          match Engine.schedule ~opts config l.Hcrf_ir.Loop.ddg with
+          match outcome with
           | Ok o ->
             sum_ii := !sum_ii + o.Engine.ii;
             if o.Engine.ii = o.Engine.mii then incr at_mii
           | Error _ -> incr failed)
-        loops;
+        outcomes;
       {
         a_name = name;
         a_sum_ii = !sum_ii;
@@ -435,11 +450,11 @@ let figure6_configs () =
   List.map Presets.published
     [ "S64"; "2C64"; "4C32"; "1C32S64"; "2C32S32"; "4C32S16"; "8C16S16" ]
 
-let figure6 ~loops =
+let figure6 ?jobs ~loops () =
   let rows =
-    perf_rows
+    perf_rows ?jobs
       ~scenario:(Runner.Real { prefetch = true })
-      ~configs:(figure6_configs ()) ~loops
+      ~configs:(figure6_configs ()) ~loops ()
   in
   (* Figure 6 normalizes to the *useful* cycles of S64 *)
   let base_useful =

@@ -5,8 +5,11 @@
 
 open Hcrf_sched
 
-(** Figure 1: (config name, IPC) for the 4+2 .. 12+6 resource sweep. *)
-val figure1 : loops:Hcrf_ir.Loop.t list -> (string * float) list
+(** Figure 1: (config name, IPC) for the 4+2 .. 12+6 resource sweep.
+    Every [?jobs] below fans the per-loop scheduling out over a domain
+    pool ({!Par}); results are deterministic for any job count. *)
+val figure1 :
+  ?jobs:int -> loops:Hcrf_ir.Loop.t list -> unit -> (string * float) list
 
 val pp_figure1 : Format.formatter -> (string * float) list -> unit
 
@@ -21,7 +24,7 @@ type table1_row = {
     1C64S64 scheduled with the §4 port counts). *)
 val table1_configs : unit -> Hcrf_machine.Config.t list
 
-val table1 : loops:Hcrf_ir.Loop.t list -> table1_row list
+val table1 : ?jobs:int -> loops:Hcrf_ir.Loop.t list -> unit -> table1_row list
 val pp_table1 : Format.formatter -> table1_row list -> unit
 
 type hw_row = {
@@ -50,7 +53,7 @@ type table3_row = {
   t3_bounded : float * int * float;
 }
 
-val table3 : loops:Hcrf_ir.Loop.t list -> table3_row list
+val table3 : ?jobs:int -> loops:Hcrf_ir.Loop.t list -> unit -> table3_row list
 val pp_table3 : Format.formatter -> table3_row list -> unit
 
 type table4 = {
@@ -60,8 +63,8 @@ type table4 = {
 }
 
 val table4 :
-  ?config:Hcrf_machine.Config.t -> loops:Hcrf_ir.Loop.t list -> unit ->
-  table4
+  ?config:Hcrf_machine.Config.t -> ?jobs:int ->
+  loops:Hcrf_ir.Loop.t list -> unit -> table4
 val pp_table4 : Format.formatter -> table4 -> unit
 
 type figure4_row = {
@@ -75,8 +78,8 @@ type figure4_row = {
 val port_demand : Engine.outcome -> clusters:int -> int * int
 
 val figure4 :
-  ?max_lp:int -> ?max_sp:int -> loops:Hcrf_ir.Loop.t list -> unit ->
-  figure4_row list
+  ?max_lp:int -> ?max_sp:int -> ?jobs:int ->
+  loops:Hcrf_ir.Loop.t list -> unit -> figure4_row list
 val pp_figure4 : Format.formatter -> figure4_row list -> unit
 
 type ablation_row = {
@@ -90,8 +93,8 @@ type ablation_row = {
 (** Scheduler ablations: full engine vs no-backtracking, topological
     ordering, and Budget-ratio variants. *)
 val ablations :
-  ?config:Hcrf_machine.Config.t -> loops:Hcrf_ir.Loop.t list -> unit ->
-  ablation_row list
+  ?config:Hcrf_machine.Config.t -> ?jobs:int ->
+  loops:Hcrf_ir.Loop.t list -> unit -> ablation_row list
 val pp_ablations : Format.formatter -> ablation_row list -> unit
 
 type perf_row = {
@@ -106,10 +109,11 @@ type perf_row = {
 }
 
 val perf_rows :
-  scenario:Runner.memory_scenario -> configs:Hcrf_machine.Config.t list ->
-  loops:Hcrf_ir.Loop.t list -> perf_row list
+  ?jobs:int -> scenario:Runner.memory_scenario ->
+  configs:Hcrf_machine.Config.t list -> loops:Hcrf_ir.Loop.t list ->
+  unit -> perf_row list
 
-val table6 : loops:Hcrf_ir.Loop.t list -> perf_row list
+val table6 : ?jobs:int -> loops:Hcrf_ir.Loop.t list -> unit -> perf_row list
 val pp_table6 : Format.formatter -> perf_row list -> unit
 
 val figure6_configs : unit -> Hcrf_machine.Config.t list
@@ -117,7 +121,7 @@ val figure6_configs : unit -> Hcrf_machine.Config.t list
 (** Per config: (name, (useful, stall) cycles, (useful, stall) time),
     relative to the useful cycles/time of S64. *)
 val figure6 :
-  loops:Hcrf_ir.Loop.t list ->
+  ?jobs:int -> loops:Hcrf_ir.Loop.t list -> unit ->
   (string * (float * float) * (float * float)) list
 
 val pp_figure6 :

@@ -13,6 +13,57 @@
 open Hcrf_ir
 open Hcrf_sched
 
+(* Scheduler-effort counters, summed over a suite.  [attempts],
+   [ejections] etc. come from the engine's own per-attempt counters;
+   [retries] counts the escalation-ladder re-runs taken by
+   [Runner.run_loop] when the default budget failed. *)
+type sched_stats = {
+  attempts : int;
+  ejections : int;
+  forcings : int;
+  value_spills : int;
+  invariant_spills : int;
+  comm_inserted : int;
+  ii_restarts : int;
+  retries : int;
+}
+
+let zero_sched_stats =
+  { attempts = 0; ejections = 0; forcings = 0; value_spills = 0;
+    invariant_spills = 0; comm_inserted = 0; ii_restarts = 0; retries = 0 }
+
+let add_sched_stats a b =
+  {
+    attempts = a.attempts + b.attempts;
+    ejections = a.ejections + b.ejections;
+    forcings = a.forcings + b.forcings;
+    value_spills = a.value_spills + b.value_spills;
+    invariant_spills = a.invariant_spills + b.invariant_spills;
+    comm_inserted = a.comm_inserted + b.comm_inserted;
+    ii_restarts = a.ii_restarts + b.ii_restarts;
+    retries = a.retries + b.retries;
+  }
+
+let sched_stats_of_outcome ?(retries = 0) (o : Engine.outcome) =
+  let s = o.Engine.stats in
+  {
+    attempts = s.Engine.attempts;
+    ejections = s.Engine.ejections;
+    forcings = s.Engine.forcings;
+    value_spills = s.Engine.value_spills;
+    invariant_spills = s.Engine.invariant_spills;
+    comm_inserted = s.Engine.comm_inserted;
+    ii_restarts = s.Engine.ii_restarts;
+    retries;
+  }
+
+let pp_sched_stats ppf s =
+  Fmt.pf ppf
+    "attempts=%d ejections=%d forcings=%d spills=%d(+%d inv) comm=%d \
+     ii-restarts=%d retries=%d"
+    s.attempts s.ejections s.forcings s.value_spills s.invariant_spills
+    s.comm_inserted s.ii_restarts s.retries
+
 type loop_perf = {
   name : string;
   ii : int;
@@ -27,6 +78,7 @@ type loop_perf = {
   traffic : float;
   bound : Classify.bound;
   sched_seconds : float;
+  sched : sched_stats;
 }
 
 (* [n] is the total number of iterations over all entries, matching the
@@ -34,7 +86,8 @@ type loop_perf = {
 let useful_cycles ~ii ~sc ~n ~e =
   float_of_int ii *. (float_of_int n +. (float_of_int (sc - 1) *. float_of_int e))
 
-let of_outcome ?(stall_cycles = 0.) (loop : Loop.t) (o : Engine.outcome) =
+let of_outcome ?(stall_cycles = 0.) ?retries (loop : Loop.t)
+    (o : Engine.outcome) =
   let e = loop.Loop.entries in
   let n = loop.Loop.trip_count * e in
   let trf = Ddg.num_memory_ops o.Engine.graph in
@@ -52,6 +105,7 @@ let of_outcome ?(stall_cycles = 0.) (loop : Loop.t) (o : Engine.outcome) =
     traffic = float_of_int (n * trf);
     bound = Classify.of_outcome o;
     sched_seconds = o.Engine.seconds;
+    sched = sched_stats_of_outcome ?retries o;
   }
 
 type aggregate = {
@@ -68,6 +122,7 @@ type aggregate = {
   dynamic_ops : float;      (** original operations executed *)
   exec_seconds : float;     (** exec_cycles * cycle time *)
   sched_seconds : float;    (** scheduler wall-clock for the suite *)
+  sched : sched_stats;      (** scheduler effort, summed over the suite *)
   bound_share : (Classify.bound * int * float) list;
       (** per bound: number of loops, execution cycles *)
 }
@@ -111,6 +166,10 @@ let aggregate (config : Hcrf_machine.Config.t) (perfs : loop_perf list) =
           *. float_of_int p.entries);
     exec_seconds = exec_cycles *. config.Hcrf_machine.Config.cycle_ns *. 1e-9;
     sched_seconds = sum (fun p -> p.sched_seconds);
+    sched =
+      List.fold_left
+        (fun acc (p : loop_perf) -> add_sched_stats acc p.sched)
+        zero_sched_stats perfs;
     bound_share;
   }
 
@@ -120,6 +179,6 @@ let ipc a = if a.useful = 0. then 0. else a.dynamic_ops /. a.useful
 let pp_aggregate ppf a =
   Fmt.pf ppf
     "%s: loops=%d sum_ii=%d (mii %d, %.1f%% at mii) cycles=%.3e (stall %.2e) \
-     traffic=%.3e time=%.4fs ipc=%.2f"
+     traffic=%.3e time=%.4fs ipc=%.2f@\n  sched: %a"
     a.config a.loops a.sum_ii a.sum_mii a.pct_at_mii a.exec_cycles a.stall
-    a.total_traffic a.exec_seconds (ipc a)
+    a.total_traffic a.exec_seconds (ipc a) pp_sched_stats a.sched

@@ -65,15 +65,18 @@ let run_loop ?(scenario = Ideal) ?(opts = Engine.default_options)
   let opts = { opts with Engine.load_override = override } in
   (* escalating retries: a dropped loop would silently bias every
      aggregate metric, so spend more budget (and allow any II) before
-     giving up *)
+     giving up.  The rung count feeds [Metrics.sched_stats.retries]. *)
+  let retries = ref 0 in
   let result =
     match Engine.schedule ~opts config loop.Loop.ddg with
     | Ok o -> Ok o
     | Error _ -> (
+      incr retries;
       let opts = { opts with Engine.budget_ratio = 16 } in
       match Engine.schedule ~opts config loop.Loop.ddg with
       | Ok o -> Ok o
       | Error _ ->
+        incr retries;
         Engine.schedule
           ~opts:{ opts with Engine.budget_ratio = 32; max_ii = Some 4096 }
           config loop.Loop.ddg)
@@ -98,12 +101,17 @@ let run_loop ?(scenario = Ideal) ?(opts = Engine.default_options)
         in
         r.Hcrf_memsim.Sim.stall_cycles
     in
-    Some { loop; outcome; perf = Metrics.of_outcome ~stall_cycles loop outcome }
+    Some
+      { loop; outcome;
+        perf =
+          Metrics.of_outcome ~stall_cycles ~retries:!retries loop outcome }
 
 (** Schedule a whole suite; loops that fail to schedule are dropped (and
-    logged). *)
-let run_suite ?scenario ?opts config loops =
-  List.filter_map (run_loop ?scenario ?opts config) loops
+    logged).  [jobs] > 1 fans the loops out over a pool of domains
+    ({!Par}); results come back in input order, so every aggregate is
+    identical to the serial ([jobs = 1], the default) path. *)
+let run_suite ?scenario ?opts ?(jobs = 1) config loops =
+  Par.filter_map ~jobs (run_loop ?scenario ?opts config) loops
 
 let aggregate config results =
   Metrics.aggregate config (List.map (fun r -> r.perf) results)

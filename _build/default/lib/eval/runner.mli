@@ -27,9 +27,14 @@ val run_loop :
   ?scenario:memory_scenario -> ?opts:Hcrf_sched.Engine.options ->
   Hcrf_machine.Config.t -> Hcrf_ir.Loop.t -> loop_result option
 
+(** Schedule a whole suite.  [jobs] > 1 evaluates the loops on a pool of
+    domains ({!Par}); results are collected in input order, so every
+    aggregate is byte-identical to the serial ([jobs = 1], default)
+    path. *)
 val run_suite :
   ?scenario:memory_scenario -> ?opts:Hcrf_sched.Engine.options ->
-  Hcrf_machine.Config.t -> Hcrf_ir.Loop.t list -> loop_result list
+  ?jobs:int -> Hcrf_machine.Config.t -> Hcrf_ir.Loop.t list ->
+  loop_result list
 
 val aggregate :
   Hcrf_machine.Config.t -> loop_result list -> Metrics.aggregate

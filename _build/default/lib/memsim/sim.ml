@@ -36,9 +36,11 @@ let max_sim_iterations = 2048
 
 (** [refs] must describe every memory operation of the *final* graph
     (including spill code; give spill slots a fixed address).  [ii] is
-    the initiation interval, [n]/[e] the trip and entry counts. *)
-let run ?(mshrs = 8) ?(cache = Cache.create ()) ~ii ~hit_read ~miss_cycles
-    ~n ~e (refs : mem_ref list) =
+    the initiation interval, [n]/[e] the trip and entry counts.
+    [debug] asserts the MSHR occupancy invariant after every
+    allocation. *)
+let run ?(mshrs = 8) ?(debug = false) ?(cache = Cache.create ()) ~ii
+    ~hit_read ~miss_cycles ~n ~e (refs : mem_ref list) =
   let refs =
     List.sort (fun a b -> compare a.issue_offset b.issue_offset) refs
   in
@@ -48,6 +50,31 @@ let run ?(mshrs = 8) ?(cache = Cache.create ()) ~ii ~hit_read ~miss_cycles
   (* pending fills: (line, ready_time), newest first, length <= mshrs *)
   let pending = ref [] in
   let line addr = addr / cache.Cache.line_bytes in
+  let check_occupancy () =
+    if debug then
+      assert (List.length !pending <= mshrs)
+  in
+  (* All MSHRs busy: the new miss steals the slot of the oldest pending
+     fill, which means waiting until that fill retires.  The stolen
+     entry must leave [pending], or occupancy grows beyond [mshrs] and
+     every subsequent full-queue miss sees the same (stale) oldest
+     ready time, underestimating the serialization. *)
+  let retire_oldest () =
+    let oldest =
+      List.fold_left (fun acc (_, rdy) -> min acc rdy) max_int !pending
+    in
+    let removed = ref false in
+    pending :=
+      List.filter
+        (fun (_, rdy) ->
+          if (not !removed) && rdy = oldest then begin
+            removed := true;
+            false
+          end
+          else true)
+        !pending;
+    oldest
+  in
   for i = 0 to sim_iters - 1 do
     List.iter
       (fun r ->
@@ -68,24 +95,25 @@ let run ?(mshrs = 8) ?(cache = Cache.create ()) ~ii ~hit_read ~miss_cycles
               | Some rdy -> rdy (* merge with the fill in flight *)
               | None ->
                 let start =
-                  if List.length !pending >= mshrs then
-                    (* all MSHRs busy: wait for the oldest to retire *)
-                    List.fold_left
-                      (fun acc (_, rdy) -> min acc rdy)
-                      max_int !pending
+                  if List.length !pending >= mshrs then retire_oldest ()
                   else t_issue
                 in
                 let rdy = max start t_issue + miss_cycles in
                 pending := (line addr, rdy) :: !pending;
+                check_occupancy ();
                 rdy
           in
           let need = t_issue + r.sched_latency in
           if ready > need then stall := !stall + (ready - need)
         end
         else if not hit then begin
-          (* write-allocate fill occupies an MSHR but does not stall *)
-          if List.length !pending < mshrs then
-            pending := (line addr, t_issue + miss_cycles) :: !pending
+          (* write-allocate fill occupies an MSHR but does not stall;
+             when every MSHR is busy the fill is simply dropped (the
+             store buffer holds the data), so the bound still holds *)
+          if List.length !pending < mshrs then begin
+            pending := (line addr, t_issue + miss_cycles) :: !pending;
+            check_occupancy ()
+          end
         end)
       refs
   done;

@@ -1,1 +1,1 @@
-test/test_eval.ml: Alcotest Classify Engine Experiments Hcrf_core Hcrf_eval Hcrf_ir Hcrf_model Hcrf_sched Hcrf_workload Lazy List Metrics Mii Runner
+test/test_eval.ml: Alcotest Classify Engine Experiments Fmt Fun Hcrf_core Hcrf_eval Hcrf_ir Hcrf_model Hcrf_sched Hcrf_workload Lazy List Metrics Mii Par Runner

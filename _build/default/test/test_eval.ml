@@ -108,10 +108,63 @@ let test_runner_real_memory () =
     (pf.Metrics.stall < real.Metrics.stall)
 
 (* ------------------------------------------------------------------ *)
+(* Par: the domain pool itself *)
+
+let test_par_map_ordered () =
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int))
+    "results in input order"
+    (List.map (fun x -> x * x) xs)
+    (Par.map ~jobs:4 (fun x -> x * x) xs);
+  Alcotest.(check (list int))
+    "jobs=1 is plain map"
+    (List.map (fun x -> x + 1) xs)
+    (Par.map ~jobs:1 (fun x -> x + 1) xs);
+  Alcotest.(check (list int))
+    "more jobs than items"
+    [ 0; 2 ]
+    (Par.map ~jobs:8 (fun x -> 2 * x) [ 0; 1 ])
+
+let test_par_exception_propagates () =
+  (* a worker exception must reach the caller, not hang the pool *)
+  Alcotest.check_raises "exception propagates" (Failure "boom") (fun () ->
+      ignore
+        (Par.map ~jobs:4
+           (fun x -> if x = 37 then failwith "boom" else x)
+           (List.init 100 Fun.id)))
+
+(* The determinism invariant of the tentpole: any job count yields the
+   same aggregate, byte for byte, as the serial path. *)
+let test_parallel_determinism () =
+  let loops = Hcrf_workload.Suite.generate ~n:50 () in
+  let config = Hcrf_model.Presets.published "2C32S32" in
+  List.iter
+    (fun scenario ->
+      let agg jobs =
+        Runner.aggregate config
+          (Runner.run_suite ~scenario ~jobs config loops)
+      in
+      let serial = agg 1 and par = agg 4 in
+      Alcotest.(check string)
+        "identical aggregate output"
+        (Fmt.str "%a" Metrics.pp_aggregate serial)
+        (Fmt.str "%a" Metrics.pp_aggregate par);
+      check "identical cycles" true
+        (serial.Metrics.exec_cycles = par.Metrics.exec_cycles);
+      check "identical stall" true
+        (serial.Metrics.stall = par.Metrics.stall);
+      check "identical traffic" true
+        (serial.Metrics.total_traffic = par.Metrics.total_traffic);
+      check_int "identical sum ii" serial.Metrics.sum_ii par.Metrics.sum_ii;
+      check "identical sched stats" true
+        (serial.Metrics.sched = par.Metrics.sched))
+    [ Runner.Ideal; Runner.Real { prefetch = true } ]
+
+(* ------------------------------------------------------------------ *)
 (* Experiment drivers (smoke on a small suite) *)
 
 let test_figure1_shape () =
-  let rows = Experiments.figure1 ~loops:(Lazy.force small_suite) in
+  let rows = Experiments.figure1 ~loops:(Lazy.force small_suite) () in
   check_int "five points" 5 (List.length rows);
   let ipcs = List.map snd rows in
   check "IPC grows with resources" true
@@ -119,7 +172,7 @@ let test_figure1_shape () =
   List.iter (fun i -> check "ipc positive" true (i > 0.)) ipcs
 
 let test_table1_shape () =
-  let rows = Experiments.table1 ~loops:(Lazy.force small_suite) in
+  let rows = Experiments.table1 ~loops:(Lazy.force small_suite) () in
   check_int "three configs" 3 (List.length rows);
   List.iter
     (fun r ->
@@ -171,7 +224,7 @@ let test_table2_and_5 () =
   check_int "table5 rows" 15 (List.length (Experiments.table5 ()))
 
 let test_table6_shape () =
-  let rows = Experiments.table6 ~loops:(Lazy.force small_suite) in
+  let rows = Experiments.table6 ~loops:(Lazy.force small_suite) () in
   check_int "fifteen configs" 15 (List.length rows);
   let find n = List.find (fun r -> r.Experiments.p_config = n) rows in
   Alcotest.(check (float 0.0001))
@@ -201,6 +254,9 @@ let tests =
     ("metrics: of outcome", `Quick, test_metrics_of_outcome);
     ("runner: aggregate", `Quick, test_aggregate);
     ("runner: real memory", `Slow, test_runner_real_memory);
+    ("par: ordered map", `Quick, test_par_map_ordered);
+    ("par: exception propagation", `Quick, test_par_exception_propagates);
+    ("par: jobs=4 deterministic", `Slow, test_parallel_determinism);
     ("experiments: figure1", `Slow, test_figure1_shape);
     ("experiments: table1", `Slow, test_table1_shape);
     ("experiments: table4", `Slow, test_table4_consistent);

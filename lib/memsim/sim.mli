@@ -30,7 +30,10 @@ val max_sim_iterations : int
 
 (** [refs] must describe every memory operation of the *final* graph
     (including spill code); [n]/[e] are the per-entry trip count and the
-    entry count. *)
+    entry count.  A miss arriving with every MSHR busy steals the slot
+    of the oldest pending fill (waiting for it to retire first), so the
+    outstanding-miss count never exceeds [mshrs]; [debug] asserts that
+    invariant after every allocation. *)
 val run :
-  ?mshrs:int -> ?cache:Cache.t -> ii:int -> hit_read:int ->
+  ?mshrs:int -> ?debug:bool -> ?cache:Cache.t -> ii:int -> hit_read:int ->
   miss_cycles:int -> n:int -> e:int -> mem_ref list -> result
