@@ -11,7 +11,10 @@
    Experiments: fig1 tab1 tab2 tab3 tab4 fig4 tab5 tab6 fig6 calib stats
    micro.  The loop count can be overridden with HCRF_LOOPS=<n>; the
    suite drivers fan loops out over HCRF_JOBS=<n> domains (default: the
-   recommended domain count of this machine). *)
+   recommended domain count of this machine).  HCRF_CACHE=<dir> enables
+   the content-addressed schedule cache backed by <dir> (HCRF_CACHE=""
+   for in-memory only); results are byte-identical with or without it,
+   and a final "cache:" line reports hit/miss/store counters. *)
 
 open Hcrf_eval
 
@@ -39,6 +42,15 @@ let suite_size () =
   Option.value ~default:Hcrf_workload.Suite.paper_loop_count
     (loops_override ())
 
+(* HCRF_CACHE=<dir> turns the schedule cache on; the empty string asks
+   for an in-memory-only cache (useful when experiments repeat a
+   (loop, config) pair within one invocation). *)
+let cache_of_env () =
+  match Sys.getenv_opt "HCRF_CACHE" with
+  | None -> None
+  | Some "" -> Some (Hcrf_cache.Cache.create ())
+  | Some dir -> Some (Hcrf_cache.Cache.create ~dir ())
+
 let jobs () =
   match Sys.getenv_opt "HCRF_JOBS" with
   | None -> Par.default_jobs ()
@@ -51,13 +63,15 @@ let jobs () =
             s (Par.default_jobs ()));
       Par.default_jobs ())
 
-let fig1 ~loops ~jobs () =
+let fig1 ~loops ~jobs ~cache () =
   time_section "fig1" (fun () ->
-      Fmt.pr "%a@." Experiments.pp_figure1 (Experiments.figure1 ~jobs ~loops ()))
+      Fmt.pr "%a@." Experiments.pp_figure1
+        (Experiments.figure1 ~jobs ?cache ~loops ()))
 
-let tab1 ~loops ~jobs () =
+let tab1 ~loops ~jobs ~cache () =
   time_section "tab1" (fun () ->
-      Fmt.pr "%a@." Experiments.pp_table1 (Experiments.table1 ~jobs ~loops ()))
+      Fmt.pr "%a@." Experiments.pp_table1
+        (Experiments.table1 ~jobs ?cache ~loops ()))
 
 let tab2 () =
   time_section "tab2" (fun () ->
@@ -66,9 +80,10 @@ let tab2 () =
            ~title:"Table 2: access time & area, equal-capacity RFs")
         (Experiments.table2 ()))
 
-let tab3 ~loops ~jobs () =
+let tab3 ~loops ~jobs ~cache () =
   time_section "tab3" (fun () ->
-      Fmt.pr "%a@." Experiments.pp_table3 (Experiments.table3 ~jobs ~loops ()))
+      Fmt.pr "%a@." Experiments.pp_table3
+        (Experiments.table3 ~jobs ?cache ~loops ()))
 
 let tab4 ~loops ~jobs () =
   time_section "tab4" (fun () ->
@@ -84,13 +99,15 @@ let tab5 () =
         (Experiments.pp_hw_rows ~title:"Table 5: hardware evaluation")
         (Experiments.table5 ()))
 
-let tab6 ~loops ~jobs () =
+let tab6 ~loops ~jobs ~cache () =
   time_section "tab6" (fun () ->
-      Fmt.pr "%a@." Experiments.pp_table6 (Experiments.table6 ~jobs ~loops ()))
+      Fmt.pr "%a@." Experiments.pp_table6
+        (Experiments.table6 ~jobs ?cache ~loops ()))
 
-let fig6 ~loops ~jobs () =
+let fig6 ~loops ~jobs ~cache () =
   time_section "fig6" (fun () ->
-      Fmt.pr "%a@." Experiments.pp_figure6 (Experiments.figure6 ~jobs ~loops ()))
+      Fmt.pr "%a@." Experiments.pp_figure6
+        (Experiments.figure6 ~jobs ?cache ~loops ()))
 
 let ablate ~loops ~jobs () =
   time_section "ablate" (fun () ->
@@ -103,14 +120,19 @@ let ablate ~loops ~jobs () =
    (attempts, ejections, spill/communication insertions, II restarts,
    escalation retries).  A per-PR perf regression in the scheduler shows
    up here long before it shows up in wall-clock time. *)
-let stats ~loops ~jobs () =
+let stats ~loops ~jobs ~cache () =
   time_section "stats" (fun () ->
       List.iter
         (fun name ->
           let config = Hcrf_model.Presets.published name in
-          let results = Runner.run_suite ~jobs config loops in
+          let results = Runner.run_suite ~jobs ?cache config loops in
           let a = Runner.aggregate config results in
-          Fmt.pr "%a@." Metrics.pp_aggregate a;
+          (* the cache line shows the counters accumulated so far in
+             this invocation (the cache is shared by all sections) *)
+          let cache_now =
+            Option.map Hcrf_cache.Cache.stats cache
+          in
+          Fmt.pr "%a@." (Metrics.pp_aggregate ?cache:cache_now) a;
           Fmt.pr "  sched-seconds=%.2f jobs=%d@." a.Metrics.sched_seconds
             jobs)
         [ "S64"; "4C32"; "4C32S16" ])
@@ -254,6 +276,7 @@ let () =
     else suite_size ()
   in
   let jobs = jobs () in
+  let cache = cache_of_env () in
   let needs_loops =
     List.exists wants
       [ "fig1"; "tab1"; "tab3"; "tab4"; "fig4"; "tab6"; "fig6"; "calib";
@@ -267,15 +290,19 @@ let () =
     else []
   in
   if wants "calib" then calib ~loops ();
-  if wants "fig1" then fig1 ~loops ~jobs ();
-  if wants "tab1" then tab1 ~loops ~jobs ();
+  if wants "fig1" then fig1 ~loops ~jobs ~cache ();
+  if wants "tab1" then tab1 ~loops ~jobs ~cache ();
   if wants "tab2" then tab2 ();
-  if wants "tab3" then tab3 ~loops ~jobs ();
+  if wants "tab3" then tab3 ~loops ~jobs ~cache ();
   if wants "tab4" then tab4 ~loops ~jobs ();
   if wants "fig4" then fig4 ~loops ~jobs ();
   if wants "tab5" then tab5 ();
-  if wants "tab6" then tab6 ~loops ~jobs ();
-  if wants "fig6" then fig6 ~loops ~jobs ();
+  if wants "tab6" then tab6 ~loops ~jobs ~cache ();
+  if wants "fig6" then fig6 ~loops ~jobs ~cache ();
   if wants "ablate" then ablate ~loops ~jobs ();
-  if wants "stats" then stats ~loops ~jobs ();
-  if wants "micro" then micro ()
+  if wants "stats" then stats ~loops ~jobs ~cache ();
+  if wants "micro" then micro ();
+  match cache with
+  | None -> ()
+  | Some c ->
+    Fmt.pr "cache: %a@." Metrics.pp_cache_stats (Hcrf_cache.Cache.stats c)

@@ -40,6 +40,34 @@ let jobs_arg =
     & opt int (Hcrf_eval.Par.default_jobs ())
     & info [ "j"; "jobs" ] ~doc)
 
+(* Schedule cache: --cache DIR forces an on-disk cache, --no-cache
+   disables caching entirely; otherwise HCRF_CACHE is honoured the same
+   way as in bench/main.exe ("" = in-memory only). *)
+let cache_term =
+  let cache_dir =
+    let doc =
+      "Back the content-addressed schedule cache with $(docv) \
+       (overrides the HCRF_CACHE environment variable)."
+    in
+    Arg.(value & opt (some string) None & info [ "cache" ] ~doc ~docv:"DIR")
+  in
+  let no_cache =
+    let doc = "Disable the schedule cache even if HCRF_CACHE is set." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let make dir no =
+    if no then None
+    else
+      match dir with
+      | Some d -> Some (Hcrf_cache.Cache.create ~dir:d ())
+      | None -> (
+        match Sys.getenv_opt "HCRF_CACHE" with
+        | None -> None
+        | Some "" -> Some (Hcrf_cache.Cache.create ())
+        | Some d -> Some (Hcrf_cache.Cache.create ~dir:d ()))
+  in
+  Term.(const make $ cache_dir $ no_cache)
+
 (* Proper enum converters so a typo reports the valid values instead of
    dying with an uncaught Failure backtrace. *)
 let kernel_conv =
@@ -102,14 +130,16 @@ let suite_cmd =
       & opt memory_conv Hcrf_eval.Runner.Ideal
       & info [ "m"; "memory" ] ~doc ~docv:"SCENARIO")
   in
-  let run config_name n scenario jobs =
+  let run config_name n scenario jobs cache =
     let config = config_of_string config_name in
     let loops = Hcrf_workload.Suite.generate ~n () in
     let results =
-      Hcrf_eval.Runner.run_suite ~scenario ~jobs:(max 1 jobs) config loops
+      Hcrf_eval.Runner.run_suite ~scenario ?cache ~jobs:(max 1 jobs) config
+        loops
     in
     let a = Hcrf_eval.Runner.aggregate config results in
-    Fmt.pr "%a@." Hcrf_eval.Metrics.pp_aggregate a;
+    let cache_stats = Option.map Hcrf_cache.Cache.stats cache in
+    Fmt.pr "%a@." (Hcrf_eval.Metrics.pp_aggregate ?cache:cache_stats) a;
     List.iter
       (fun (b, count, cycles) ->
         Fmt.pr "  %-8s %4d loops  %.3e cycles@." (Hcrf_eval.Classify.name b)
@@ -119,7 +149,8 @@ let suite_cmd =
   Cmd.v
     (Cmd.info "suite"
        ~doc:"Schedule the synthetic workbench on one configuration")
-    Term.(const run $ config_arg $ n_arg $ memory_arg $ jobs_arg)
+    Term.(
+      const run $ config_arg $ n_arg $ memory_arg $ jobs_arg $ cache_term)
 
 let hw_cmd =
   let all_arg =
@@ -149,7 +180,7 @@ let hw_cmd =
 let ports_cmd =
   (* sweep the inter-level port counts of a hierarchical RF and report
      the ΣII impact — the §4 design decision, measurable per design *)
-  let run config_name n jobs =
+  let run config_name n jobs cache =
     let base = Hcrf_machine.Rf.of_notation config_name in
     (match base with
     | Hcrf_machine.Rf.Hierarchical h ->
@@ -166,18 +197,24 @@ let ports_cmd =
           in
           let config = Hcrf_model.Presets.of_model rf in
           let results =
-            Hcrf_eval.Runner.run_suite ~jobs:(max 1 jobs) config loops
+            Hcrf_eval.Runner.run_suite ?cache ~jobs:(max 1 jobs) config
+              loops
           in
           let a = Hcrf_eval.Runner.aggregate config results in
           Fmt.pr "  %2d %2d | %5d | %4.1f@." lp sp a.Hcrf_eval.Metrics.sum_ii
             a.Hcrf_eval.Metrics.pct_at_mii)
-        [ (1, 1); (2, 1); (2, 2); (3, 2); (4, 2) ]
+        [ (1, 1); (2, 1); (2, 2); (3, 2); (4, 2) ];
+      Option.iter
+        (fun c ->
+          Fmt.pr "cache: %a@." Hcrf_cache.Cache.pp_stats
+            (Hcrf_cache.Cache.stats c))
+        cache
     | _ -> failwith "ports: needs a hierarchical configuration (xCySz)")
   in
   Cmd.v
     (Cmd.info "ports"
        ~doc:"Sweep the LoadR/StoreR port counts of a hierarchical RF")
-    Term.(const run $ config_arg $ n_arg $ jobs_arg)
+    Term.(const run $ config_arg $ n_arg $ jobs_arg $ cache_term)
 
 let duel_cmd =
   let run config_name n jobs =

@@ -1,0 +1,1 @@
+lib/cache/cache.ml: Entry Fingerprint Fmt Fun Hashtbl Mutex Option Store

@@ -1,0 +1,1 @@
+lib/cache/entry.ml: Ddg Engine Hcrf_ir Hcrf_machine Hcrf_sched List Mii Schedule Topology

@@ -1,0 +1,1 @@
+lib/cache/entry.mli: Hcrf_ir Hcrf_machine Hcrf_sched

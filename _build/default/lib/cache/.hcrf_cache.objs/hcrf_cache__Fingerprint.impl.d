@@ -1,0 +1,1 @@
+lib/cache/fingerprint.ml: Ddg Dep Digest Fmt Hashtbl Hcrf_ir Hcrf_machine Hcrf_sched List Loop Op Option Printf String

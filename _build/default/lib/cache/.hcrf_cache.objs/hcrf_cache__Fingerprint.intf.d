@@ -1,0 +1,1 @@
+lib/cache/fingerprint.mli: Format Hcrf_ir Hcrf_machine Hcrf_sched

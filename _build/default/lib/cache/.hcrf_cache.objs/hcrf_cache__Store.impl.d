@@ -1,0 +1,1 @@
+lib/cache/store.ml: Atomic Digest Entry Filename Fingerprint Fun Logs Marshal Printexc Printf String Sys Unix

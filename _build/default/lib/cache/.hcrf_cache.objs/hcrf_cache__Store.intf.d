@@ -1,0 +1,1 @@
+lib/cache/store.mli: Entry Fingerprint

@@ -1,0 +1,82 @@
+type stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  disk_hits : int;
+  disk_errors : int;
+}
+
+let zero_stats =
+  { hits = 0; misses = 0; stores = 0; disk_hits = 0; disk_errors = 0 }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "hits=%d (disk %d) misses=%d stores=%d disk-errors=%d" s.hits
+    s.disk_hits s.misses s.stores s.disk_errors
+
+type t = {
+  table : (Fingerprint.t, Entry.t) Hashtbl.t;
+  store : Store.t option;
+  mutex : Mutex.t;
+  mutable counters : stats;
+}
+
+let create ?dir () =
+  {
+    table = Hashtbl.create 256;
+    store = Option.bind dir Store.open_dir;
+    mutex = Mutex.create ();
+    counters = zero_stats;
+  }
+
+let dir t = Option.map Store.dir t.store
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some e ->
+        t.counters <- { t.counters with hits = t.counters.hits + 1 };
+        Some e
+      | None -> (
+        let disk =
+          match t.store with
+          | None -> `Miss
+          | Some s -> Store.load s ~key
+        in
+        match disk with
+        | `Hit e ->
+          Hashtbl.replace t.table key e;
+          t.counters <-
+            { t.counters with
+              hits = t.counters.hits + 1;
+              disk_hits = t.counters.disk_hits + 1 };
+          Some e
+        | (`Miss | `Error) as r ->
+          (* a present-but-unreadable file was already reported by
+             [Store.load]; it counts as a miss and is recomputed *)
+          t.counters <-
+            { t.counters with
+              misses = t.counters.misses + 1;
+              disk_errors =
+                (t.counters.disk_errors + if r = `Error then 1 else 0) };
+          None))
+
+let add t key entry =
+  locked t (fun () ->
+      Hashtbl.replace t.table key entry;
+      let wrote =
+        match t.store with
+        | None -> true
+        | Some s -> Store.save s ~key entry
+      in
+      t.counters <-
+        { t.counters with
+          stores = t.counters.stores + 1;
+          disk_errors =
+            (t.counters.disk_errors + if wrote then 0 else 1) };
+      ())
+
+let stats t = locked t (fun () -> t.counters)

@@ -1,0 +1,40 @@
+(** Content-addressed schedule cache: an in-memory table keyed by
+    canonical {!Fingerprint}s, optionally backed by an on-disk
+    {!Store}.
+
+    The cache is safe to share between the domains of a {!Hcrf_eval.Par}
+    pool: every lookup, insertion and counter update is protected by a
+    single mutex (scheduling itself — the expensive part — runs outside
+    the lock).  Because keys canonically identify the full scheduling
+    input and replayed entries are bit-reproductions of the original
+    outcome, a cache hit can never change any result: warm and cold runs
+    produce byte-identical aggregates. *)
+
+type stats = {
+  hits : int;        (** lookups served from memory or disk *)
+  misses : int;      (** lookups that fell through to the scheduler *)
+  stores : int;      (** entries inserted *)
+  disk_hits : int;   (** subset of [hits] loaded from the store *)
+  disk_errors : int; (** corrupt/stale/unwritable on-disk entries *)
+}
+
+val zero_stats : stats
+val pp_stats : Format.formatter -> stats -> unit
+
+type t
+
+(** [create ?dir ()] makes an empty cache.  With [dir] the cache also
+    persists entries under that directory (created if needed); if the
+    directory cannot be used the cache degrades to in-memory-only with a
+    warning rather than failing. *)
+val create : ?dir:string -> unit -> t
+
+(** The directory actually in use ([None] for in-memory-only, including
+    the degraded case). *)
+val dir : t -> string option
+
+val find : t -> Fingerprint.t -> Entry.t option
+val add : t -> Fingerprint.t -> Entry.t -> unit
+
+(** Snapshot of the counters. *)
+val stats : t -> stats

@@ -1,0 +1,178 @@
+(** Canonical fingerprints of scheduling inputs (see the interface).
+
+    All digests are MD5 over length-prefixed part lists, so no two
+    distinct part lists share an encoding.  Graph hashing uses
+    Weisfeiler–Lehman color refinement: every construction below is a
+    *multiset* (sorted list) of node-id-free strings, which makes the
+    result invariant under node renumbering and edge reordering while
+    remaining sensitive to kinds, dependence labels, distances and
+    per-node attributes. *)
+
+open Hcrf_ir
+
+type t = string (* raw 16-byte MD5 *)
+
+let equal = String.equal
+let compare = String.compare
+
+let to_hex t = Digest.to_hex t
+let pp ppf t = Fmt.string ppf (to_hex t)
+
+(* Unambiguous encoding: each part is length-prefixed before
+   concatenation, so part boundaries cannot be confused. *)
+let digest parts =
+  Digest.string
+    (String.concat ""
+       (List.map (fun p -> string_of_int (String.length p) ^ ":" ^ p) parts))
+
+let of_string s = digest [ "label"; s ]
+let combine ts = digest ("combine" :: ts)
+
+let int i = string_of_int i
+let float f = Printf.sprintf "%h" f
+let bool b = if b then "t" else "f"
+
+(* ------------------------------------------------------------------ *)
+(* Graphs: WL color refinement                                         *)
+
+let of_ddg ?(attr = fun _ -> "") (g : Ddg.t) =
+  let ids = Ddg.nodes g in
+  let n = List.length ids in
+  (* invariant consumption participates in the initial color: a node
+     reading k loop invariants is distinguishable from one reading none *)
+  let inv_uses = Hashtbl.create 16 in
+  List.iter
+    (fun (inv : Ddg.invariant) ->
+      List.iter
+        (fun c ->
+          Hashtbl.replace inv_uses c
+            (1 + Option.value ~default:0 (Hashtbl.find_opt inv_uses c)))
+        inv.Ddg.inv_consumers)
+    (Ddg.invariants g);
+  let color = Hashtbl.create (max 16 n) in
+  List.iter
+    (fun id ->
+      Hashtbl.replace color id
+        (digest
+           [ "node"; Op.kind_name (Ddg.kind g id); attr id;
+             int (Option.value ~default:0 (Hashtbl.find_opt inv_uses id)) ]))
+    ids;
+  let c id = Hashtbl.find color id in
+  let edge_sig tag other (e : Ddg.edge) =
+    digest [ tag; Dep.name e.dep; int e.distance; c other ]
+  in
+  let refine () =
+    let next =
+      List.map
+        (fun id ->
+          let ins =
+            List.sort String.compare
+              (List.map (fun (e : Ddg.edge) -> edge_sig "in" e.src e)
+                 (Ddg.preds g id))
+          and outs =
+            List.sort String.compare
+              (List.map (fun (e : Ddg.edge) -> edge_sig "out" e.dst e)
+                 (Ddg.succs g id))
+          in
+          (id, digest (("refine" :: c id :: ins) @ ("|" :: outs))))
+        ids
+    in
+    List.iter (fun (id, col) -> Hashtbl.replace color id col) next
+  in
+  let distinct () =
+    List.sort_uniq String.compare (List.map c ids) |> List.length
+  in
+  (* refinement only ever splits color classes; stop when the partition
+     is stable (at most n rounds) *)
+  let rec loop rounds prev =
+    if rounds >= n then ()
+    else begin
+      refine ();
+      let d = distinct () in
+      if d > prev then loop (rounds + 1) d
+    end
+  in
+  loop 0 (distinct ());
+  let node_colors = List.sort String.compare (List.map c ids) in
+  let edge_sigs =
+    List.sort String.compare
+      (List.map
+         (fun (e : Ddg.edge) ->
+           digest [ "edge"; c e.src; c e.dst; Dep.name e.dep; int e.distance ])
+         (Ddg.edges g))
+  in
+  let inv_sigs =
+    List.sort String.compare
+      (List.map
+         (fun (inv : Ddg.invariant) ->
+           digest
+             ("inv"
+             :: List.sort String.compare (List.map c inv.Ddg.inv_consumers)))
+         (Ddg.invariants g))
+  in
+  digest
+    (("graph" :: int n :: node_colors) @ ("|" :: edge_sigs) @ ("|" :: inv_sigs))
+
+let of_loop (l : Loop.t) =
+  let attr id =
+    match Loop.stream_for l id with
+    | None -> ""
+    | Some s -> Fmt.str "stream:%d:%d" s.Loop.base s.Loop.stride
+  in
+  digest
+    [ "loop"; of_ddg ~attr l.Loop.ddg; int l.Loop.trip_count;
+      int l.Loop.entries ]
+
+(* ------------------------------------------------------------------ *)
+(* Machine configurations                                              *)
+
+let cap = function Hcrf_machine.Cap.Inf -> "inf" | Finite n -> int n
+
+let rf_parts (rf : Hcrf_machine.Rf.t) =
+  match rf with
+  | Monolithic { regs } -> [ "mono"; cap regs ]
+  | Clustered { clusters; regs_per_bank; lp; sp; buses } ->
+    [ "clustered"; int clusters; cap regs_per_bank; cap lp; cap sp;
+      cap buses ]
+  | Hierarchical { clusters; regs_per_bank; shared_regs; lp; sp } ->
+    [ "hier"; int clusters; cap regs_per_bank; cap shared_regs; cap lp;
+      cap sp ]
+
+let of_config (c : Hcrf_machine.Config.t) =
+  let l = c.Hcrf_machine.Config.lats in
+  digest
+    ([ "config"; int c.Hcrf_machine.Config.n_fus;
+       int c.Hcrf_machine.Config.n_mem_ports ]
+    @ rf_parts c.Hcrf_machine.Config.rf
+    @ [ int l.Hcrf_machine.Latencies.fadd; int l.Hcrf_machine.Latencies.fmul;
+        int l.Hcrf_machine.Latencies.fdiv;
+        int l.Hcrf_machine.Latencies.fsqrt;
+        int l.Hcrf_machine.Latencies.mem_read;
+        int l.Hcrf_machine.Latencies.mem_write;
+        int l.Hcrf_machine.Latencies.move;
+        int l.Hcrf_machine.Latencies.loadr;
+        int l.Hcrf_machine.Latencies.storer;
+        float c.Hcrf_machine.Config.cycle_ns;
+        float c.Hcrf_machine.Config.miss_ns ])
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler options                                                   *)
+
+let of_options ?(probe = []) (o : Hcrf_sched.Engine.options) =
+  let samples =
+    List.concat_map
+      (fun id ->
+        [ int id;
+          (match o.Hcrf_sched.Engine.load_override id with
+          | None -> "-"
+          | Some l -> int l) ])
+      probe
+  in
+  digest
+    ([ "options"; int o.Hcrf_sched.Engine.budget_ratio;
+       (match o.Hcrf_sched.Engine.max_ii with None -> "-" | Some i -> int i);
+       bool o.Hcrf_sched.Engine.backtracking;
+       (match o.Hcrf_sched.Engine.ordering with
+       | `Hrms -> "hrms"
+       | `Topological -> "topo") ]
+    @ samples)

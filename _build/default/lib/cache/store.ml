@@ -1,0 +1,96 @@
+type t = { dir : string }
+
+let version = 1
+let magic = Printf.sprintf "hcrf-cache %d\n" version
+
+let dir t = t.dir
+
+(* mkdir -p *)
+let rec ensure_dir d =
+  if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+  else begin
+    ensure_dir (Filename.dirname d);
+    Sys.mkdir d 0o755
+  end
+
+let open_dir d =
+  match
+    ensure_dir d;
+    if not (Sys.is_directory d) then failwith "not a directory"
+  with
+  | () -> Some { dir = d }
+  | exception e ->
+    Logs.warn (fun m ->
+        m "schedule cache: cannot use directory %s (%s); continuing \
+           in-memory only"
+          d (Printexc.to_string e));
+    None
+
+let path t ~key = Filename.concat t.dir (Fingerprint.to_hex key ^ ".hcrf")
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load t ~key =
+  let p = path t ~key in
+  if not (Sys.file_exists p) then `Miss
+  else
+    let stale reason =
+      Logs.warn (fun m ->
+          m "schedule cache: ignoring %s (%s); recomputing" p reason);
+      `Error
+    in
+    match read_file p with
+    | exception e -> stale (Printexc.to_string e)
+    | content ->
+      let mlen = String.length magic in
+      if String.length content < mlen + 16 then stale "truncated"
+      else if not (String.equal (String.sub content 0 mlen) magic) then
+        stale "bad magic or stale version"
+      else
+        let sum = String.sub content mlen 16 in
+        let payload =
+          String.sub content (mlen + 16) (String.length content - mlen - 16)
+        in
+        if not (String.equal sum (Digest.string payload)) then
+          stale "checksum mismatch"
+        else begin
+          (* the checksum matched, so the payload is exactly what a
+             same-version writer produced: unmarshalling is safe *)
+          match (Marshal.from_string payload 0 : string * Entry.t) with
+          | exception e -> stale (Printexc.to_string e)
+          | stored_key, entry ->
+            if String.equal stored_key (Fingerprint.to_hex key) then
+              `Hit entry
+            else stale "key mismatch"
+        end
+
+let tmp_counter = Atomic.make 0
+
+let save t ~key entry =
+  let p = path t ~key in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" p (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_counter 1)
+  in
+  let payload = Marshal.to_string (Fingerprint.to_hex key, entry) [] in
+  match
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc magic;
+        output_string oc (Digest.string payload);
+        output_string oc payload);
+    Sys.rename tmp p
+  with
+  | () -> true
+  | exception e ->
+    (if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ());
+    Logs.warn (fun m ->
+        m "schedule cache: cannot write %s (%s); entry kept in memory only"
+          p (Printexc.to_string e));
+    false

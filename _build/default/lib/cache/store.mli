@@ -1,0 +1,38 @@
+(** On-disk persistence for cache entries: one file per entry under a
+    cache directory, named by the key's hex fingerprint.
+
+    The file format is defensive: a versioned magic header followed by
+    an MD5 checksum of the marshalled payload.  A truncated, corrupt,
+    garbage or version-stale file fails the header or checksum test and
+    is reported as a miss with a {!Logs} warning — never an exception,
+    and in particular the unmarshaller is never run on bytes that were
+    not written by a matching version of this module.
+
+    Writes go through a temporary file in the same directory followed by
+    an atomic rename, so concurrent processes sharing a cache directory
+    can only ever observe complete entries. *)
+
+type t
+
+(** Current on-disk format version (bumped whenever the entry schema
+    changes; older files are then skipped as stale). *)
+val version : int
+
+(** Open (creating it if needed, like [mkdir -p]) a cache directory.
+    Returns [None] — with a warning — when the directory cannot be
+    created or is not writable; callers degrade to in-memory-only
+    caching. *)
+val open_dir : string -> t option
+
+val dir : t -> string
+
+(** Path of the entry file for [key] (exposed for tests). *)
+val path : t -> key:Fingerprint.t -> string
+
+(** [`Miss] on absence; [`Error] (with a warning) on a truncated,
+    corrupt, garbage, version-stale or unreadable file. *)
+val load :
+  t -> key:Fingerprint.t -> [ `Hit of Entry.t | `Miss | `Error ]
+
+(** [false] — with a warning — when the entry could not be written. *)
+val save : t -> key:Fingerprint.t -> Entry.t -> bool

@@ -11,10 +11,10 @@ open Hcrf_sched
 (* ------------------------------------------------------------------ *)
 (* Figure 1: IPC vs resources, monolithic RF with unbounded registers  *)
 
-let figure1 ?jobs ~loops () =
+let figure1 ?jobs ?cache ~loops () =
   List.map
     (fun config ->
-      let results = Runner.run_suite ?jobs config loops in
+      let results = Runner.run_suite ?jobs ?cache config loops in
       let a = Runner.aggregate config results in
       (config.Config.name, Metrics.ipc a))
     (Presets.figure1_configs ())
@@ -43,10 +43,10 @@ let table1_configs () =
   [ Presets.published "S128"; Presets.published "4C32";
     Presets.of_published row ]
 
-let table1 ?jobs ~loops () =
+let table1 ?jobs ?cache ~loops () =
   List.map
     (fun config ->
-      let results = Runner.run_suite ?jobs config loops in
+      let results = Runner.run_suite ?jobs ?cache config loops in
       let a = Runner.aggregate config results in
       let nloops = float_of_int a.Metrics.loops in
       {
@@ -163,14 +163,17 @@ type table3_row = {
   t3_bounded : float * int * float;
 }
 
-let table3 ?jobs ~loops () =
+let table3 ?jobs ?cache ~loops () =
   List.map
     (fun notation ->
       let run bounded =
         let config =
           Presets.static_config ~bounded_bandwidth:bounded notation
         in
-        let a = Runner.aggregate config (Runner.run_suite ?jobs config loops) in
+        let a =
+          Runner.aggregate config
+            (Runner.run_suite ?jobs ?cache config loops)
+        in
         (a.Metrics.pct_at_mii, a.Metrics.sum_ii, a.Metrics.sched_seconds)
       in
       {
@@ -323,13 +326,13 @@ type perf_row = {
   p_speedup : float;        (** S64 time / this time *)
 }
 
-let perf_rows ?jobs ~scenario ~configs ~loops () =
+let perf_rows ?jobs ?cache ~scenario ~configs ~loops () =
   let aggregates =
     List.map
       (fun config ->
         ( config,
           Runner.aggregate config
-            (Runner.run_suite ~scenario ?jobs config loops) ))
+            (Runner.run_suite ~scenario ?jobs ?cache config loops) ))
       configs
   in
   let base =
@@ -358,9 +361,9 @@ let perf_rows ?jobs ~scenario ~configs ~loops () =
       })
     aggregates
 
-let table6 ?jobs ~loops () =
-  perf_rows ?jobs ~scenario:Runner.Ideal ~configs:(Presets.table5_configs ())
-    ~loops ()
+let table6 ?jobs ?cache ~loops () =
+  perf_rows ?jobs ?cache ~scenario:Runner.Ideal
+    ~configs:(Presets.table5_configs ()) ~loops ()
 
 let pp_table6 ppf rows =
   Fmt.pf ppf "@[<v>Table 6: performance, ideal memory (relative to S64)@,";
@@ -450,9 +453,9 @@ let figure6_configs () =
   List.map Presets.published
     [ "S64"; "2C64"; "4C32"; "1C32S64"; "2C32S32"; "4C32S16"; "8C16S16" ]
 
-let figure6 ?jobs ~loops () =
+let figure6 ?jobs ?cache ~loops () =
   let rows =
-    perf_rows ?jobs
+    perf_rows ?jobs ?cache
       ~scenario:(Runner.Real { prefetch = true })
       ~configs:(figure6_configs ()) ~loops ()
   in

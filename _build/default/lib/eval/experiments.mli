@@ -7,9 +7,14 @@ open Hcrf_sched
 
 (** Figure 1: (config name, IPC) for the 4+2 .. 12+6 resource sweep.
     Every [?jobs] below fans the per-loop scheduling out over a domain
-    pool ({!Par}); results are deterministic for any job count. *)
+    pool ({!Par}); results are deterministic for any job count.  Every
+    [?cache] memoizes the per-loop outcomes ({!Runner.run_loop}) without
+    changing any result; the drivers that bypass the runner (table 4,
+    figure 4, ablations — they sweep engine options directly) take no
+    cache. *)
 val figure1 :
-  ?jobs:int -> loops:Hcrf_ir.Loop.t list -> unit -> (string * float) list
+  ?jobs:int -> ?cache:Hcrf_cache.Cache.t -> loops:Hcrf_ir.Loop.t list ->
+  unit -> (string * float) list
 
 val pp_figure1 : Format.formatter -> (string * float) list -> unit
 
@@ -24,7 +29,9 @@ type table1_row = {
     1C64S64 scheduled with the §4 port counts). *)
 val table1_configs : unit -> Hcrf_machine.Config.t list
 
-val table1 : ?jobs:int -> loops:Hcrf_ir.Loop.t list -> unit -> table1_row list
+val table1 :
+  ?jobs:int -> ?cache:Hcrf_cache.Cache.t -> loops:Hcrf_ir.Loop.t list ->
+  unit -> table1_row list
 val pp_table1 : Format.formatter -> table1_row list -> unit
 
 type hw_row = {
@@ -53,7 +60,9 @@ type table3_row = {
   t3_bounded : float * int * float;
 }
 
-val table3 : ?jobs:int -> loops:Hcrf_ir.Loop.t list -> unit -> table3_row list
+val table3 :
+  ?jobs:int -> ?cache:Hcrf_cache.Cache.t -> loops:Hcrf_ir.Loop.t list ->
+  unit -> table3_row list
 val pp_table3 : Format.formatter -> table3_row list -> unit
 
 type table4 = {
@@ -109,11 +118,14 @@ type perf_row = {
 }
 
 val perf_rows :
-  ?jobs:int -> scenario:Runner.memory_scenario ->
+  ?jobs:int -> ?cache:Hcrf_cache.Cache.t ->
+  scenario:Runner.memory_scenario ->
   configs:Hcrf_machine.Config.t list -> loops:Hcrf_ir.Loop.t list ->
   unit -> perf_row list
 
-val table6 : ?jobs:int -> loops:Hcrf_ir.Loop.t list -> unit -> perf_row list
+val table6 :
+  ?jobs:int -> ?cache:Hcrf_cache.Cache.t -> loops:Hcrf_ir.Loop.t list ->
+  unit -> perf_row list
 val pp_table6 : Format.formatter -> perf_row list -> unit
 
 val figure6_configs : unit -> Hcrf_machine.Config.t list
@@ -121,8 +133,8 @@ val figure6_configs : unit -> Hcrf_machine.Config.t list
 (** Per config: (name, (useful, stall) cycles, (useful, stall) time),
     relative to the useful cycles/time of S64. *)
 val figure6 :
-  ?jobs:int -> loops:Hcrf_ir.Loop.t list -> unit ->
-  (string * (float * float) * (float * float)) list
+  ?jobs:int -> ?cache:Hcrf_cache.Cache.t -> loops:Hcrf_ir.Loop.t list ->
+  unit -> (string * (float * float) * (float * float)) list
 
 val pp_figure6 :
   Format.formatter ->

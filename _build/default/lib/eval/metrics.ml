@@ -176,9 +176,25 @@ let aggregate (config : Hcrf_machine.Config.t) (perfs : loop_perf list) =
 (** Dynamic IPC under the ideal-memory scenario (Figure 1). *)
 let ipc a = if a.useful = 0. then 0. else a.dynamic_ops /. a.useful
 
-let pp_aggregate ppf a =
+(* Cache-effectiveness counters, re-exported so the evaluation layer's
+   reporting has one home.  Kept out of [aggregate] on purpose: warm
+   runs must aggregate byte-identically to cold ones. *)
+type cache_stats = Hcrf_cache.Cache.stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  disk_hits : int;
+  disk_errors : int;
+}
+
+let pp_cache_stats = Hcrf_cache.Cache.pp_stats
+
+let pp_aggregate ?cache ppf a =
   Fmt.pf ppf
     "%s: loops=%d sum_ii=%d (mii %d, %.1f%% at mii) cycles=%.3e (stall %.2e) \
      traffic=%.3e time=%.4fs ipc=%.2f@\n  sched: %a"
     a.config a.loops a.sum_ii a.sum_mii a.pct_at_mii a.exec_cycles a.stall
-    a.total_traffic a.exec_seconds (ipc a) pp_sched_stats a.sched
+    a.total_traffic a.exec_seconds (ipc a) pp_sched_stats a.sched;
+  match cache with
+  | None -> ()
+  | Some c -> Fmt.pf ppf "@\n  cache: %a" pp_cache_stats c

@@ -76,4 +76,21 @@ val aggregate : Hcrf_machine.Config.t -> loop_perf list -> aggregate
 (** Dynamic IPC under the ideal-memory scenario (Figure 1). *)
 val ipc : aggregate -> float
 
-val pp_aggregate : Format.formatter -> aggregate -> unit
+(** Schedule-cache effectiveness counters ({!Hcrf_cache.Cache.stats}).
+    Deliberately *not* part of {!aggregate}: a warm cache must produce
+    byte-identical aggregates, so cache effectiveness is reported
+    alongside them, never inside them. *)
+type cache_stats = Hcrf_cache.Cache.stats = {
+  hits : int;
+  misses : int;
+  stores : int;
+  disk_hits : int;
+  disk_errors : int;
+}
+
+val pp_cache_stats : Format.formatter -> cache_stats -> unit
+
+(** Print an aggregate; with [?cache] an extra "cache:" line reports
+    hit/miss/store counters next to the scheduler-effort stats. *)
+val pp_aggregate :
+  ?cache:cache_stats -> Format.formatter -> aggregate -> unit

@@ -53,10 +53,38 @@ let mem_refs (config : Hcrf_machine.Config.t) (loop : Loop.t)
             sched_latency; base; stride })
     (Ddg.nodes o.Engine.graph)
 
-(** Schedule one loop; [None] if the scheduler could not find a schedule
-    (logged; does not happen for the shipped suites). *)
-let run_loop ?(scenario = Ideal) ?(opts = Engine.default_options)
-    (config : Hcrf_machine.Config.t) (loop : Loop.t) : loop_result option =
+let scenario_tag = function
+  | Ideal -> "ideal"
+  | Real { prefetch = false } -> "real"
+  | Real { prefetch = true } -> "prefetch"
+
+(** Canonical cache key of one [run_loop] invocation: configuration,
+    loop (graph, streams, trip/entry counts), scheduler options and the
+    memory scenario.  [opts.load_override] is *not* sampled: the runner
+    always replaces it with the override derived from the scenario and
+    loop, both of which the key covers. *)
+let cache_key ~scenario ~opts (config : Hcrf_machine.Config.t)
+    (loop : Loop.t) =
+  Hcrf_cache.Fingerprint.combine
+    [ Hcrf_cache.Fingerprint.of_config config;
+      Hcrf_cache.Fingerprint.of_loop loop;
+      Hcrf_cache.Fingerprint.of_options opts;
+      Hcrf_cache.Fingerprint.of_string (scenario_tag scenario) ]
+
+let warn_no_schedule (config : Hcrf_machine.Config.t) loop ii =
+  Logs.warn (fun m ->
+      m "no schedule for %s on %s up to II=%d" (Loop.name loop)
+        config.Hcrf_machine.Config.name ii)
+
+let result_of_parts loop outcome ~stall_cycles ~retries =
+  { loop; outcome;
+    perf = Metrics.of_outcome ~stall_cycles ~retries loop outcome }
+
+(* The uncached work: schedule (with escalation) and, under a real
+   memory scenario, simulate the stalls.  Returns everything a cache
+   entry needs. *)
+let compute ~scenario ~opts (config : Hcrf_machine.Config.t)
+    (loop : Loop.t) =
   let override =
     match scenario with
     | Real { prefetch = true } -> Hcrf_memsim.Prefetch.plan config loop
@@ -82,11 +110,7 @@ let run_loop ?(scenario = Ideal) ?(opts = Engine.default_options)
           config loop.Loop.ddg)
   in
   match result with
-  | Error (`No_schedule ii) ->
-    Logs.warn (fun m ->
-        m "no schedule for %s on %s up to II=%d" (Loop.name loop)
-          config.Hcrf_machine.Config.name ii);
-    None
+  | Error (`No_schedule ii) -> Error ii
   | Ok outcome ->
     let stall_cycles =
       match scenario with
@@ -101,17 +125,58 @@ let run_loop ?(scenario = Ideal) ?(opts = Engine.default_options)
         in
         r.Hcrf_memsim.Sim.stall_cycles
     in
-    Some
-      { loop; outcome;
-        perf =
-          Metrics.of_outcome ~stall_cycles ~retries:!retries loop outcome }
+    Ok (outcome, stall_cycles, !retries)
+
+(** Schedule one loop; [None] if the scheduler could not find a schedule
+    (logged; does not happen for the shipped suites).  With [?cache] the
+    outcome is looked up by content-addressed key first; a hit replays
+    the stored schedule instead of re-running the engine and yields a
+    byte-identical [loop_result] (the perf record is recomputed from the
+    replayed outcome with the stored stall cycles and retry count). *)
+let run_loop ?(scenario = Ideal) ?(opts = Engine.default_options) ?cache
+    (config : Hcrf_machine.Config.t) (loop : Loop.t) : loop_result option =
+  let fresh () =
+    match compute ~scenario ~opts config loop with
+    | Error ii ->
+      warn_no_schedule config loop ii;
+      None
+    | Ok (outcome, stall_cycles, retries) ->
+      Some (result_of_parts loop outcome ~stall_cycles ~retries)
+  in
+  match cache with
+  | None -> fresh ()
+  | Some c -> (
+    let key = cache_key ~scenario ~opts config loop in
+    match Hcrf_cache.Cache.find c key with
+    | Some (Hcrf_cache.Entry.Failed ii) ->
+      warn_no_schedule config loop ii;
+      None
+    | Some (Hcrf_cache.Entry.Scheduled { outcome; stall_cycles; retries })
+      ->
+      Some
+        (result_of_parts loop
+           (Hcrf_cache.Entry.to_outcome config outcome)
+           ~stall_cycles ~retries)
+    | None -> (
+      match compute ~scenario ~opts config loop with
+      | Error ii ->
+        Hcrf_cache.Cache.add c key (Hcrf_cache.Entry.Failed ii);
+        warn_no_schedule config loop ii;
+        None
+      | Ok (outcome, stall_cycles, retries) ->
+        Hcrf_cache.Cache.add c key
+          (Hcrf_cache.Entry.of_outcome config outcome ~stall_cycles
+             ~retries);
+        Some (result_of_parts loop outcome ~stall_cycles ~retries)))
 
 (** Schedule a whole suite; loops that fail to schedule are dropped (and
     logged).  [jobs] > 1 fans the loops out over a pool of domains
     ({!Par}); results come back in input order, so every aggregate is
-    identical to the serial ([jobs = 1], the default) path. *)
-let run_suite ?scenario ?opts ?(jobs = 1) config loops =
-  Par.filter_map ~jobs (run_loop ?scenario ?opts config) loops
+    identical to the serial ([jobs = 1], the default) path.  [?cache] is
+    shared by all worker domains (its operations are mutex-protected)
+    and never changes any result — only how fast it is produced. *)
+let run_suite ?scenario ?opts ?cache ?(jobs = 1) config loops =
+  Par.filter_map ~jobs (run_loop ?scenario ?opts ?cache config) loops
 
 let aggregate config results =
   Metrics.aggregate config (List.map (fun r -> r.perf) results)

@@ -20,21 +20,33 @@ val mem_refs :
   Hcrf_machine.Config.t -> Hcrf_ir.Loop.t -> Hcrf_sched.Engine.outcome ->
   override:(int -> int option) -> Hcrf_memsim.Sim.mem_ref list
 
+(** Canonical cache key of one [run_loop] invocation: configuration,
+    loop, options and memory scenario.  [opts.load_override] is not
+    sampled — the runner derives the actual override from the scenario
+    and loop, both covered by the key. *)
+val cache_key :
+  scenario:memory_scenario -> opts:Hcrf_sched.Engine.options ->
+  Hcrf_machine.Config.t -> Hcrf_ir.Loop.t -> Hcrf_cache.Fingerprint.t
+
 (** Schedule one loop (with escalating budget retries so aggregate
     metrics never silently drop loops); [None] only if every retry
-    failed. *)
+    failed.  With [?cache], outcomes are memoized by content-addressed
+    key; a hit replays the stored schedule and yields a byte-identical
+    result. *)
 val run_loop :
   ?scenario:memory_scenario -> ?opts:Hcrf_sched.Engine.options ->
-  Hcrf_machine.Config.t -> Hcrf_ir.Loop.t -> loop_result option
+  ?cache:Hcrf_cache.Cache.t -> Hcrf_machine.Config.t -> Hcrf_ir.Loop.t ->
+  loop_result option
 
 (** Schedule a whole suite.  [jobs] > 1 evaluates the loops on a pool of
     domains ({!Par}); results are collected in input order, so every
     aggregate is byte-identical to the serial ([jobs = 1], default)
-    path. *)
+    path.  [?cache] is safe to share across the pool (mutex-protected)
+    and cannot change any result, warm or cold, at any job count. *)
 val run_suite :
   ?scenario:memory_scenario -> ?opts:Hcrf_sched.Engine.options ->
-  ?jobs:int -> Hcrf_machine.Config.t -> Hcrf_ir.Loop.t list ->
-  loop_result list
+  ?cache:Hcrf_cache.Cache.t -> ?jobs:int -> Hcrf_machine.Config.t ->
+  Hcrf_ir.Loop.t list -> loop_result list
 
 val aggregate :
   Hcrf_machine.Config.t -> loop_result list -> Metrics.aggregate

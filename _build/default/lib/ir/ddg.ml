@@ -162,6 +162,49 @@ let copy t =
       t.invariants;
   t'
 
+(* ------------------------------------------------------------------ *)
+(* Immutable representation for serialization (schedule caching)       *)
+
+type repr = {
+  repr_name : string;
+  repr_next_id : int;
+  repr_next_inv : int;
+  repr_nodes : (int * Op.kind * edge list * edge list) list;
+      (* id, kind, succs, preds — adjacency order preserved *)
+  repr_invariants : (int * int list) list;
+}
+
+let to_repr t =
+  {
+    repr_name = t.name;
+    repr_next_id = t.next_id;
+    repr_next_inv = t.next_inv;
+    repr_nodes =
+      List.map
+        (fun id ->
+          let n = node t id in
+          (id, n.kind, n.succs, n.preds))
+        (nodes t);
+    repr_invariants =
+      List.map (fun inv -> (inv.inv_id, inv.inv_consumers)) t.invariants;
+  }
+
+let of_repr r =
+  let t =
+    { name = r.repr_name;
+      nodes = Hashtbl.create (max 16 (List.length r.repr_nodes));
+      next_id = r.repr_next_id; next_inv = r.repr_next_inv;
+      invariants =
+        List.map
+          (fun (inv_id, inv_consumers) -> { inv_id; inv_consumers })
+          r.repr_invariants }
+  in
+  List.iter
+    (fun (id, kind, succs, preds) ->
+      Hashtbl.replace t.nodes id { id; kind; succs; preds })
+    r.repr_nodes;
+  t
+
 let pp ppf t =
   Fmt.pf ppf "@[<v>ddg %s (%d nodes)@," t.name (num_nodes t);
   iter_nodes t (fun n ->

@@ -85,6 +85,23 @@ val num_compute_ops : t -> int
     preserved. *)
 val copy : t -> t
 
+(** Immutable, closure-free snapshot of a graph, suitable for
+    [Marshal]-based serialization (schedule caching).  Node ids,
+    adjacency-list order, invariants and the id counters are all
+    preserved, so [of_repr (to_repr g)] is behaviourally identical to
+    [g]. *)
+type repr = {
+  repr_name : string;
+  repr_next_id : int;
+  repr_next_inv : int;
+  repr_nodes : (int * Op.kind * edge list * edge list) list;
+      (** id, kind, succs, preds *)
+  repr_invariants : (int * int list) list;
+}
+
+val to_repr : t -> repr
+val of_repr : repr -> t
+
 val pp : Format.formatter -> t -> unit
 
 (** Structural well-formedness: every edge endpoint exists and appears

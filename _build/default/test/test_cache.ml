@@ -1,0 +1,396 @@
+(* Tests for the content-addressed schedule cache: canonical
+   fingerprints (renumbering/reordering invariance, single-field
+   sensitivity), warm/cold byte-identity of suite aggregates, replay
+   validity, and on-disk robustness. *)
+
+open Hcrf_ir
+open Hcrf_cache
+open Hcrf_eval
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let hex = Fingerprint.to_hex
+
+(* Deterministic random loops, straight from the workbench generator. *)
+let gen_loop i =
+  let rng = Hcrf_workload.Rng.create ~seed:(0x5EED + (7919 * i)) in
+  Hcrf_workload.Genloop.generate ~rng ~index:i ()
+
+let n_loops = 24
+let loops = lazy (List.init n_loops gen_loop)
+let nth_loop i = List.nth (Lazy.force loops) i
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint invariance *)
+
+(* Renumber every node of a loop with [m] (a bijection on the id set)
+   and reverse all adjacency/stream orders on the way, by rewriting the
+   graph's serializable [repr]. *)
+let rewrite_loop ~m (l : Loop.t) =
+  let remap_edge (e : Ddg.edge) =
+    { e with Ddg.src = m e.Ddg.src; dst = m e.Ddg.dst }
+  in
+  let r = Ddg.to_repr l.Loop.ddg in
+  let r' =
+    { r with
+      Ddg.repr_nodes =
+        List.rev_map
+          (fun (id, k, succs, preds) ->
+            ( m id, k,
+              List.rev_map remap_edge succs,
+              List.rev_map remap_edge preds ))
+          r.Ddg.repr_nodes;
+      repr_invariants =
+        List.map
+          (fun (iv, consumers) -> (iv, List.rev_map m consumers))
+          r.Ddg.repr_invariants }
+  in
+  { l with
+    Loop.ddg = Ddg.of_repr r';
+    streams =
+      List.rev_map (fun s -> { s with Loop.op = m s.Loop.op }) l.Loop.streams }
+
+(* A non-trivial bijection: map the sorted id list onto its reverse. *)
+let reversing_bijection g =
+  let ids = Ddg.nodes g in
+  let tbl = Hashtbl.create (List.length ids) in
+  List.iter2 (Hashtbl.add tbl) ids (List.rev ids);
+  Hashtbl.find tbl
+
+let prop_renumbering_invariant =
+  QCheck.Test.make ~name:"renumbered loops fingerprint equal"
+    ~count:n_loops
+    QCheck.(int_range 0 (n_loops - 1))
+    (fun i ->
+      let l = nth_loop i in
+      let l' = rewrite_loop ~m:(reversing_bijection l.Loop.ddg) l in
+      Fingerprint.equal (Fingerprint.of_loop l) (Fingerprint.of_loop l'))
+
+let prop_reordering_invariant =
+  QCheck.Test.make ~name:"edge/node-reordered loops fingerprint equal"
+    ~count:n_loops
+    QCheck.(int_range 0 (n_loops - 1))
+    (fun i ->
+      let l = nth_loop i in
+      (* identity renumbering: only the list orders change *)
+      let l' = rewrite_loop ~m:Fun.id l in
+      Fingerprint.equal (Fingerprint.of_loop l) (Fingerprint.of_loop l'))
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint sensitivity: every single-field change must move it *)
+
+let all_distinct names fps =
+  let hexes = List.map hex fps in
+  let sorted = List.sort_uniq String.compare hexes in
+  Alcotest.(check int)
+    (Fmt.str "all of [%s] hash distinct" (String.concat "; " names))
+    (List.length hexes) (List.length sorted)
+
+let test_loop_sensitivity () =
+  let l = nth_loop 0 in
+  let g = l.Loop.ddg in
+  (* one dependence distance *)
+  let bump_distance () =
+    let g' = Ddg.copy g in
+    let e = List.hd (Ddg.edges g') in
+    Ddg.remove_edge g' e;
+    Ddg.add_edge g' ~distance:(e.Ddg.distance + 1) ~dep:e.Ddg.dep e.Ddg.src
+      e.Ddg.dst;
+    { l with Loop.ddg = g' }
+  in
+  (* one opcode *)
+  let flip_opcode () =
+    let r = Ddg.to_repr g in
+    let flipped = ref false in
+    let r' =
+      { r with
+        Ddg.repr_nodes =
+          List.map
+            (fun (id, k, s, p) ->
+              if !flipped then (id, k, s, p)
+              else begin
+                flipped := true;
+                ((id, (if k = Op.Fadd then Op.Fmul else Op.Fadd), s, p))
+              end)
+            r.Ddg.repr_nodes }
+    in
+    { l with Loop.ddg = Ddg.of_repr r' }
+  in
+  (* one memory-stream base address *)
+  let shift_stream () =
+    match l.Loop.streams with
+    | [] -> None
+    | s :: rest ->
+      Some { l with Loop.streams = { s with Loop.base = s.Loop.base + 8 } :: rest }
+  in
+  let variants =
+    [ ("original", l); ("distance", bump_distance ());
+      ("opcode", flip_opcode ());
+      ("trip", { l with Loop.trip_count = l.Loop.trip_count + 1 });
+      ("entries", { l with Loop.entries = l.Loop.entries + 1 }) ]
+    @ (match shift_stream () with
+      | Some l' -> [ ("stream-base", l') ]
+      | None -> [])
+  in
+  all_distinct (List.map fst variants)
+    (List.map (fun (_, l) -> Fingerprint.of_loop l) variants)
+
+let test_config_sensitivity () =
+  let open Hcrf_machine in
+  let c = Hcrf_model.Presets.published "4C32S16" in
+  let lat_bump =
+    { c with
+      Config.lats = { c.Config.lats with Latencies.fadd = c.Config.lats.Latencies.fadd + 1 } }
+  in
+  let variants =
+    [ ("original", c);
+      ("latency", lat_bump);
+      ("regs", { c with Config.rf = Rf.of_notation "4C64S16" });
+      ("shared-regs", { c with Config.rf = Rf.of_notation "4C32S32" });
+      ("fus", { c with Config.n_fus = c.Config.n_fus + 4 });
+      ("mem-ports", { c with Config.n_mem_ports = c.Config.n_mem_ports + 1 });
+      ("clock", { c with Config.cycle_ns = c.Config.cycle_ns *. 1.5 });
+      ("miss", { c with Config.miss_ns = c.Config.miss_ns +. 1. });
+      (* the display name must NOT matter *)
+    ]
+  in
+  all_distinct (List.map fst variants)
+    (List.map (fun (_, c) -> Fingerprint.of_config c) variants);
+  check "renaming a config does not change its fingerprint" true
+    (Fingerprint.equal (Fingerprint.of_config c)
+       (Fingerprint.of_config { c with Config.name = "renamed" }))
+
+let test_options_sensitivity () =
+  let open Hcrf_sched in
+  let d = Engine.default_options in
+  let variants =
+    [ ("default", d);
+      ("budget", { d with Engine.budget_ratio = d.Engine.budget_ratio + 1 });
+      ("max-ii", { d with Engine.max_ii = Some 64 });
+      ("backtracking", { d with Engine.backtracking = false });
+      ("ordering", { d with Engine.ordering = `Topological }) ]
+  in
+  all_distinct (List.map fst variants)
+    (List.map (fun (_, o) -> Fingerprint.of_options o) variants);
+  (* load_override is only visible through an explicit probe *)
+  let ov = { d with Engine.load_override = (fun _ -> Some 9) } in
+  check "override invisible without probe" true
+    (Fingerprint.equal (Fingerprint.of_options d) (Fingerprint.of_options ov));
+  check "override visible at probed nodes" false
+    (Fingerprint.equal
+       (Fingerprint.of_options ~probe:[ 0; 1 ] d)
+       (Fingerprint.of_options ~probe:[ 0; 1 ] ov))
+
+(* ------------------------------------------------------------------ *)
+(* Warm/cold byte-identity of suite aggregates *)
+
+let presets = [ "S64"; "4C32"; "4C32S16" ]
+
+(* [sched_seconds] is scheduler wall-clock: the only aggregate field
+   that legitimately differs between two *live* runs.  Warm replays
+   reuse the stored seconds, so warm runs must byte-match the cold
+   populating run including it; against an independent uncached run we
+   compare with the wall-clock scrubbed. *)
+let scrub (a : Metrics.aggregate) = { a with Metrics.sched_seconds = 0. }
+let bytes_of a = Marshal.to_string a []
+
+let test_warm_cold_identical () =
+  let suite = List.init 10 gen_loop in
+  List.iter
+    (fun name ->
+      let config = Hcrf_model.Presets.published name in
+      let uncached =
+        Runner.aggregate config (Runner.run_suite ~jobs:1 config suite)
+      in
+      let cache = Cache.create () in
+      let cached jobs =
+        Runner.aggregate config (Runner.run_suite ~cache ~jobs config suite)
+      in
+      let cold = cached 1 in
+      check (name ^ ": cold cached run equals the uncached run") true
+        (String.equal (bytes_of (scrub uncached)) (bytes_of (scrub cold)));
+      List.iter
+        (fun jobs ->
+          let warm = cached jobs in
+          check
+            (Fmt.str "%s jobs=%d: warm bytes equal the cold run" name jobs)
+            true
+            (String.equal (bytes_of cold) (bytes_of warm));
+          check
+            (Fmt.str "%s jobs=%d: printed aggregates identical" name jobs)
+            true
+            (String.equal
+               (Fmt.str "%a" (Metrics.pp_aggregate ?cache:None) uncached)
+               (Fmt.str "%a" (Metrics.pp_aggregate ?cache:None) warm)))
+        [ 1; 4 ];
+      let s = Cache.stats cache in
+      check_int (name ^ ": one miss per loop") 10 s.Cache.misses;
+      check_int (name ^ ": two warm passes hit") 20 s.Cache.hits)
+    presets
+
+let test_warm_cold_identical_real_memory () =
+  (* the stall cycles of the memory simulation are cached too *)
+  let suite = List.init 6 gen_loop in
+  let config = Hcrf_model.Presets.published "4C32S16" in
+  let scenario = Runner.Real { prefetch = false } in
+  let uncached =
+    Runner.aggregate config (Runner.run_suite ~scenario ~jobs:1 config suite)
+  in
+  let cache = Cache.create () in
+  let run () =
+    Runner.aggregate config
+      (Runner.run_suite ~scenario ~cache ~jobs:4 config suite)
+  in
+  let cold = run () in
+  let warm = run () in
+  check "real-memory warm aggregate is byte-identical to cold" true
+    (String.equal (bytes_of cold) (bytes_of warm));
+  check "real-memory cached run equals the uncached run" true
+    (String.equal (bytes_of (scrub uncached)) (bytes_of (scrub warm)));
+  check "stall cycles survived the cache" true (warm.Metrics.stall > 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Replayed outcomes are valid schedules *)
+
+let prop_replay_validates =
+  QCheck.Test.make ~name:"replayed outcomes pass Validate.check" ~count:12
+    QCheck.(int_range 0 11)
+    (fun i ->
+      let l = nth_loop i in
+      let config =
+        Hcrf_model.Presets.published
+          (List.nth presets (i mod List.length presets))
+      in
+      let cache = Cache.create () in
+      match Runner.run_loop ~cache config l with
+      | None -> QCheck.assume_fail () (* nothing cached to replay *)
+      | Some _ -> (
+        match Runner.run_loop ~cache config l with
+        | None -> false
+        | Some r ->
+          let o = r.Runner.outcome in
+          (Cache.stats cache).Cache.hits = 1
+          && Hcrf_sched.Validate.check
+               ~invariant_residents:o.Hcrf_sched.Engine.invariant_residents
+               o.Hcrf_sched.Engine.schedule o.Hcrf_sched.Engine.graph
+             = []))
+
+(* ------------------------------------------------------------------ *)
+(* On-disk robustness *)
+
+let temp_dir () =
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "hcrf-cache-test-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Sys.mkdir d 0o755;
+  d
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let entry_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".hcrf")
+  |> List.map (Filename.concat dir)
+
+let test_disk_roundtrip () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let l = nth_loop 0 in
+  let config = Hcrf_model.Presets.published "4C32" in
+  let c1 = Cache.create ~dir () in
+  Alcotest.(check (option string)) "directory in use" (Some dir) (Cache.dir c1);
+  let r1 = Runner.run_loop ~cache:c1 config l in
+  check "scheduled" true (r1 <> None);
+  check_int "one entry file on disk" 1 (List.length (entry_files dir));
+  (* a fresh cache instance sees the entry through the store *)
+  let c2 = Cache.create ~dir () in
+  let r2 = Runner.run_loop ~cache:c2 config l in
+  let s2 = Cache.stats c2 in
+  check_int "disk hit" 1 s2.Cache.disk_hits;
+  check_int "no recompute" 0 s2.Cache.misses;
+  check "disk replay equals the live result" true
+    (match (r1, r2) with
+    | Some a, Some b ->
+      String.equal
+        (Marshal.to_string a.Runner.perf [])
+        (Marshal.to_string b.Runner.perf [])
+    | _ -> false)
+
+let test_disk_corruption_recovers () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let l = nth_loop 1 in
+  let config = Hcrf_model.Presets.published "4C32" in
+  let fresh = Runner.run_loop config l in
+  let populate () = ignore (Runner.run_loop ~cache:(Cache.create ~dir ()) config l) in
+  let corrupt bytes =
+    match entry_files dir with
+    | [ f ] ->
+      let oc = open_out_bin f in
+      output_string oc bytes;
+      close_out oc
+    | files -> Alcotest.failf "expected 1 entry file, found %d" (List.length files)
+  in
+  List.iter
+    (fun (what, bytes) ->
+      populate ();
+      corrupt bytes;
+      let c = Cache.create ~dir () in
+      let r = Runner.run_loop ~cache:c config l in
+      let s = Cache.stats c in
+      check (what ^ ": treated as a miss") true
+        (s.Cache.misses = 1 && s.Cache.hits = 0);
+      check (what ^ ": counted as a disk error") true (s.Cache.disk_errors >= 1);
+      (* both sides are live computations, so scrub the wall-clock *)
+      let scrub_perf (p : Metrics.loop_perf) =
+        { p with Metrics.sched_seconds = 0. }
+      in
+      check (what ^ ": recomputed result matches the uncached one") true
+        (match (fresh, r) with
+        | Some a, Some b ->
+          String.equal
+            (Marshal.to_string (scrub_perf a.Runner.perf) [])
+            (Marshal.to_string (scrub_perf b.Runner.perf) [])
+        | _ -> false))
+    [ ("truncated", "hcrf");
+      ("garbage", "this is definitely not a cache entry\n");
+      ("stale version", "hcrf-cache 0\n" ^ String.make 48 'x') ]
+
+let test_unusable_dir_degrades () =
+  (* a path under a regular file can never become a directory *)
+  let file = Filename.temp_file "hcrf-cache-test" ".blocker" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  let c = Cache.create ~dir:(Filename.concat file "sub") () in
+  Alcotest.(check (option string))
+    "degraded to in-memory-only" None (Cache.dir c);
+  let l = nth_loop 2 in
+  let config = Hcrf_model.Presets.published "S64" in
+  check "still schedules" true (Runner.run_loop ~cache:c config l <> None);
+  check "still caches in memory" true
+    (Runner.run_loop ~cache:c config l <> None);
+  check_int "memory hit" 1 (Cache.stats c).Cache.hits
+
+(* ------------------------------------------------------------------ *)
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_renumbering_invariant;
+    QCheck_alcotest.to_alcotest prop_reordering_invariant;
+    ("fingerprint: loop sensitivity", `Quick, test_loop_sensitivity);
+    ("fingerprint: config sensitivity", `Quick, test_config_sensitivity);
+    ("fingerprint: options sensitivity", `Quick, test_options_sensitivity);
+    ("suite: warm = cold, jobs 1 and 4", `Slow, test_warm_cold_identical);
+    ( "suite: warm = cold under real memory", `Slow,
+      test_warm_cold_identical_real_memory );
+    QCheck_alcotest.to_alcotest prop_replay_validates;
+    ("store: disk roundtrip", `Quick, test_disk_roundtrip);
+    ("store: corruption recovers", `Quick, test_disk_corruption_recovers);
+    ("store: unusable dir degrades", `Quick, test_unusable_dir_degrades);
+  ]

@@ -1,0 +1,54 @@
+(** Canonical, collision-resistant fingerprints of scheduling inputs.
+
+    A fingerprint is a 128-bit digest of a *canonical* encoding of the
+    value, so that semantically identical inputs hash equal while any
+    semantic change (an opcode, a latency, a dependence distance, a
+    memory stream, a register count, a scheduler option) changes the
+    digest with overwhelming probability.
+
+    Graph fingerprints are computed with Weisfeiler–Lehman color
+    refinement: node ids never enter the hash, only operation kinds,
+    per-node attributes and the multiset structure of the (dep,
+    distance)-labelled edges.  Two graphs that differ only by a node
+    renumbering or by the order edges were inserted therefore hash
+    equal; renaming the loop does not change the fingerprint either
+    (the name does not affect any scheduling outcome). *)
+
+type t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Lower-case hexadecimal rendering (stable; used as on-disk file
+    names). *)
+val to_hex : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Fingerprint of an opaque label (e.g. a memory-scenario tag). *)
+val of_string : string -> t
+
+(** Combine fingerprints into one.  Order-sensitive. *)
+val combine : t list -> t
+
+(** Fingerprint of a dependence graph alone.  [attr] attaches an
+    arbitrary per-node attribute string to the initial node color (used
+    by {!of_loop} for memory streams); it defaults to no attribute. *)
+val of_ddg : ?attr:(int -> string) -> Hcrf_ir.Ddg.t -> t
+
+(** Fingerprint of a loop: its graph (with memory streams as node
+    attributes), trip count and entry count.  The loop's name is
+    deliberately excluded. *)
+val of_loop : Hcrf_ir.Loop.t -> t
+
+(** Fingerprint of a full machine configuration: resources, register
+    file organization (including port and bus counts), latencies, clock
+    and miss latency.  The configuration's display name is excluded. *)
+val of_config : Hcrf_machine.Config.t -> t
+
+(** Fingerprint of scheduler options.  [probe] lists the node ids on
+    which [load_override] is sampled (it is a function and cannot be
+    hashed directly); the default samples nothing, which is correct
+    whenever the override is derived deterministically from inputs
+    already covered by the key. *)
+val of_options : ?probe:int list -> Hcrf_sched.Engine.options -> t

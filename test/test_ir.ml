@@ -215,6 +215,28 @@ let prop_copy_equals =
       Ddg.num_nodes g = Ddg.num_nodes g'
       && Ddg.num_edges g = Ddg.num_edges g')
 
+let prop_repr_roundtrip =
+  (* [of_repr (to_repr g)] must be behaviourally identical to [g]:
+     same nodes, kinds, adjacency (order included), invariants, and the
+     same id counter (a fresh node gets the same id in both). *)
+  QCheck.Test.make ~name:"repr serialization round-trips" ~count:40
+    QCheck.(int_range 0 39)
+    (fun i ->
+      let l = List.nth (Lazy.force suite_graphs) i in
+      let g = Ddg.copy l.Loop.ddg in
+      let g' = Ddg.of_repr (Ddg.to_repr g) in
+      Ddg.validate g'
+      && Ddg.name g = Ddg.name g'
+      && Ddg.nodes g = Ddg.nodes g'
+      && List.for_all
+           (fun v ->
+             Ddg.kind g v = Ddg.kind g' v
+             && Ddg.succs g v = Ddg.succs g' v
+             && Ddg.preds g v = Ddg.preds g' v)
+           (Ddg.nodes g)
+      && Ddg.invariants g = Ddg.invariants g'
+      && Ddg.add_node g Op.Fadd = Ddg.add_node g' Op.Fadd)
+
 let prop_cycles_carry_distance =
   (* every recurrence circuit must contain a loop-carried edge, otherwise
      the loop would be unschedulable *)
@@ -256,5 +278,6 @@ let tests =
     ("loop: bad counts", `Quick, test_loop_rejects_bad_counts);
     QCheck_alcotest.to_alcotest prop_generated_well_formed;
     QCheck_alcotest.to_alcotest prop_copy_equals;
+    QCheck_alcotest.to_alcotest prop_repr_roundtrip;
     QCheck_alcotest.to_alcotest prop_cycles_carry_distance;
   ]
