@@ -6,15 +6,18 @@
      dune exec bench/main.exe -- tab6 fig6    # a subset
      dune exec bench/main.exe -- quick        # all, on a small suite
      dune exec bench/main.exe -- stats        # scheduler-effort counters
+     dune exec bench/main.exe -- trace        # per-config event counters
      dune exec bench/main.exe -- micro        # bechamel micro-benchmarks
 
    Experiments: fig1 tab1 tab2 tab3 tab4 fig4 tab5 tab6 fig6 calib stats
-   micro.  The loop count can be overridden with HCRF_LOOPS=<n>; the
-   suite drivers fan loops out over HCRF_JOBS=<n> domains (default: the
-   recommended domain count of this machine).  HCRF_CACHE=<dir> enables
-   the content-addressed schedule cache backed by <dir> (HCRF_CACHE=""
-   for in-memory only); results are byte-identical with or without it,
-   and a final "cache:" line reports hit/miss/store counters. *)
+   trace micro.  Every knob comes from the environment (one parser,
+   [Hcrf_eval.Env]): HCRF_LOOPS=<n> overrides the loop count;
+   HCRF_JOBS=<n> sets the worker-domain fan-out; HCRF_CACHE=<dir>
+   enables the content-addressed schedule cache (HCRF_CACHE="" for
+   in-memory only); HCRF_TRACE=<file> records a JSONL event trace
+   (HCRF_TRACE="" for counters only).  Results are byte-identical with
+   or without cache and trace; a final "cache:" line reports cache
+   counters and a final "trace:" line the sorted event totals. *)
 
 open Hcrf_eval
 
@@ -24,54 +27,16 @@ let time_section name f =
   Fmt.pr "  [%s took %.1fs]@.@." name (Unix.gettimeofday () -. t0);
   r
 
-(* HCRF_LOOPS override; a typo must not invisibly run the full
-   1258-loop suite, so anything non-numeric or <= 0 warns loudly. *)
-let loops_override () =
-  match Sys.getenv_opt "HCRF_LOOPS" with
-  | None -> None
-  | Some s -> (
-    match int_of_string_opt s with
-    | Some n when n > 0 -> Some n
-    | Some _ | None ->
-      Logs.warn (fun m ->
-          m "ignoring HCRF_LOOPS=%S (expected a positive integer); \
-             falling back to the default loop count" s);
-      None)
-
 let suite_size () =
-  Option.value ~default:Hcrf_workload.Suite.paper_loop_count
-    (loops_override ())
+  Option.value ~default:Hcrf_workload.Suite.paper_loop_count (Env.loops ())
 
-(* HCRF_CACHE=<dir> turns the schedule cache on; the empty string asks
-   for an in-memory-only cache (useful when experiments repeat a
-   (loop, config) pair within one invocation). *)
-let cache_of_env () =
-  match Sys.getenv_opt "HCRF_CACHE" with
-  | None -> None
-  | Some "" -> Some (Hcrf_cache.Cache.create ())
-  | Some dir -> Some (Hcrf_cache.Cache.create ~dir ())
-
-let jobs () =
-  match Sys.getenv_opt "HCRF_JOBS" with
-  | None -> Par.default_jobs ()
-  | Some s -> (
-    match int_of_string_opt s with
-    | Some n when n > 0 -> n
-    | Some _ | None ->
-      Logs.warn (fun m ->
-          m "ignoring HCRF_JOBS=%S (expected a positive integer); using %d"
-            s (Par.default_jobs ()));
-      Par.default_jobs ())
-
-let fig1 ~loops ~jobs ~cache () =
+let fig1 ~loops ~ctx () =
   time_section "fig1" (fun () ->
-      Fmt.pr "%a@." Experiments.pp_figure1
-        (Experiments.figure1 ~jobs ?cache ~loops ()))
+      Fmt.pr "%a@." Experiments.pp_figure1 (Experiments.figure1 ~ctx ~loops ()))
 
-let tab1 ~loops ~jobs ~cache () =
+let tab1 ~loops ~ctx () =
   time_section "tab1" (fun () ->
-      Fmt.pr "%a@." Experiments.pp_table1
-        (Experiments.table1 ~jobs ?cache ~loops ()))
+      Fmt.pr "%a@." Experiments.pp_table1 (Experiments.table1 ~ctx ~loops ()))
 
 let tab2 () =
   time_section "tab2" (fun () ->
@@ -80,18 +45,17 @@ let tab2 () =
            ~title:"Table 2: access time & area, equal-capacity RFs")
         (Experiments.table2 ()))
 
-let tab3 ~loops ~jobs ~cache () =
+let tab3 ~loops ~ctx () =
   time_section "tab3" (fun () ->
-      Fmt.pr "%a@." Experiments.pp_table3
-        (Experiments.table3 ~jobs ?cache ~loops ()))
+      Fmt.pr "%a@." Experiments.pp_table3 (Experiments.table3 ~ctx ~loops ()))
 
-let tab4 ~loops ~jobs () =
+let tab4 ~loops ~ctx () =
   time_section "tab4" (fun () ->
-      Fmt.pr "%a@." Experiments.pp_table4 (Experiments.table4 ~jobs ~loops ()))
+      Fmt.pr "%a@." Experiments.pp_table4 (Experiments.table4 ~ctx ~loops ()))
 
-let fig4 ~loops ~jobs () =
+let fig4 ~loops ~ctx () =
   time_section "fig4" (fun () ->
-      Fmt.pr "%a@." Experiments.pp_figure4 (Experiments.figure4 ~jobs ~loops ()))
+      Fmt.pr "%a@." Experiments.pp_figure4 (Experiments.figure4 ~ctx ~loops ()))
 
 let tab5 () =
   time_section "tab5" (fun () ->
@@ -99,43 +63,61 @@ let tab5 () =
         (Experiments.pp_hw_rows ~title:"Table 5: hardware evaluation")
         (Experiments.table5 ()))
 
-let tab6 ~loops ~jobs ~cache () =
+let tab6 ~loops ~ctx () =
   time_section "tab6" (fun () ->
-      Fmt.pr "%a@." Experiments.pp_table6
-        (Experiments.table6 ~jobs ?cache ~loops ()))
+      Fmt.pr "%a@." Experiments.pp_table6 (Experiments.table6 ~ctx ~loops ()))
 
-let fig6 ~loops ~jobs ~cache () =
+let fig6 ~loops ~ctx () =
   time_section "fig6" (fun () ->
-      Fmt.pr "%a@." Experiments.pp_figure6
-        (Experiments.figure6 ~jobs ?cache ~loops ()))
+      Fmt.pr "%a@." Experiments.pp_figure6 (Experiments.figure6 ~ctx ~loops ()))
 
-let ablate ~loops ~jobs () =
+let ablate ~loops ~ctx () =
   time_section "ablate" (fun () ->
       (* the ablation sweep is expensive: bound the sample *)
       let sample = List.filteri (fun i _ -> i < 150) loops in
       Fmt.pr "%a@." Experiments.pp_ablations
-        (Experiments.ablations ~jobs ~loops:sample ()))
+        (Experiments.ablations ~ctx ~loops:sample ()))
 
 (* Scheduler-effort counters over the suite: how hard the engine worked
    (attempts, ejections, spill/communication insertions, II restarts,
    escalation retries).  A per-PR perf regression in the scheduler shows
    up here long before it shows up in wall-clock time. *)
-let stats ~loops ~jobs ~cache () =
+let stats ~loops ~ctx () =
   time_section "stats" (fun () ->
       List.iter
         (fun name ->
           let config = Hcrf_model.Presets.published name in
-          let results = Runner.run_suite ~jobs ?cache config loops in
+          let results = Runner.run_suite ~ctx config loops in
           let a = Runner.aggregate config results in
           (* the cache line shows the counters accumulated so far in
              this invocation (the cache is shared by all sections) *)
           let cache_now =
-            Option.map Hcrf_cache.Cache.stats cache
+            Option.map Hcrf_cache.Cache.stats ctx.Runner.Ctx.cache
           in
-          Fmt.pr "%a@." (Metrics.pp_aggregate ?cache:cache_now) a;
+          Fmt.pr "%a@." (Metrics.pp_aggregate ?cache:cache_now ?trace:None) a;
           Fmt.pr "  sched-seconds=%.2f jobs=%d@." a.Metrics.sched_seconds
-            jobs)
+            ctx.Runner.Ctx.jobs)
         [ "S64"; "4C32"; "4C32S16" ])
+
+(* Per-config event counters from the tracing subsystem: what the
+   scheduler actually *did* (placements, ejections, spill and
+   communication insertions, cache traffic, phase time), keyed and
+   sorted for byte-comparable diffs.  Each config gets a fresh
+   [Counters] sink so its histogram stands alone. *)
+let trace_sec ~loops ~ctx () =
+  time_section "trace" (fun () ->
+      List.iter
+        (fun name ->
+          let config = Hcrf_model.Presets.published name in
+          let counters = Hcrf_obs.Counters.create () in
+          let tracer =
+            Hcrf_obs.Tracer.make [ Hcrf_obs.Tracer.Counters counters ]
+          in
+          let ctx = { ctx with Runner.Ctx.tracer } in
+          let results = Runner.run_suite ~ctx config loops in
+          let a = Runner.aggregate config results in
+          Fmt.pr "%a@." (Metrics.pp_aggregate ?cache:None ~trace:counters) a)
+        [ "S64"; "4C32S16" ])
 
 (* Workbench statistics: how the synthetic suite compares with the
    distributions the paper reports for the Perfect Club loops. *)
@@ -263,6 +245,7 @@ let micro () =
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning);
+  Env.warn_unknown ();
   let args = List.tl (Array.to_list Sys.argv) in
   let args = List.filter (fun a -> a <> "--") args in
   let quick = List.mem "quick" args in
@@ -272,37 +255,45 @@ let () =
   (* quick caps the suite at 120 loops but still honours an explicit
      HCRF_LOOPS (the dune smoke test runs "quick" with HCRF_LOOPS=20) *)
   let n =
-    if quick then Option.value ~default:120 (loops_override ())
+    if quick then Option.value ~default:120 (Env.loops ())
     else suite_size ()
   in
-  let jobs = jobs () in
-  let cache = cache_of_env () in
+  let tracer = Env.tracer () in
+  let ctx =
+    Runner.Ctx.make ?cache:(Env.cache ()) ~jobs:(Env.jobs ()) ~tracer ()
+  in
   let needs_loops =
     List.exists wants
       [ "fig1"; "tab1"; "tab3"; "tab4"; "fig4"; "tab6"; "fig6"; "calib";
-        "ablate"; "stats" ]
+        "ablate"; "stats"; "trace" ]
   in
   let loops =
     if needs_loops then begin
-      Fmt.pr "Generating the %d-loop workbench (%d jobs)...@." n jobs;
+      Fmt.pr "Generating the %d-loop workbench (%d jobs)...@." n
+        ctx.Runner.Ctx.jobs;
       Hcrf_workload.Suite.generate ~n ()
     end
     else []
   in
   if wants "calib" then calib ~loops ();
-  if wants "fig1" then fig1 ~loops ~jobs ~cache ();
-  if wants "tab1" then tab1 ~loops ~jobs ~cache ();
+  if wants "fig1" then fig1 ~loops ~ctx ();
+  if wants "tab1" then tab1 ~loops ~ctx ();
   if wants "tab2" then tab2 ();
-  if wants "tab3" then tab3 ~loops ~jobs ~cache ();
-  if wants "tab4" then tab4 ~loops ~jobs ();
-  if wants "fig4" then fig4 ~loops ~jobs ();
+  if wants "tab3" then tab3 ~loops ~ctx ();
+  if wants "tab4" then tab4 ~loops ~ctx ();
+  if wants "fig4" then fig4 ~loops ~ctx ();
   if wants "tab5" then tab5 ();
-  if wants "tab6" then tab6 ~loops ~jobs ~cache ();
-  if wants "fig6" then fig6 ~loops ~jobs ~cache ();
-  if wants "ablate" then ablate ~loops ~jobs ();
-  if wants "stats" then stats ~loops ~jobs ~cache ();
+  if wants "tab6" then tab6 ~loops ~ctx ();
+  if wants "fig6" then fig6 ~loops ~ctx ();
+  if wants "ablate" then ablate ~loops ~ctx ();
+  if wants "stats" then stats ~loops ~ctx ();
+  if wants "trace" then trace_sec ~loops ~ctx ();
   if wants "micro" then micro ();
-  match cache with
+  (match ctx.Runner.Ctx.cache with
   | None -> ()
   | Some c ->
-    Fmt.pr "cache: %a@." Metrics.pp_cache_stats (Hcrf_cache.Cache.stats c)
+    Fmt.pr "cache: %a@." Metrics.pp_cache_stats (Hcrf_cache.Cache.stats c));
+  (match Hcrf_obs.Tracer.counters tracer with
+  | None -> ()
+  | Some c -> Fmt.pr "trace: %a@." Hcrf_obs.Counters.pp c);
+  Hcrf_obs.Tracer.close tracer

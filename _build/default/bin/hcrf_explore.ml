@@ -5,7 +5,14 @@
      hcrf_explore hw --config 4C32S16
      hcrf_explore hw --all
      hcrf_explore duel --config 1C32S64 -n 100
-*)
+     hcrf_explore suite -n 50 --trace run.jsonl
+     hcrf_explore trace run.jsonl
+
+   Every scheduling subcommand takes the same evaluation knobs:
+   --jobs/-j, --cache DIR / --no-cache, --trace FILE / --no-trace.
+   They assemble one [Runner.Ctx] shared by all drivers; the
+   environment (HCRF_JOBS, HCRF_CACHE, HCRF_TRACE) supplies defaults
+   exactly as in bench/main.exe. *)
 
 open Cmdliner
 open Hcrf_sched
@@ -33,12 +40,10 @@ let n_arg =
 let jobs_arg =
   let doc =
     "Worker domains for suite evaluation (1 = serial; results are \
-     identical for any value)."
+     identical for any value).  Defaults to HCRF_JOBS or this machine's \
+     recommended domain count."
   in
-  Arg.(
-    value
-    & opt int (Hcrf_eval.Par.default_jobs ())
-    & info [ "j"; "jobs" ] ~doc)
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~doc)
 
 (* Schedule cache: --cache DIR forces an on-disk cache, --no-cache
    disables caching entirely; otherwise HCRF_CACHE is honoured the same
@@ -60,13 +65,53 @@ let cache_term =
     else
       match dir with
       | Some d -> Some (Hcrf_cache.Cache.create ~dir:d ())
-      | None -> (
-        match Sys.getenv_opt "HCRF_CACHE" with
-        | None -> None
-        | Some "" -> Some (Hcrf_cache.Cache.create ())
-        | Some d -> Some (Hcrf_cache.Cache.create ~dir:d ()))
+      | None -> Hcrf_eval.Env.cache ()
   in
   Term.(const make $ cache_dir $ no_cache)
+
+(* Event tracing: --trace FILE records a JSONL trace (plus in-process
+   counters), --no-trace forces the null tracer; otherwise HCRF_TRACE
+   is honoured ("" = counters only). *)
+let tracer_term =
+  let trace_file =
+    let doc =
+      "Record a JSONL event trace to $(docv) (overrides the HCRF_TRACE \
+       environment variable).  A final \"trace:\" line reports the \
+       sorted event totals."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~doc ~docv:"FILE")
+  in
+  let no_trace =
+    let doc = "Disable event tracing even if HCRF_TRACE is set." in
+    Arg.(value & flag & info [ "no-trace" ] ~doc)
+  in
+  let make file no =
+    let open Hcrf_eval.Env in
+    if no then tracer_of_spec Off
+    else
+      match file with
+      | Some f -> tracer_of_spec (File f)
+      | None -> tracer ()
+  in
+  Term.(const make $ trace_file $ no_trace)
+
+(* The one evaluation context shared by every scheduling subcommand. *)
+let ctx_term =
+  let make jobs cache tracer =
+    let jobs =
+      match jobs with Some j -> max 1 j | None -> Hcrf_eval.Env.jobs ()
+    in
+    Hcrf_eval.Runner.Ctx.make ?cache ~jobs ~tracer ()
+  in
+  Term.(const make $ jobs_arg $ cache_term $ tracer_term)
+
+(* Sorted event totals at the end of a traced run, then flush/close any
+   JSONL sink.  Prints nothing under the null tracer. *)
+let finish_trace tracer =
+  (match Hcrf_obs.Tracer.counters tracer with
+  | None -> ()
+  | Some c -> Fmt.pr "trace: %a@." Hcrf_obs.Counters.pp c);
+  Hcrf_obs.Tracer.close tracer
 
 (* Proper enum converters so a typo reports the valid values instead of
    dying with an uncaught Failure backtrace. *)
@@ -93,12 +138,19 @@ let schedule_cmd =
   let dump_arg =
     Arg.(value & flag & info [ "dump" ] ~doc:"Print the full schedule.")
   in
-  let run kernel config_name dump =
+  let run kernel config_name dump (ctx : Hcrf_eval.Runner.Ctx.t) =
     let config = config_of_string config_name in
     let loop = Hcrf_workload.Kernels.find kernel in
-    match Hcrf_core.Mirs_hc.schedule config loop.Hcrf_ir.Loop.ddg with
+    let tracer = ctx.Hcrf_eval.Runner.Ctx.tracer in
+    let trace = Hcrf_obs.Tracer.start tracer ~label:kernel in
+    let result =
+      Hcrf_core.Mirs_hc.schedule ~trace config loop.Hcrf_ir.Loop.ddg
+    in
+    Hcrf_obs.Tracer.commit tracer trace;
+    match result with
     | Error (`No_schedule ii) ->
       Fmt.epr "no schedule up to II=%d@." ii;
+      finish_trace tracer;
       exit 1
     | Ok o ->
       Fmt.pr "%s on %s: II=%d (MII=%d) SC=%d, %d ops (%d inserted)@." kernel
@@ -112,11 +164,12 @@ let schedule_cmd =
         Fmt.pr "validation: %a@."
           Fmt.(list ~sep:comma Validate.pp_issue)
           issues;
-      if dump then Fmt.pr "%a@." Schedule.pp o.Engine.schedule
+      if dump then Fmt.pr "%a@." Schedule.pp o.Engine.schedule;
+      finish_trace tracer
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Schedule one kernel on one configuration")
-    Term.(const run $ kernel_arg $ config_arg $ dump_arg)
+    Term.(const run $ kernel_arg $ config_arg $ dump_arg $ ctx_term)
 
 let suite_cmd =
   let memory_arg =
@@ -130,33 +183,38 @@ let suite_cmd =
       & opt memory_conv Hcrf_eval.Runner.Ideal
       & info [ "m"; "memory" ] ~doc ~docv:"SCENARIO")
   in
-  let run config_name n scenario jobs cache =
+  let run config_name n scenario (ctx : Hcrf_eval.Runner.Ctx.t) =
+    let ctx = { ctx with Hcrf_eval.Runner.Ctx.scenario } in
     let config = config_of_string config_name in
     let loops = Hcrf_workload.Suite.generate ~n () in
-    let results =
-      Hcrf_eval.Runner.run_suite ~scenario ?cache ~jobs:(max 1 jobs) config
-        loops
-    in
+    let results = Hcrf_eval.Runner.run_suite ~ctx config loops in
     let a = Hcrf_eval.Runner.aggregate config results in
-    let cache_stats = Option.map Hcrf_cache.Cache.stats cache in
-    Fmt.pr "%a@." (Hcrf_eval.Metrics.pp_aggregate ?cache:cache_stats) a;
+    let cache_stats =
+      Option.map Hcrf_cache.Cache.stats ctx.Hcrf_eval.Runner.Ctx.cache
+    in
+    Fmt.pr "%a@."
+      (Hcrf_eval.Metrics.pp_aggregate ?cache:cache_stats ?trace:None)
+      a;
     List.iter
       (fun (b, count, cycles) ->
         Fmt.pr "  %-8s %4d loops  %.3e cycles@." (Hcrf_eval.Classify.name b)
           count cycles)
-      a.Hcrf_eval.Metrics.bound_share
+      a.Hcrf_eval.Metrics.bound_share;
+    finish_trace ctx.Hcrf_eval.Runner.Ctx.tracer
   in
   Cmd.v
     (Cmd.info "suite"
        ~doc:"Schedule the synthetic workbench on one configuration")
-    Term.(
-      const run $ config_arg $ n_arg $ memory_arg $ jobs_arg $ cache_term)
+    Term.(const run $ config_arg $ n_arg $ memory_arg $ ctx_term)
 
 let hw_cmd =
   let all_arg =
     Arg.(value & flag & info [ "all" ] ~doc:"Print every Table-5 row.")
   in
-  let run config_name all =
+  (* hw prices hardware only — it never runs the scheduler, so the
+     shared ctx knobs are accepted (for interface consistency) but the
+     cache stays cold and the trace stays empty. *)
+  let run config_name all (ctx : Hcrf_eval.Runner.Ctx.t) =
     if all then
       Fmt.pr "%a@."
         (Hcrf_eval.Experiments.pp_hw_rows ~title:"Hardware evaluation")
@@ -171,16 +229,17 @@ let hw_cmd =
         Fmt.(option ~none:(any "-") (fmt "%.3f"))
         est.Hcrf_model.Cacti.shared_access_ns
         est.Hcrf_model.Cacti.total_area_mlambda2
-    end
+    end;
+    Hcrf_obs.Tracer.close ctx.Hcrf_eval.Runner.Ctx.tracer
   in
   Cmd.v
     (Cmd.info "hw" ~doc:"Price a configuration with the technology model")
-    Term.(const run $ config_arg $ all_arg)
+    Term.(const run $ config_arg $ all_arg $ ctx_term)
 
 let ports_cmd =
   (* sweep the inter-level port counts of a hierarchical RF and report
      the ΣII impact — the §4 design decision, measurable per design *)
-  let run config_name n jobs cache =
+  let run config_name n (ctx : Hcrf_eval.Runner.Ctx.t) =
     let base = Hcrf_machine.Rf.of_notation config_name in
     (match base with
     | Hcrf_machine.Rf.Hierarchical h ->
@@ -196,10 +255,7 @@ let ports_cmd =
                 sp = Hcrf_machine.Cap.Finite sp }
           in
           let config = Hcrf_model.Presets.of_model rf in
-          let results =
-            Hcrf_eval.Runner.run_suite ?cache ~jobs:(max 1 jobs) config
-              loops
-          in
+          let results = Hcrf_eval.Runner.run_suite ~ctx config loops in
           let a = Hcrf_eval.Runner.aggregate config results in
           Fmt.pr "  %2d %2d | %5d | %4.1f@." lp sp a.Hcrf_eval.Metrics.sum_ii
             a.Hcrf_eval.Metrics.pct_at_mii)
@@ -208,29 +264,59 @@ let ports_cmd =
         (fun c ->
           Fmt.pr "cache: %a@." Hcrf_cache.Cache.pp_stats
             (Hcrf_cache.Cache.stats c))
-        cache
+        ctx.Hcrf_eval.Runner.Ctx.cache;
+      finish_trace ctx.Hcrf_eval.Runner.Ctx.tracer
     | _ -> failwith "ports: needs a hierarchical configuration (xCySz)")
   in
   Cmd.v
     (Cmd.info "ports"
        ~doc:"Sweep the LoadR/StoreR port counts of a hierarchical RF")
-    Term.(const run $ config_arg $ n_arg $ jobs_arg $ cache_term)
+    Term.(const run $ config_arg $ n_arg $ ctx_term)
 
 let duel_cmd =
-  let run config_name n jobs =
+  let run config_name n (ctx : Hcrf_eval.Runner.Ctx.t) =
     let config = config_of_string config_name in
     let loops = Hcrf_workload.Suite.generate ~n () in
-    let t =
-      Hcrf_eval.Experiments.table4 ~config ~jobs:(max 1 jobs) ~loops ()
-    in
-    Fmt.pr "%a@." Hcrf_eval.Experiments.pp_table4 t
+    let t = Hcrf_eval.Experiments.table4 ~config ~ctx ~loops () in
+    Fmt.pr "%a@." Hcrf_eval.Experiments.pp_table4 t;
+    finish_trace ctx.Hcrf_eval.Runner.Ctx.tracer
   in
   Cmd.v
     (Cmd.info "duel"
        ~doc:"Compare MIRS_HC against the non-iterative scheduler of [36]")
-    Term.(const run $ config_arg $ n_arg $ jobs_arg)
+    Term.(const run $ config_arg $ n_arg $ ctx_term)
+
+let trace_cmd =
+  (* validate a recorded trace against the versioned schema and replay
+     it into counters — `diff` of two "trace:" lines is the merge
+     check used by the determinism tests *)
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace file to validate.")
+  in
+  let run file =
+    match Hcrf_obs.Jsonl.read_file file with
+    | Error msg ->
+      Fmt.epr "invalid trace: %s@." msg;
+      exit 1
+    | Ok events ->
+      Fmt.pr "valid: %d events (schema %s v%d)@." (List.length events)
+        Hcrf_obs.Jsonl.schema_name Hcrf_obs.Jsonl.version;
+      let c = Hcrf_obs.Counters.create () in
+      List.iter (fun (_label, ev) -> Hcrf_obs.Counters.add c ev) events;
+      Fmt.pr "trace: %a@." Hcrf_obs.Counters.pp c
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Validate a JSONL event trace and print its counter totals")
+    Term.(const run $ file_arg)
 
 let () =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some Logs.Warning);
+  Hcrf_eval.Env.warn_unknown ();
   let info =
     Cmd.info "hcrf_explore" ~version:"1.0"
       ~doc:
@@ -240,4 +326,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ schedule_cmd; suite_cmd; hw_cmd; ports_cmd; duel_cmd ]))
+          [ schedule_cmd; suite_cmd; hw_cmd; ports_cmd; duel_cmd; trace_cmd ]))

@@ -1,1 +1,1 @@
-lib/cache/cache.ml: Entry Fingerprint Fmt Fun Hashtbl Mutex Option Store
+lib/cache/cache.ml: Entry Fingerprint Fmt Fun Hashtbl Hcrf_obs Mutex Option Store

@@ -1,1 +1,1 @@
-lib/cache/cache.mli: Entry Fingerprint Format
+lib/cache/cache.mli: Entry Fingerprint Format Hcrf_obs

@@ -9,9 +9,12 @@ type stats = {
 let zero_stats =
   { hits = 0; misses = 0; stores = 0; disk_hits = 0; disk_errors = 0 }
 
+(* Keys in sorted order, [k=v] like the trace counters, so the cache
+   line is byte-comparable across runs and merge tools can treat every
+   counter line the same way. *)
 let pp_stats ppf s =
-  Fmt.pf ppf "hits=%d (disk %d) misses=%d stores=%d disk-errors=%d" s.hits
-    s.disk_hits s.misses s.stores s.disk_errors
+  Fmt.pf ppf "disk-errors=%d disk-hits=%d hits=%d misses=%d stores=%d"
+    s.disk_errors s.disk_hits s.hits s.misses s.stores
 
 type t = {
   table : (Fingerprint.t, Entry.t) Hashtbl.t;
@@ -34,8 +37,15 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let find t key =
-  locked t (fun () ->
+module Tr = Hcrf_obs.Trace
+module Ev = Hcrf_obs.Event
+
+let emit trace op =
+  if Tr.enabled trace then Tr.emit trace (Ev.Cache op)
+
+let find ?(trace = Tr.off) t key =
+  let result =
+    locked t (fun () ->
       match Hashtbl.find_opt t.table key with
       | Some e ->
         t.counters <- { t.counters with hits = t.counters.hits + 1 };
@@ -63,8 +73,12 @@ let find t key =
               disk_errors =
                 (t.counters.disk_errors + if r = `Error then 1 else 0) };
           None))
+  in
+  emit trace (match result with Some _ -> Ev.Hit | None -> Ev.Miss);
+  result
 
-let add t key entry =
+let add ?(trace = Tr.off) t key entry =
+  emit trace Ev.Store;
   locked t (fun () ->
       Hashtbl.replace t.table key entry;
       let wrote =

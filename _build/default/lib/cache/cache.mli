@@ -33,8 +33,11 @@ val create : ?dir:string -> unit -> t
     the degraded case). *)
 val dir : t -> string option
 
-val find : t -> Fingerprint.t -> Entry.t option
-val add : t -> Fingerprint.t -> Entry.t -> unit
+(** Lookup/insert; [trace] records a [Cache Hit]/[Miss]/[Store] event
+    for the calling work unit (outside the cache lock). *)
+val find : ?trace:Hcrf_obs.Trace.t -> t -> Fingerprint.t -> Entry.t option
+
+val add : ?trace:Hcrf_obs.Trace.t -> t -> Fingerprint.t -> Entry.t -> unit
 
 (** Snapshot of the counters. *)
 val stats : t -> stats

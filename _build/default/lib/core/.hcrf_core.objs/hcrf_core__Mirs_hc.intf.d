@@ -1,1 +1,1 @@
-lib/core/mirs_hc.mli: Hcrf_ir Hcrf_machine Hcrf_sched
+lib/core/mirs_hc.mli: Hcrf_ir Hcrf_machine Hcrf_obs Hcrf_sched

@@ -1,1 +1,1 @@
-lib/core/noniter.mli: Hcrf_ir Hcrf_machine Hcrf_sched
+lib/core/noniter.mli: Hcrf_ir Hcrf_machine Hcrf_obs Hcrf_sched

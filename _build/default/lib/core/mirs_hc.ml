@@ -27,15 +27,15 @@ type outcome = Engine.outcome
     (with all inserted communication and spill operations in
     [outcome.graph]) or [`No_schedule ii] if no II up to the cap
     admitted a schedule. *)
-let schedule ?(opts = default_options) config (g : Ddg.t) =
-  Engine.schedule ~opts config g
+let schedule ?(opts = default_options) ?trace config (g : Ddg.t) =
+  Engine.schedule ~opts ?trace config g
 
 (** Schedule a whole {!Loop.t}; convenience wrapper keeping the loop
     metadata alongside the outcome. *)
 type scheduled_loop = { loop : Loop.t; outcome : outcome }
 
-let schedule_loop ?opts config (l : Loop.t) =
-  match schedule ?opts config l.Loop.ddg with
+let schedule_loop ?opts ?trace config (l : Loop.t) =
+  match schedule ?opts ?trace config l.Loop.ddg with
   | Ok outcome -> Ok { loop = l; outcome }
   | Error e -> Error e
 

@@ -24,16 +24,16 @@ type outcome = Hcrf_sched.Engine.outcome
     [outcome.graph]) or [`No_schedule ii] if no II up to the cap
     admitted a schedule. *)
 val schedule :
-  ?opts:options -> Hcrf_machine.Config.t -> Hcrf_ir.Ddg.t ->
-  (outcome, Hcrf_sched.Engine.error) result
+  ?opts:options -> ?trace:Hcrf_obs.Trace.t -> Hcrf_machine.Config.t ->
+  Hcrf_ir.Ddg.t -> (outcome, Hcrf_sched.Engine.error) result
 
 type scheduled_loop = { loop : Hcrf_ir.Loop.t; outcome : outcome }
 
 (** Schedule a whole {!Hcrf_ir.Loop.t}, keeping the metadata alongside
     the outcome. *)
 val schedule_loop :
-  ?opts:options -> Hcrf_machine.Config.t -> Hcrf_ir.Loop.t ->
-  (scheduled_loop, Hcrf_sched.Engine.error) result
+  ?opts:options -> ?trace:Hcrf_obs.Trace.t -> Hcrf_machine.Config.t ->
+  Hcrf_ir.Loop.t -> (scheduled_loop, Hcrf_sched.Engine.error) result
 
 (** Run the independent checker on an outcome. *)
 val validate : outcome -> Hcrf_sched.Validate.issue list

@@ -15,7 +15,7 @@ let options : Engine.options =
   { Engine.default_options with backtracking = false; ordering = `Topological }
 
 let schedule ?(budget_ratio = 6) ?max_ii ?(load_override = fun _ -> None)
-    config (g : Ddg.t) =
+    ?trace config (g : Ddg.t) =
   Engine.schedule
     ~opts:{ options with budget_ratio; max_ii; load_override }
-    config g
+    ?trace config g

@@ -13,5 +13,5 @@ val options : Hcrf_sched.Engine.options
 
 val schedule :
   ?budget_ratio:int -> ?max_ii:int -> ?load_override:(int -> int option) ->
-  Hcrf_machine.Config.t -> Hcrf_ir.Ddg.t ->
+  ?trace:Hcrf_obs.Trace.t -> Hcrf_machine.Config.t -> Hcrf_ir.Ddg.t ->
   (Hcrf_sched.Engine.outcome, Hcrf_sched.Engine.error) result

@@ -1,0 +1,1 @@
+lib/eval/env.ml: Array Hcrf_cache Hcrf_obs List Logs Par String Sys Unix

@@ -1,0 +1,1 @@
+lib/eval/env.mli: Hcrf_cache Hcrf_obs

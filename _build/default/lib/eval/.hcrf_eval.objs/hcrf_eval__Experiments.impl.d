@@ -1,1 +1,1 @@
-lib/eval/experiments.ml: Cacti Classify Config Engine Fmt Hcrf_core Hcrf_ir Hcrf_machine Hcrf_model Hcrf_sched Hw_table Latencies List Metrics Par Presets Runner Timing Unix
+lib/eval/experiments.ml: Cacti Classify Config Engine Fmt Fun Hcrf_core Hcrf_ir Hcrf_machine Hcrf_model Hcrf_sched Hw_table Latencies List Metrics Presets Runner Timing Unix

@@ -1,1 +1,1 @@
-lib/eval/experiments.mli: Classify Engine Format Hcrf_cache Hcrf_ir Hcrf_machine Hcrf_model Hcrf_sched Runner
+lib/eval/experiments.mli: Classify Engine Format Hcrf_ir Hcrf_machine Hcrf_model Hcrf_sched Runner

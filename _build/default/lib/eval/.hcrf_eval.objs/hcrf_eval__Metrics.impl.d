@@ -1,1 +1,1 @@
-lib/eval/metrics.ml: Classify Ddg Engine Fmt Hcrf_cache Hcrf_ir Hcrf_machine Hcrf_sched List Loop
+lib/eval/metrics.ml: Classify Ddg Engine Fmt Hcrf_cache Hcrf_ir Hcrf_machine Hcrf_obs Hcrf_sched List Loop

@@ -1,1 +1,1 @@
-lib/eval/metrics.mli: Classify Format Hcrf_cache Hcrf_ir Hcrf_machine Hcrf_sched
+lib/eval/metrics.mli: Classify Format Hcrf_cache Hcrf_ir Hcrf_machine Hcrf_obs Hcrf_sched

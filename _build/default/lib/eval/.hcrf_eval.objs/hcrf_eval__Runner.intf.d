@@ -1,1 +1,1 @@
-lib/eval/runner.mli: Hcrf_cache Hcrf_ir Hcrf_machine Hcrf_memsim Hcrf_sched Metrics
+lib/eval/runner.mli: Hcrf_cache Hcrf_ir Hcrf_machine Hcrf_memsim Hcrf_obs Hcrf_sched Metrics

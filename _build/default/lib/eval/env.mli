@@ -1,0 +1,43 @@
+(** One home for every [HCRF_*] environment variable, so a variable
+    behaves identically in the benchmark harness and the CLI:
+
+    - [HCRF_LOOPS=<n>]  workbench size override;
+    - [HCRF_JOBS=<n>]   worker-domain count;
+    - [HCRF_CACHE=<dir>] schedule cache backed by [dir]
+      ([HCRF_CACHE=""] for in-memory only);
+    - [HCRF_TRACE=<file>] JSONL event trace written to [file], plus
+      in-process counters ([HCRF_TRACE=""] for counters only).
+
+    Every parser warns (via {!Logs}) before falling back on a value it
+    cannot use — a typo must never silently change what runs. *)
+
+(** The variable names this version understands. *)
+val known : string list
+
+(** [HCRF_LOOPS]; [None] when unset or unusable (warned). *)
+val loops : unit -> int option
+
+(** [HCRF_JOBS]; defaults to {!Par.default_jobs} (warned when set but
+    unusable). *)
+val jobs : unit -> int
+
+(** [HCRF_CACHE]; a fresh cache per call — call once per process. *)
+val cache : unit -> Hcrf_cache.Cache.t option
+
+type trace_spec = Off | Counters_only | File of string
+
+(** [HCRF_TRACE] as a spec (no side effects). *)
+val trace : unit -> trace_spec
+
+(** Build a tracer: [Off] is {!Hcrf_obs.Tracer.null}; the other specs
+    include a [Counters] sink; an unwritable [File] degrades to
+    counters-only with a warning.  Opens the trace file — call once per
+    process and {!Hcrf_obs.Tracer.close} it at exit. *)
+val tracer_of_spec : trace_spec -> Hcrf_obs.Tracer.t
+
+(** [tracer_of_spec (trace ())]. *)
+val tracer : unit -> Hcrf_obs.Tracer.t
+
+(** Warn about any [HCRF_*] environment variable not in {!known} — a
+    misspelled knob must not be silently inert. *)
+val warn_unknown : unit -> unit

@@ -11,10 +11,10 @@ open Hcrf_sched
 (* ------------------------------------------------------------------ *)
 (* Figure 1: IPC vs resources, monolithic RF with unbounded registers  *)
 
-let figure1 ?jobs ?cache ~loops () =
+let figure1 ?(ctx = Runner.Ctx.default) ~loops () =
   List.map
     (fun config ->
-      let results = Runner.run_suite ?jobs ?cache config loops in
+      let results = Runner.run_suite ~ctx config loops in
       let a = Runner.aggregate config results in
       (config.Config.name, Metrics.ipc a))
     (Presets.figure1_configs ())
@@ -43,10 +43,10 @@ let table1_configs () =
   [ Presets.published "S128"; Presets.published "4C32";
     Presets.of_published row ]
 
-let table1 ?jobs ?cache ~loops () =
+let table1 ?(ctx = Runner.Ctx.default) ~loops () =
   List.map
     (fun config ->
-      let results = Runner.run_suite ?jobs ?cache config loops in
+      let results = Runner.run_suite ~ctx config loops in
       let a = Runner.aggregate config results in
       let nloops = float_of_int a.Metrics.loops in
       {
@@ -163,7 +163,7 @@ type table3_row = {
   t3_bounded : float * int * float;
 }
 
-let table3 ?jobs ?cache ~loops () =
+let table3 ?(ctx = Runner.Ctx.default) ~loops () =
   List.map
     (fun notation ->
       let run bounded =
@@ -171,8 +171,7 @@ let table3 ?jobs ?cache ~loops () =
           Presets.static_config ~bounded_bandwidth:bounded notation
         in
         let a =
-          Runner.aggregate config
-            (Runner.run_suite ?jobs ?cache config loops)
+          Runner.aggregate config (Runner.run_suite ~ctx config loops)
         in
         (a.Metrics.pct_at_mii, a.Metrics.sum_ii, a.Metrics.sched_seconds)
       in
@@ -205,7 +204,8 @@ type table4 = {
   t4_worse : int * int * int;   (** loops where [36] is better *)
 }
 
-let table4 ?(config = Presets.published "1C32S64") ?jobs ~loops () =
+let table4 ?(config = Presets.published "1C32S64")
+    ?(ctx = Runner.Ctx.default) ~loops () =
   let better = ref (0, 0, 0) and equal = ref (0, 0, 0)
   and worse = ref (0, 0, 0) in
   let bump r ni hc =
@@ -215,10 +215,10 @@ let table4 ?(config = Presets.published "1C32S64") ?jobs ~loops () =
   (* both schedulers run per loop independently: fan the duels out and
      fold the ordered results serially *)
   let duels =
-    Par.map ?jobs
-      (fun (l : Hcrf_ir.Loop.t) ->
-        ( Hcrf_core.Noniter.schedule config l.Hcrf_ir.Loop.ddg,
-          Hcrf_core.Mirs_hc.schedule config l.Hcrf_ir.Loop.ddg ))
+    Runner.par_map ~ctx ~label:Hcrf_ir.Loop.name
+      (fun ~trace (l : Hcrf_ir.Loop.t) ->
+        ( Hcrf_core.Noniter.schedule ~trace config l.Hcrf_ir.Loop.ddg,
+          Hcrf_core.Mirs_hc.schedule ~trace config l.Hcrf_ir.Loop.ddg ))
       loops
   in
   List.iter
@@ -270,18 +270,23 @@ let port_demand (o : Engine.outcome) ~clusters =
   let avg_ports n = (n + (clusters * ii) - 1) / (clusters * ii) in
   (avg_ports (count Hcrf_ir.Op.Load_r), avg_ports (count Hcrf_ir.Op.Store_r))
 
-let figure4 ?(max_lp = 6) ?(max_sp = 4) ?jobs ~loops () =
+let figure4 ?(max_lp = 6) ?(max_sp = 4) ?(ctx = Runner.Ctx.default)
+    ~loops () =
   List.map
     (fun clusters ->
       let notation = Fmt.str "%dCinfSinf" clusters in
       let config = Presets.static_config ~bounded_bandwidth:false notation in
       let demands =
-        Par.filter_map ?jobs
-          (fun (l : Hcrf_ir.Loop.t) ->
-            match Hcrf_core.Mirs_hc.schedule config l.Hcrf_ir.Loop.ddg with
-            | Ok o -> Some (port_demand o ~clusters)
-            | Error _ -> None)
-          loops
+        List.filter_map Fun.id
+          (Runner.par_map ~ctx ~label:Hcrf_ir.Loop.name
+             (fun ~trace (l : Hcrf_ir.Loop.t) ->
+               match
+                 Hcrf_core.Mirs_hc.schedule ~trace config
+                   l.Hcrf_ir.Loop.ddg
+               with
+               | Ok o -> Some (port_demand o ~clusters)
+               | Error _ -> None)
+             loops)
       in
       let total = float_of_int (max 1 (List.length demands)) in
       let cdf max_k select =
@@ -326,13 +331,13 @@ type perf_row = {
   p_speedup : float;        (** S64 time / this time *)
 }
 
-let perf_rows ?jobs ?cache ~scenario ~configs ~loops () =
+let perf_rows ?(ctx = Runner.Ctx.default) ~scenario ~configs ~loops () =
+  let ctx = { ctx with Runner.Ctx.scenario } in
   let aggregates =
     List.map
       (fun config ->
         ( config,
-          Runner.aggregate config
-            (Runner.run_suite ~scenario ?jobs ?cache config loops) ))
+          Runner.aggregate config (Runner.run_suite ~ctx config loops) ))
       configs
   in
   let base =
@@ -361,8 +366,8 @@ let perf_rows ?jobs ?cache ~scenario ~configs ~loops () =
       })
     aggregates
 
-let table6 ?jobs ?cache ~loops () =
-  perf_rows ?jobs ?cache ~scenario:Runner.Ideal
+let table6 ?ctx ~loops () =
+  perf_rows ?ctx ~scenario:Runner.Ideal
     ~configs:(Presets.table5_configs ()) ~loops ()
 
 let pp_table6 ppf rows =
@@ -390,7 +395,8 @@ type ablation_row = {
 (** Scheduler ablations on one configuration: the full iterative engine
     against variants with backtracking disabled, plain topological
     ordering, and smaller/larger Budget ratios. *)
-let ablations ?(config = Presets.published "2C32S32") ?jobs ~loops () =
+let ablations ?(config = Presets.published "2C32S32")
+    ?(ctx = Runner.Ctx.default) ~loops () =
   let variants =
     [
       ("mirs_hc (full)", Engine.default_options);
@@ -411,9 +417,9 @@ let ablations ?(config = Presets.published "2C32S32") ?jobs ~loops () =
       let sum_ii = ref 0 and at_mii = ref 0 and failed = ref 0 in
       let n = ref 0 in
       let outcomes =
-        Par.map ?jobs
-          (fun (l : Hcrf_ir.Loop.t) ->
-            Engine.schedule ~opts config l.Hcrf_ir.Loop.ddg)
+        Runner.par_map ~ctx ~label:Hcrf_ir.Loop.name
+          (fun ~trace (l : Hcrf_ir.Loop.t) ->
+            Engine.schedule ~opts ~trace config l.Hcrf_ir.Loop.ddg)
           loops
       in
       List.iter
@@ -453,9 +459,9 @@ let figure6_configs () =
   List.map Presets.published
     [ "S64"; "2C64"; "4C32"; "1C32S64"; "2C32S32"; "4C32S16"; "8C16S16" ]
 
-let figure6 ?jobs ?cache ~loops () =
+let figure6 ?ctx ~loops () =
   let rows =
-    perf_rows ?jobs ?cache
+    perf_rows ?ctx
       ~scenario:(Runner.Real { prefetch = true })
       ~configs:(figure6_configs ()) ~loops ()
   in

@@ -6,15 +6,18 @@
 open Hcrf_sched
 
 (** Figure 1: (config name, IPC) for the 4+2 .. 12+6 resource sweep.
-    Every [?jobs] below fans the per-loop scheduling out over a domain
-    pool ({!Par}); results are deterministic for any job count.  Every
-    [?cache] memoizes the per-loop outcomes ({!Runner.run_loop}) without
-    changing any result; the drivers that bypass the runner (table 4,
-    figure 4, ablations — they sweep engine options directly) take no
-    cache. *)
+    Every driver below takes one [?ctx] ({!Runner.Ctx.t}) carrying the
+    engine options, schedule cache, job count and tracer: [ctx.jobs] > 1
+    fans the per-loop work out over a domain pool ({!Par}) with
+    deterministic results at any job count, and [ctx.cache] memoizes
+    per-loop outcomes without changing any result.  The drivers that
+    sweep engine options directly (table 4, figure 4, ablations) use
+    [ctx.jobs] and [ctx.tracer] but bypass the cache and [ctx.opts].
+    Experiments with a fixed memory scenario (table 6, figure 6)
+    override [ctx.scenario]. *)
 val figure1 :
-  ?jobs:int -> ?cache:Hcrf_cache.Cache.t -> loops:Hcrf_ir.Loop.t list ->
-  unit -> (string * float) list
+  ?ctx:Runner.Ctx.t -> loops:Hcrf_ir.Loop.t list -> unit ->
+  (string * float) list
 
 val pp_figure1 : Format.formatter -> (string * float) list -> unit
 
@@ -30,8 +33,8 @@ type table1_row = {
 val table1_configs : unit -> Hcrf_machine.Config.t list
 
 val table1 :
-  ?jobs:int -> ?cache:Hcrf_cache.Cache.t -> loops:Hcrf_ir.Loop.t list ->
-  unit -> table1_row list
+  ?ctx:Runner.Ctx.t -> loops:Hcrf_ir.Loop.t list -> unit ->
+  table1_row list
 val pp_table1 : Format.formatter -> table1_row list -> unit
 
 type hw_row = {
@@ -61,8 +64,8 @@ type table3_row = {
 }
 
 val table3 :
-  ?jobs:int -> ?cache:Hcrf_cache.Cache.t -> loops:Hcrf_ir.Loop.t list ->
-  unit -> table3_row list
+  ?ctx:Runner.Ctx.t -> loops:Hcrf_ir.Loop.t list -> unit ->
+  table3_row list
 val pp_table3 : Format.formatter -> table3_row list -> unit
 
 type table4 = {
@@ -72,7 +75,7 @@ type table4 = {
 }
 
 val table4 :
-  ?config:Hcrf_machine.Config.t -> ?jobs:int ->
+  ?config:Hcrf_machine.Config.t -> ?ctx:Runner.Ctx.t ->
   loops:Hcrf_ir.Loop.t list -> unit -> table4
 val pp_table4 : Format.formatter -> table4 -> unit
 
@@ -87,7 +90,7 @@ type figure4_row = {
 val port_demand : Engine.outcome -> clusters:int -> int * int
 
 val figure4 :
-  ?max_lp:int -> ?max_sp:int -> ?jobs:int ->
+  ?max_lp:int -> ?max_sp:int -> ?ctx:Runner.Ctx.t ->
   loops:Hcrf_ir.Loop.t list -> unit -> figure4_row list
 val pp_figure4 : Format.formatter -> figure4_row list -> unit
 
@@ -102,7 +105,7 @@ type ablation_row = {
 (** Scheduler ablations: full engine vs no-backtracking, topological
     ordering, and Budget-ratio variants. *)
 val ablations :
-  ?config:Hcrf_machine.Config.t -> ?jobs:int ->
+  ?config:Hcrf_machine.Config.t -> ?ctx:Runner.Ctx.t ->
   loops:Hcrf_ir.Loop.t list -> unit -> ablation_row list
 val pp_ablations : Format.formatter -> ablation_row list -> unit
 
@@ -117,15 +120,15 @@ type perf_row = {
   p_speedup : float;
 }
 
+(** [scenario] overrides [ctx.scenario]. *)
 val perf_rows :
-  ?jobs:int -> ?cache:Hcrf_cache.Cache.t ->
-  scenario:Runner.memory_scenario ->
+  ?ctx:Runner.Ctx.t -> scenario:Runner.memory_scenario ->
   configs:Hcrf_machine.Config.t list -> loops:Hcrf_ir.Loop.t list ->
   unit -> perf_row list
 
 val table6 :
-  ?jobs:int -> ?cache:Hcrf_cache.Cache.t -> loops:Hcrf_ir.Loop.t list ->
-  unit -> perf_row list
+  ?ctx:Runner.Ctx.t -> loops:Hcrf_ir.Loop.t list -> unit ->
+  perf_row list
 val pp_table6 : Format.formatter -> perf_row list -> unit
 
 val figure6_configs : unit -> Hcrf_machine.Config.t list
@@ -133,8 +136,8 @@ val figure6_configs : unit -> Hcrf_machine.Config.t list
 (** Per config: (name, (useful, stall) cycles, (useful, stall) time),
     relative to the useful cycles/time of S64. *)
 val figure6 :
-  ?jobs:int -> ?cache:Hcrf_cache.Cache.t -> loops:Hcrf_ir.Loop.t list ->
-  unit -> (string * (float * float) * (float * float)) list
+  ?ctx:Runner.Ctx.t -> loops:Hcrf_ir.Loop.t list -> unit ->
+  (string * (float * float) * (float * float)) list
 
 val pp_figure6 :
   Format.formatter ->

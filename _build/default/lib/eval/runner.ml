@@ -3,12 +3,40 @@
 
 open Hcrf_ir
 open Hcrf_sched
+module Tr = Hcrf_obs.Trace
+module Ev = Hcrf_obs.Event
 
 type memory_scenario =
   | Ideal  (** every access hits; no stall cycles (§6.1) *)
   | Real of { prefetch : bool }
       (** cache simulation, optionally with selective binding
           prefetching (§6.2) *)
+
+(** Everything one evaluation run needs, in one record.  Built once,
+    passed to every [run_loop]/[run_suite] call — instead of threading
+    four optional arguments through every driver. *)
+module Ctx = struct
+  type t = {
+    scenario : memory_scenario;
+    opts : Engine.options;
+    cache : Hcrf_cache.Cache.t option;
+    jobs : int;
+    tracer : Hcrf_obs.Tracer.t;
+  }
+
+  let default =
+    {
+      scenario = Ideal;
+      opts = Engine.default_options;
+      cache = None;
+      jobs = 1;
+      tracer = Hcrf_obs.Tracer.null;
+    }
+
+  let make ?(scenario = Ideal) ?(opts = Engine.default_options) ?cache
+      ?(jobs = 1) ?(tracer = Hcrf_obs.Tracer.null) () =
+    { scenario; opts; cache; jobs; tracer }
+end
 
 type loop_result = {
   loop : Loop.t;
@@ -62,7 +90,8 @@ let scenario_tag = function
     loop (graph, streams, trip/entry counts), scheduler options and the
     memory scenario.  [opts.load_override] is *not* sampled: the runner
     always replaces it with the override derived from the scenario and
-    loop, both of which the key covers. *)
+    loop, both of which the key covers.  The tracer is not part of the
+    key either — tracing must never change what is computed. *)
 let cache_key ~scenario ~opts (config : Hcrf_machine.Config.t)
     (loop : Loop.t) =
   Hcrf_cache.Fingerprint.combine
@@ -83,7 +112,7 @@ let result_of_parts loop outcome ~stall_cycles ~retries =
 (* The uncached work: schedule (with escalation) and, under a real
    memory scenario, simulate the stalls.  Returns everything a cache
    entry needs. *)
-let compute ~scenario ~opts (config : Hcrf_machine.Config.t)
+let compute ~scenario ~opts ~trace (config : Hcrf_machine.Config.t)
     (loop : Loop.t) =
   let override =
     match scenario with
@@ -95,19 +124,23 @@ let compute ~scenario ~opts (config : Hcrf_machine.Config.t)
      aggregate metric, so spend more budget (and allow any II) before
      giving up.  The rung count feeds [Metrics.sched_stats.retries]. *)
   let retries = ref 0 in
+  let escalate rung =
+    incr retries;
+    if Tr.enabled trace then Tr.emit trace (Ev.Budget_escalate { rung })
+  in
   let result =
-    match Engine.schedule ~opts config loop.Loop.ddg with
+    match Engine.schedule ~opts ~trace config loop.Loop.ddg with
     | Ok o -> Ok o
     | Error _ -> (
-      incr retries;
+      escalate 1;
       let opts = { opts with Engine.budget_ratio = 16 } in
-      match Engine.schedule ~opts config loop.Loop.ddg with
+      match Engine.schedule ~opts ~trace config loop.Loop.ddg with
       | Ok o -> Ok o
       | Error _ ->
-        incr retries;
+        escalate 2;
         Engine.schedule
           ~opts:{ opts with Engine.budget_ratio = 32; max_ii = Some 4096 }
-          config loop.Loop.ddg)
+          ~trace config loop.Loop.ddg)
   in
   match result with
   | Error (`No_schedule ii) -> Error ii
@@ -118,25 +151,24 @@ let compute ~scenario ~opts (config : Hcrf_machine.Config.t)
       | Real _ ->
         let refs = mem_refs config loop outcome ~override in
         let r =
-          Hcrf_memsim.Sim.run ~ii:outcome.Engine.ii
-            ~hit_read:config.lats.Hcrf_machine.Latencies.mem_read
-            ~miss_cycles:(Hcrf_machine.Config.miss_cycles config)
-            ~n:loop.Loop.trip_count ~e:loop.Loop.entries refs
+          Tr.span trace Ev.Memsim (fun () ->
+              Hcrf_memsim.Sim.run ~ii:outcome.Engine.ii
+                ~hit_read:config.lats.Hcrf_machine.Latencies.mem_read
+                ~miss_cycles:(Hcrf_machine.Config.miss_cycles config)
+                ~n:loop.Loop.trip_count ~e:loop.Loop.entries refs)
         in
         r.Hcrf_memsim.Sim.stall_cycles
     in
     Ok (outcome, stall_cycles, !retries)
 
-(** Schedule one loop; [None] if the scheduler could not find a schedule
-    (logged; does not happen for the shipped suites).  With [?cache] the
-    outcome is looked up by content-addressed key first; a hit replays
-    the stored schedule instead of re-running the engine and yields a
-    byte-identical [loop_result] (the perf record is recomputed from the
-    replayed outcome with the stored stall cycles and retry count). *)
-let run_loop ?(scenario = Ideal) ?(opts = Engine.default_options) ?cache
-    (config : Hcrf_machine.Config.t) (loop : Loop.t) : loop_result option =
+(* One loop's work under an already-started trace.  Does NOT commit the
+   trace: callers commit in input order ([run_suite]) or right away
+   ([run_loop]). *)
+let run_loop_traced ~(ctx : Ctx.t) ~trace config (loop : Loop.t) :
+    loop_result option =
+  let { Ctx.scenario; opts; cache; _ } = ctx in
   let fresh () =
-    match compute ~scenario ~opts config loop with
+    match compute ~scenario ~opts ~trace config loop with
     | Error ii ->
       warn_no_schedule config loop ii;
       None
@@ -147,7 +179,7 @@ let run_loop ?(scenario = Ideal) ?(opts = Engine.default_options) ?cache
   | None -> fresh ()
   | Some c -> (
     let key = cache_key ~scenario ~opts config loop in
-    match Hcrf_cache.Cache.find c key with
+    match Hcrf_cache.Cache.find ~trace c key with
     | Some (Hcrf_cache.Entry.Failed ii) ->
       warn_no_schedule config loop ii;
       None
@@ -158,25 +190,79 @@ let run_loop ?(scenario = Ideal) ?(opts = Engine.default_options) ?cache
            (Hcrf_cache.Entry.to_outcome config outcome)
            ~stall_cycles ~retries)
     | None -> (
-      match compute ~scenario ~opts config loop with
+      match compute ~scenario ~opts ~trace config loop with
       | Error ii ->
-        Hcrf_cache.Cache.add c key (Hcrf_cache.Entry.Failed ii);
+        Hcrf_cache.Cache.add ~trace c key (Hcrf_cache.Entry.Failed ii);
         warn_no_schedule config loop ii;
         None
       | Ok (outcome, stall_cycles, retries) ->
-        Hcrf_cache.Cache.add c key
+        Hcrf_cache.Cache.add ~trace c key
           (Hcrf_cache.Entry.of_outcome config outcome ~stall_cycles
              ~retries);
         Some (result_of_parts loop outcome ~stall_cycles ~retries)))
 
+(** Schedule one loop; [None] if the scheduler could not find a schedule
+    (logged; does not happen for the shipped suites).  With a cache in
+    [ctx] the outcome is looked up by content-addressed key first; a hit
+    replays the stored schedule instead of re-running the engine and
+    yields a byte-identical [loop_result]. *)
+let run_loop ?(ctx = Ctx.default) config (loop : Loop.t) =
+  let trace = Hcrf_obs.Tracer.start ctx.Ctx.tracer ~label:(Loop.name loop) in
+  let r = run_loop_traced ~ctx ~trace config loop in
+  Hcrf_obs.Tracer.commit ctx.Ctx.tracer trace;
+  r
+
 (** Schedule a whole suite; loops that fail to schedule are dropped (and
-    logged).  [jobs] > 1 fans the loops out over a pool of domains
-    ({!Par}); results come back in input order, so every aggregate is
-    identical to the serial ([jobs = 1], the default) path.  [?cache] is
-    shared by all worker domains (its operations are mutex-protected)
-    and never changes any result — only how fast it is produced. *)
-let run_suite ?scenario ?opts ?cache ?(jobs = 1) config loops =
-  Par.filter_map ~jobs (run_loop ?scenario ?opts ?cache config) loops
+    logged).  [ctx.jobs] > 1 fans the loops out over a pool of domains
+    ({!Par}).  Results AND trace buffers come back in input order, and
+    buffers are committed to the tracer's sinks serially in that order —
+    so aggregates, counter totals and JSONL files are all identical to
+    the serial path. *)
+let run_suite ?(ctx = Ctx.default) config loops =
+  let pairs =
+    Par.map ~jobs:ctx.Ctx.jobs
+      (fun loop ->
+        let trace =
+          Hcrf_obs.Tracer.start ctx.Ctx.tracer ~label:(Loop.name loop)
+        in
+        (run_loop_traced ~ctx ~trace config loop, trace))
+      loops
+  in
+  List.filter_map
+    (fun (r, trace) ->
+      Hcrf_obs.Tracer.commit ctx.Ctx.tracer trace;
+      r)
+    pairs
+
+(** Traced parallel map for drivers that run the engine directly rather
+    than through [run_loop]: each work unit gets a trace labelled by
+    [label], threaded to [f], and committed in input order. *)
+let par_map ~(ctx : Ctx.t) ~label f items =
+  let pairs =
+    Par.map ~jobs:ctx.Ctx.jobs
+      (fun x ->
+        let trace =
+          Hcrf_obs.Tracer.start ctx.Ctx.tracer ~label:(label x)
+        in
+        (f ~trace x, trace))
+      items
+  in
+  List.map
+    (fun (r, trace) ->
+      Hcrf_obs.Tracer.commit ctx.Ctx.tracer trace;
+      r)
+    pairs
 
 let aggregate config results =
   Metrics.aggregate config (List.map (fun r -> r.perf) results)
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated pre-Ctx entry points                                     *)
+
+let run_loop_legacy ?(scenario = Ideal) ?(opts = Engine.default_options)
+    ?cache config loop =
+  run_loop ~ctx:(Ctx.make ~scenario ~opts ?cache ()) config loop
+
+let run_suite_legacy ?(scenario = Ideal) ?(opts = Engine.default_options)
+    ?cache ?(jobs = 1) config loops =
+  run_suite ~ctx:(Ctx.make ~scenario ~opts ?cache ~jobs ()) config loops

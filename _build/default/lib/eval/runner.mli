@@ -7,6 +7,31 @@ type memory_scenario =
       (** cache simulation, optionally with selective binding
           prefetching (§6.2) *)
 
+(** Everything one evaluation run needs, in one record: memory scenario,
+    engine options, schedule cache, worker count and tracer.  Build one
+    with {!Ctx.make} (or start from {!Ctx.default}) and pass it to every
+    runner call — the pre-Ctx per-call optional arguments survive only
+    as the deprecated [_legacy] entry points below. *)
+module Ctx : sig
+  type t = {
+    scenario : memory_scenario;
+    opts : Hcrf_sched.Engine.options;
+    cache : Hcrf_cache.Cache.t option;
+    jobs : int;
+    tracer : Hcrf_obs.Tracer.t;
+  }
+
+  (** Ideal memory, default engine options, no cache, serial, no
+      tracing. *)
+  val default : t
+
+  (** Each argument defaults to the {!default} field. *)
+  val make :
+    ?scenario:memory_scenario -> ?opts:Hcrf_sched.Engine.options ->
+    ?cache:Hcrf_cache.Cache.t -> ?jobs:int ->
+    ?tracer:Hcrf_obs.Tracer.t -> unit -> t
+end
+
 type loop_result = {
   loop : Hcrf_ir.Loop.t;
   outcome : Hcrf_sched.Engine.outcome;
@@ -20,33 +45,56 @@ val mem_refs :
   Hcrf_machine.Config.t -> Hcrf_ir.Loop.t -> Hcrf_sched.Engine.outcome ->
   override:(int -> int option) -> Hcrf_memsim.Sim.mem_ref list
 
+val scenario_tag : memory_scenario -> string
+
 (** Canonical cache key of one [run_loop] invocation: configuration,
-    loop, options and memory scenario.  [opts.load_override] is not
-    sampled — the runner derives the actual override from the scenario
-    and loop, both covered by the key. *)
+    loop, options and memory scenario.  Neither [opts.load_override]
+    (derived from scenario and loop, both covered) nor the tracer is
+    sampled — tracing must never change what is computed. *)
 val cache_key :
   scenario:memory_scenario -> opts:Hcrf_sched.Engine.options ->
   Hcrf_machine.Config.t -> Hcrf_ir.Loop.t -> Hcrf_cache.Fingerprint.t
 
 (** Schedule one loop (with escalating budget retries so aggregate
     metrics never silently drop loops); [None] only if every retry
-    failed.  With [?cache], outcomes are memoized by content-addressed
-    key; a hit replays the stored schedule and yields a byte-identical
-    result. *)
+    failed.  With a cache in [ctx], outcomes are memoized by
+    content-addressed key; a hit replays the stored schedule and yields
+    a byte-identical result.  The loop's trace buffer is committed to
+    [ctx.tracer] before returning. *)
 val run_loop :
-  ?scenario:memory_scenario -> ?opts:Hcrf_sched.Engine.options ->
-  ?cache:Hcrf_cache.Cache.t -> Hcrf_machine.Config.t -> Hcrf_ir.Loop.t ->
+  ?ctx:Ctx.t -> Hcrf_machine.Config.t -> Hcrf_ir.Loop.t ->
   loop_result option
 
-(** Schedule a whole suite.  [jobs] > 1 evaluates the loops on a pool of
-    domains ({!Par}); results are collected in input order, so every
-    aggregate is byte-identical to the serial ([jobs = 1], default)
-    path.  [?cache] is safe to share across the pool (mutex-protected)
-    and cannot change any result, warm or cold, at any job count. *)
+(** Schedule a whole suite.  [ctx.jobs] > 1 evaluates the loops on a
+    pool of domains ({!Par}); results and trace buffers are collected in
+    input order and buffers are committed serially in that order, so
+    aggregates, trace counter totals and JSONL trace files are all
+    byte-identical to the serial path, warm or cold cache alike. *)
 val run_suite :
-  ?scenario:memory_scenario -> ?opts:Hcrf_sched.Engine.options ->
-  ?cache:Hcrf_cache.Cache.t -> ?jobs:int -> Hcrf_machine.Config.t ->
-  Hcrf_ir.Loop.t list -> loop_result list
+  ?ctx:Ctx.t -> Hcrf_machine.Config.t -> Hcrf_ir.Loop.t list ->
+  loop_result list
+
+(** Traced parallel map for drivers that run the engine directly rather
+    than through {!run_loop}: each item gets a trace labelled by
+    [label], threaded to [f], and committed in input order. *)
+val par_map :
+  ctx:Ctx.t -> label:('a -> string) ->
+  (trace:Hcrf_obs.Trace.t -> 'a -> 'b) -> 'a list -> 'b list
 
 val aggregate :
   Hcrf_machine.Config.t -> loop_result list -> Metrics.aggregate
+
+(** Pre-Ctx entry points, kept byte-for-byte equivalent to building the
+    corresponding {!Ctx.t} — new code should pass [?ctx]. *)
+
+val run_loop_legacy :
+  ?scenario:memory_scenario -> ?opts:Hcrf_sched.Engine.options ->
+  ?cache:Hcrf_cache.Cache.t -> Hcrf_machine.Config.t -> Hcrf_ir.Loop.t ->
+  loop_result option
+[@@deprecated "use run_loop ?ctx (Runner.Ctx.make)"]
+
+val run_suite_legacy :
+  ?scenario:memory_scenario -> ?opts:Hcrf_sched.Engine.options ->
+  ?cache:Hcrf_cache.Cache.t -> ?jobs:int -> Hcrf_machine.Config.t ->
+  Hcrf_ir.Loop.t list -> loop_result list
+[@@deprecated "use run_suite ?ctx (Runner.Ctx.make)"]

@@ -1,0 +1,1 @@
+lib/obs/counters.ml: Event Filename Fmt Hashtbl List Option String

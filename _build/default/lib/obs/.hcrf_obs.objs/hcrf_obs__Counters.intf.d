@@ -1,0 +1,1 @@
+lib/obs/counters.mli: Event Format

@@ -1,0 +1,1 @@
+lib/obs/jsonl.ml: Buffer Char Event Fmt Fun List Option Printf Result String

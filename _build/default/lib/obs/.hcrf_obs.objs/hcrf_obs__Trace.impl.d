@@ -1,0 +1,1 @@
+lib/obs/trace.ml: Event Fun List Unix

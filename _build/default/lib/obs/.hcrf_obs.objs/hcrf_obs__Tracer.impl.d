@@ -1,0 +1,1 @@
+lib/obs/tracer.ml: Counters Fun Jsonl List Mutex Trace

@@ -1,0 +1,79 @@
+(** The [Counters] sink: deterministic per-suite event histograms.
+
+    Two tables are kept apart on purpose:
+
+    - [counts] holds event counts and event-derived magnitudes (e.g.
+      nodes inserted by spilling).  These depend only on *what work was
+      executed*, so — because {!Tracer.commit} replays per-work-unit
+      buffers in input order — they are identical at any job count.
+    - [timings] holds phase wall-clock sums in integer nanoseconds.
+      Integer sums also commute, so they too are independent of the
+      job count *within one run*, but wall-clock differs from run to
+      run; equality checks therefore cover [counts] only.
+
+    No internal lock: a [Counters.t] is only ever fed from
+    {!Tracer.commit}, which already serializes sink access. *)
+
+type t = {
+  counts : (string, int) Hashtbl.t;
+  timings : (string, int) Hashtbl.t;
+}
+
+let create () = { counts = Hashtbl.create 32; timings = Hashtbl.create 8 }
+
+let bump tbl key n =
+  Hashtbl.replace tbl key (n + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let add t ev =
+  bump t.counts (Event.key ev) 1;
+  match ev with
+  | Event.Spill_insert { kind; inserted } ->
+    bump t.counts ("spill." ^ Event.spill_name kind ^ ".nodes") inserted
+  | Event.Phase { phase; ns } ->
+    bump t.timings ("phase." ^ Event.phase_name phase) ns
+  | Event.II_try _ | Event.Place _ | Event.Eject _ | Event.Comm_insert _
+  | Event.Regalloc_fail _ | Event.Budget_escalate _ | Event.Cache _ ->
+    ()
+
+let add_all t evs = List.iter (add t) evs
+
+let sorted tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(** Deterministic counters, sorted by key — hash-table iteration order
+    never reaches the output. *)
+let counts t = sorted t.counts
+
+(** Phase wall-clock sums in nanoseconds, sorted by key. *)
+let timings t = sorted t.timings
+
+let total_events t =
+  (* phase keys count span events; derived ".nodes" keys are
+     magnitudes, not events *)
+  Hashtbl.fold
+    (fun k v acc ->
+      if Filename.check_suffix k ".nodes" then acc else acc + v)
+    t.counts 0
+
+(** Counts-only equality: the determinism contract (identical at
+    jobs=1 and jobs=4, warm or cold — see the module header). *)
+let equal_counts a b = counts a = counts b
+
+let pp ppf t =
+  match counts t with
+  | [] -> Fmt.pf ppf "(no events)"
+  | kvs ->
+    Fmt.pf ppf "%a"
+      Fmt.(list ~sep:(any " ") (fun ppf (k, v) -> Fmt.pf ppf "%s=%d" k v))
+      kvs
+
+let pp_timings ppf t =
+  match timings t with
+  | [] -> Fmt.pf ppf "(no spans)"
+  | kvs ->
+    Fmt.pf ppf "%a"
+      Fmt.(
+        list ~sep:(any " ") (fun ppf (k, ns) ->
+            Fmt.pf ppf "%s=%.1fms" k (float_of_int ns /. 1e6)))
+      kvs

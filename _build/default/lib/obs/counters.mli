@@ -1,0 +1,37 @@
+(** The [Counters] sink: deterministic per-suite event histograms.
+
+    Event counts (and event-derived magnitudes such as nodes inserted
+    by spilling) depend only on what work was executed, so they are
+    identical at any job count; phase wall-clock sums are kept in a
+    separate table of integer nanoseconds and excluded from equality.
+    All output is sorted by key — hash-table iteration order never
+    reaches the output.
+
+    No internal lock: a [Counters.t] is only ever fed from
+    {!Tracer.commit}, which already serializes sink access. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Event.t -> unit
+val add_all : t -> Event.t list -> unit
+
+(** Deterministic counters, sorted by key. *)
+val counts : t -> (string * int) list
+
+(** Phase wall-clock sums in nanoseconds, sorted by key. *)
+val timings : t -> (string * int) list
+
+(** Total number of counted events (derived magnitude keys excluded). *)
+val total_events : t -> int
+
+(** Counts-only equality: the determinism contract. *)
+val equal_counts : t -> t -> bool
+
+(** Sorted ["key=count"] rendering of {!counts}. *)
+val pp : Format.formatter -> t -> unit
+
+(** Sorted ["key=12.3ms"] rendering of {!timings} (wall-clock: varies
+    run to run — keep it out of byte-compared output). *)
+val pp_timings : Format.formatter -> t -> unit

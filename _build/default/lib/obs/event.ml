@@ -1,0 +1,95 @@
+(** Typed scheduler/runner trace events — the [hcrf_obs] taxonomy.
+
+    Events are plain data: no closures and no references into scheduler
+    state, so a recorded trace can be buffered per work unit, replayed
+    into any sink in a deterministic order, and serialized. *)
+
+type comm = Store_r | Load_r | Move
+type cache_op = Hit | Miss | Store
+type spill = Value | Invariant
+type phase = Mii | Order | Schedule | Regalloc | Memsim
+
+type t =
+  | II_try of int  (** one attempt of the II search starts at this II *)
+  | Place of { node : int; cycle : int; cluster : int }
+      (** node committed to the partial schedule ([cluster] = -1 for the
+          shared/global location) *)
+  | Eject of { node : int }  (** node descheduled by backtracking *)
+  | Spill_insert of { kind : spill; inserted : int }
+      (** one spill decision; [inserted] fresh nodes entered the graph *)
+  | Comm_insert of comm  (** fresh StoreR / LoadR / Move routed in *)
+  | Regalloc_fail of { bank : string }
+      (** explicit rotating allocation failed for this bank *)
+  | Budget_escalate of { rung : int }
+      (** the runner's escalation ladder re-ran the engine (rung 1, 2) *)
+  | Cache of cache_op  (** schedule-cache lookup or store *)
+  | Phase of { phase : phase; ns : int }
+      (** a timed span of one pipeline phase, in integer nanoseconds *)
+
+let comm_name = function
+  | Store_r -> "store_r"
+  | Load_r -> "load_r"
+  | Move -> "move"
+
+let comm_of_name = function
+  | "store_r" -> Some Store_r
+  | "load_r" -> Some Load_r
+  | "move" -> Some Move
+  | _ -> None
+
+let cache_op_name = function Hit -> "hit" | Miss -> "miss" | Store -> "store"
+
+let cache_op_of_name = function
+  | "hit" -> Some Hit
+  | "miss" -> Some Miss
+  | "store" -> Some Store
+  | _ -> None
+
+let spill_name = function Value -> "value" | Invariant -> "invariant"
+
+let spill_of_name = function
+  | "value" -> Some Value
+  | "invariant" -> Some Invariant
+  | _ -> None
+
+let phase_name = function
+  | Mii -> "mii"
+  | Order -> "order"
+  | Schedule -> "schedule"
+  | Regalloc -> "regalloc"
+  | Memsim -> "memsim"
+
+let phase_of_name = function
+  | "mii" -> Some Mii
+  | "order" -> Some Order
+  | "schedule" -> Some Schedule
+  | "regalloc" -> Some Regalloc
+  | "memsim" -> Some Memsim
+  | _ -> None
+
+(** Stable counter key of an event; phase spans share one key per phase
+    (their durations are accumulated separately by {!Counters}). *)
+let key = function
+  | II_try _ -> "ii_try"
+  | Place _ -> "place"
+  | Eject _ -> "eject"
+  | Spill_insert { kind; _ } -> "spill." ^ spill_name kind
+  | Comm_insert c -> "comm." ^ comm_name c
+  | Regalloc_fail _ -> "regalloc.fail"
+  | Budget_escalate _ -> "budget.escalate"
+  | Cache op -> "cache." ^ cache_op_name op
+  | Phase { phase; _ } -> "phase." ^ phase_name phase
+
+let pp ppf = function
+  | II_try ii -> Fmt.pf ppf "ii_try ii=%d" ii
+  | Place { node; cycle; cluster } ->
+    Fmt.pf ppf "place node=%d cycle=%d cluster=%d" node cycle cluster
+  | Eject { node } -> Fmt.pf ppf "eject node=%d" node
+  | Spill_insert { kind; inserted } ->
+    Fmt.pf ppf "spill_insert kind=%s inserted=%d" (spill_name kind) inserted
+  | Comm_insert c -> Fmt.pf ppf "comm_insert kind=%s" (comm_name c)
+  | Regalloc_fail { bank } -> Fmt.pf ppf "regalloc_fail bank=%s" bank
+  | Budget_escalate { rung } -> Fmt.pf ppf "budget_escalate rung=%d" rung
+  | Cache op -> Fmt.pf ppf "cache op=%s" (cache_op_name op)
+  | Phase { phase; ns } ->
+    Fmt.pf ppf "phase phase=%s ns=%d" (phase_name phase) ns

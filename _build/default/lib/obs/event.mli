@@ -1,0 +1,43 @@
+(** Typed scheduler/runner trace events — the [hcrf_obs] taxonomy.
+
+    Events are plain data: no closures and no references into scheduler
+    state, so a recorded trace can be buffered per work unit, replayed
+    into any sink in a deterministic order, and serialized. *)
+
+type comm = Store_r | Load_r | Move
+type cache_op = Hit | Miss | Store
+type spill = Value | Invariant
+type phase = Mii | Order | Schedule | Regalloc | Memsim
+
+type t =
+  | II_try of int  (** one attempt of the II search starts at this II *)
+  | Place of { node : int; cycle : int; cluster : int }
+      (** node committed to the partial schedule ([cluster] = -1 for the
+          shared/global location) *)
+  | Eject of { node : int }  (** node descheduled by backtracking *)
+  | Spill_insert of { kind : spill; inserted : int }
+      (** one spill decision; [inserted] fresh nodes entered the graph *)
+  | Comm_insert of comm  (** fresh StoreR / LoadR / Move routed in *)
+  | Regalloc_fail of { bank : string }
+      (** explicit rotating allocation failed for this bank *)
+  | Budget_escalate of { rung : int }
+      (** the runner's escalation ladder re-ran the engine (rung 1, 2) *)
+  | Cache of cache_op  (** schedule-cache lookup or store *)
+  | Phase of { phase : phase; ns : int }
+      (** a timed span of one pipeline phase, in integer nanoseconds *)
+
+val comm_name : comm -> string
+val comm_of_name : string -> comm option
+val cache_op_name : cache_op -> string
+val cache_op_of_name : string -> cache_op option
+val spill_name : spill -> string
+val spill_of_name : string -> spill option
+val phase_name : phase -> string
+val phase_of_name : string -> phase option
+
+(** Stable counter key of an event ("place", "comm.store_r",
+    "cache.hit", "phase.mii", ...); phase spans share one key per phase
+    — their durations are accumulated separately by {!Counters}. *)
+val key : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,318 @@
+(** The [Jsonl] sink: one JSON object per line, one file per run.
+
+    Line 1 is a versioned header ([{"schema":"hcrf-trace","version":1}]);
+    every following line is one event tagged with the label of the work
+    unit that produced it.  Events reach {!write} only through
+    {!Tracer.commit}, which serializes per-work-unit buffers in input
+    order — so a [jobs > 1] run produces the same file as a serial one.
+
+    The module is also its own schema checker: {!validate_file} and
+    {!read_file} accept exactly the language {!write} emits (flat
+    objects, string and integer values, the exact field set of each
+    event kind) and reject anything else. *)
+
+let schema_name = "hcrf-trace"
+let version = 1
+
+type value = S of string | I of int
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+
+let add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let render_fields fields =
+  let b = Buffer.create 80 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '"';
+      add_escaped b k;
+      Buffer.add_string b "\":";
+      match v with
+      | I n -> Buffer.add_string b (string_of_int n)
+      | S s ->
+        Buffer.add_char b '"';
+        add_escaped b s;
+        Buffer.add_char b '"')
+    fields;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* Payload fields of each event kind, in a stable order. *)
+let payload (ev : Event.t) =
+  match ev with
+  | Event.II_try ii -> ("ii_try", [ ("ii", I ii) ])
+  | Event.Place { node; cycle; cluster } ->
+    ("place", [ ("node", I node); ("cycle", I cycle); ("cluster", I cluster) ])
+  | Event.Eject { node } -> ("eject", [ ("node", I node) ])
+  | Event.Spill_insert { kind; inserted } ->
+    ( "spill_insert",
+      [ ("kind", S (Event.spill_name kind)); ("inserted", I inserted) ] )
+  | Event.Comm_insert c -> ("comm_insert", [ ("kind", S (Event.comm_name c)) ])
+  | Event.Regalloc_fail { bank } -> ("regalloc_fail", [ ("bank", S bank) ])
+  | Event.Budget_escalate { rung } -> ("budget_escalate", [ ("rung", I rung) ])
+  | Event.Cache op -> ("cache", [ ("op", S (Event.cache_op_name op)) ])
+  | Event.Phase { phase; ns } ->
+    ("phase", [ ("phase", S (Event.phase_name phase)); ("ns", I ns) ])
+
+let line_of_event ~label ev =
+  let kind, fields = payload ev in
+  render_fields (("loop", S label) :: ("ev", S kind) :: fields)
+
+let header_line =
+  render_fields [ ("schema", S schema_name); ("version", I version) ]
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+
+type t = { path : string; oc : out_channel; mutable written : int }
+
+let create path =
+  let oc = open_out path in
+  output_string oc header_line;
+  output_char oc '\n';
+  { path; oc; written = 0 }
+
+let write t ~label ev =
+  output_string t.oc (line_of_event ~label ev);
+  output_char t.oc '\n';
+  t.written <- t.written + 1
+
+let close t =
+  flush t.oc;
+  close_out t.oc
+
+let path t = t.path
+let written t = t.written
+
+(* ------------------------------------------------------------------ *)
+(* Parsing / schema validation                                         *)
+
+exception Bad of string
+
+let parse_object line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Fmt.str "%s at column %d" msg (!pos + 1))) in
+  let peek () = if !pos < n then line.[!pos] else fail "unexpected end" in
+  let advance () = incr pos in
+  let expect c =
+    if peek () = c then advance () else fail (Fmt.str "expected %C" c)
+  in
+  let skip_ws () =
+    while !pos < n && line.[!pos] = ' ' do
+      incr pos
+    done
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      let c = peek () in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents b
+      | '\\' ->
+        let e = peek () in
+        advance ();
+        (match e with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'u' ->
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let hex = String.sub line !pos 4 in
+          pos := !pos + 4;
+          (match int_of_string_opt ("0x" ^ hex) with
+          | Some code when code < 128 -> Buffer.add_char b (Char.chr code)
+          | Some _ | None -> fail "unsupported \\u escape")
+        | _ -> fail "bad escape");
+        go ()
+      | c when Char.code c < 32 -> fail "raw control character in string"
+      | c ->
+        Buffer.add_char b c;
+        go ()
+    in
+    go ()
+  in
+  let parse_int () =
+    let start = !pos in
+    if !pos < n && line.[!pos] = '-' then advance ();
+    while !pos < n && line.[!pos] >= '0' && line.[!pos] <= '9' do
+      advance ()
+    done;
+    match int_of_string_opt (String.sub line start (!pos - start)) with
+    | Some i -> i
+    | None -> fail "expected an integer"
+  in
+  skip_ws ();
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  if peek () = '}' then advance ()
+  else begin
+    let rec pairs () =
+      skip_ws ();
+      let k = parse_string () in
+      skip_ws ();
+      expect ':';
+      skip_ws ();
+      let v = if peek () = '"' then S (parse_string ()) else I (parse_int ()) in
+      if List.mem_assoc k !fields then fail (Fmt.str "duplicate key %S" k);
+      fields := (k, v) :: !fields;
+      skip_ws ();
+      match peek () with
+      | ',' ->
+        advance ();
+        pairs ()
+      | '}' -> advance ()
+      | _ -> fail "expected ',' or '}'"
+    in
+    pairs ()
+  end;
+  skip_ws ();
+  if !pos <> n then fail "trailing characters after object";
+  List.rev !fields
+
+let event_of_line line : (string * Event.t, string) result =
+  match parse_object line with
+  | exception Bad m -> Error m
+  | fields -> (
+    let str k =
+      match List.assoc_opt k fields with Some (S v) -> Some v | _ -> None
+    in
+    let int k =
+      match List.assoc_opt k fields with Some (I v) -> Some v | _ -> None
+    in
+    let exact expected =
+      let got = List.sort String.compare (List.map fst fields) in
+      let want = List.sort String.compare ("loop" :: "ev" :: expected) in
+      if got = want then Ok ()
+      else
+        Error
+          (Fmt.str "field set [%s] does not match the schema"
+             (String.concat "," got))
+    in
+    let ( let* ) = Result.bind in
+    match (str "ev", str "loop") with
+    | None, _ -> Error "missing or non-string \"ev\" field"
+    | _, None -> Error "missing or non-string \"loop\" field"
+    | Some ev, Some label -> (
+      let need_int name k =
+        match int name with
+        | Some v -> Ok v
+        | None -> Error (Fmt.str "%s: missing integer %S" k name)
+      in
+      let need_enum name of_name k =
+        match Option.bind (str name) of_name with
+        | Some v -> Ok v
+        | None -> Error (Fmt.str "%s: bad %S value" k name)
+      in
+      match ev with
+      | "ii_try" ->
+        let* () = exact [ "ii" ] in
+        let* ii = need_int "ii" ev in
+        Ok (label, Event.II_try ii)
+      | "place" ->
+        let* () = exact [ "node"; "cycle"; "cluster" ] in
+        let* node = need_int "node" ev in
+        let* cycle = need_int "cycle" ev in
+        let* cluster = need_int "cluster" ev in
+        Ok (label, Event.Place { node; cycle; cluster })
+      | "eject" ->
+        let* () = exact [ "node" ] in
+        let* node = need_int "node" ev in
+        Ok (label, Event.Eject { node })
+      | "spill_insert" ->
+        let* () = exact [ "kind"; "inserted" ] in
+        let* kind = need_enum "kind" Event.spill_of_name ev in
+        let* inserted = need_int "inserted" ev in
+        Ok (label, Event.Spill_insert { kind; inserted })
+      | "comm_insert" ->
+        let* () = exact [ "kind" ] in
+        let* kind = need_enum "kind" Event.comm_of_name ev in
+        Ok (label, Event.Comm_insert kind)
+      | "regalloc_fail" ->
+        let* () = exact [ "bank" ] in
+        let* bank =
+          match str "bank" with
+          | Some b -> Ok b
+          | None -> Error "regalloc_fail: missing string \"bank\""
+        in
+        Ok (label, Event.Regalloc_fail { bank })
+      | "budget_escalate" ->
+        let* () = exact [ "rung" ] in
+        let* rung = need_int "rung" ev in
+        Ok (label, Event.Budget_escalate { rung })
+      | "cache" ->
+        let* () = exact [ "op" ] in
+        let* op = need_enum "op" Event.cache_op_of_name ev in
+        Ok (label, Event.Cache op)
+      | "phase" ->
+        let* () = exact [ "phase"; "ns" ] in
+        let* phase = need_enum "phase" Event.phase_of_name ev in
+        let* ns = need_int "ns" ev in
+        Ok (label, Event.Phase { phase; ns })
+      | other -> Error (Fmt.str "unknown event kind %S" other)))
+
+let check_header line =
+  match parse_object line with
+  | exception Bad m -> Error m
+  | fields -> (
+    match
+      (List.assoc_opt "schema" fields, List.assoc_opt "version" fields)
+    with
+    | Some (S s), Some (I v) when s = schema_name && v = version ->
+      if List.length fields = 2 then Ok ()
+      else Error "header carries unexpected fields"
+    | Some (S s), Some (I v) ->
+      Error (Fmt.str "header %s/%d, expected %s/%d" s v schema_name version)
+    | _ -> Error "malformed header (need \"schema\" and \"version\")")
+
+let fold_lines path ~init ~f =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go lineno acc =
+        match input_line ic with
+        | exception End_of_file -> Ok acc
+        | line -> (
+          match f lineno acc line with
+          | Ok acc -> go (lineno + 1) acc
+          | Error m -> Error (Fmt.str "%s:%d: %s" path lineno m))
+      in
+      go 1 init)
+
+(** Read a whole trace file back as [(label, event)] pairs in file
+    order; [Error] pinpoints the first offending line. *)
+let read_file path =
+  match
+    fold_lines path ~init:[] ~f:(fun lineno acc line ->
+        if lineno = 1 then Result.map (fun () -> acc) (check_header line)
+        else Result.map (fun ev -> ev :: acc) (event_of_line line))
+  with
+  | Ok rev -> Ok (List.rev rev)
+  | Error _ as e -> e
+  | exception Sys_error m -> Error m
+
+(** Schema check of a whole file: [Ok n] with the number of events, or
+    the first violation. *)
+let validate_file path = Result.map List.length (read_file path)

@@ -1,1 +1,1 @@
-lib/sched/engine.ml: Cap Config Ddg Dep Hashtbl Hcrf_ir Hcrf_machine Latency Lazy Lifetimes List Logs Mii Mrt Op Option Order Pqueue Regalloc Rf Schedule Topology Unix
+lib/sched/engine.ml: Cap Config Ddg Dep Hashtbl Hcrf_ir Hcrf_machine Hcrf_obs Latency Lazy Lifetimes List Logs Mii Mrt Op Option Order Pqueue Regalloc Rf Schedule Topology Unix

@@ -1,1 +1,1 @@
-lib/sched/engine.mli: Hcrf_ir Hcrf_machine Mii Schedule Topology
+lib/sched/engine.mli: Hcrf_ir Hcrf_machine Hcrf_obs Mii Schedule Topology

@@ -1,1 +1,1 @@
-lib/sched/mii.ml: Array Cap Config Ddg Fmt Hashtbl Hcrf_ir Hcrf_machine Latencies Latency List Rf Scc
+lib/sched/mii.ml: Array Cap Config Ddg Fmt Hashtbl Hcrf_ir Hcrf_machine Hcrf_obs Latencies Latency List Rf Scc

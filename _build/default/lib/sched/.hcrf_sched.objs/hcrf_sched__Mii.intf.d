@@ -1,1 +1,1 @@
-lib/sched/mii.mli: Format Hcrf_ir Hcrf_machine Latency
+lib/sched/mii.mli: Format Hcrf_ir Hcrf_machine Hcrf_obs Latency

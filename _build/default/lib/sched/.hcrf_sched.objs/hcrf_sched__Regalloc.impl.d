@@ -1,1 +1,1 @@
-lib/sched/regalloc.ml: Hcrf_ir Hcrf_machine Lifetimes List Schedule Topology
+lib/sched/regalloc.ml: Fmt Hcrf_ir Hcrf_machine Hcrf_obs Lifetimes List Schedule Topology

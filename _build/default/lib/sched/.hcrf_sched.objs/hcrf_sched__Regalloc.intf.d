@@ -1,1 +1,1 @@
-lib/sched/regalloc.mli: Hcrf_ir Hcrf_machine Lifetimes Schedule Topology
+lib/sched/regalloc.mli: Hcrf_ir Hcrf_machine Hcrf_obs Lifetimes Schedule Topology

@@ -30,6 +30,8 @@
 
 open Hcrf_ir
 open Hcrf_machine
+module Tr = Hcrf_obs.Trace
+module Ev = Hcrf_obs.Event
 
 type options = {
   budget_ratio : int;
@@ -100,6 +102,7 @@ type state = {
   opts : options;
   n0 : int;  (** nodes in the original graph, for the growth cap *)
   st : mstats;
+  trace : Tr.t;
 }
 
 (* Safety net: spilling must not grow the graph without bound (the paper
@@ -185,6 +188,7 @@ let rec eject s v =
   if Schedule.is_scheduled s.sched v then begin
     Schedule.unplace s.sched v;
     s.st.m_ejections <- s.st.m_ejections + 1;
+    if Tr.enabled s.trace then Tr.emit s.trace (Ev.Eject { node = v });
     let loc_bound =
       List.filter_map
         (fun (e : Ddg.edge) ->
@@ -206,6 +210,13 @@ let rec eject s v =
 
 (* ------------------------------------------------------------------ *)
 (* Core placement with force-and-eject                                 *)
+
+let emit_place s v ~cycle ~loc =
+  if Tr.enabled s.trace then
+    let cluster =
+      match loc with Topology.Cluster i -> i | Topology.Global -> -1
+    in
+    Tr.emit s.trace (Ev.Place { node = v; cycle; cluster })
 
 let schedule_node s v ~loc =
   if
@@ -280,6 +291,7 @@ let schedule_node s v ~loc =
   match found with
   | Some cycle ->
     Schedule.place s.sched s.g v ~cycle ~loc;
+    emit_place s v ~cycle ~loc;
     Hashtbl.remove s.last_force v
   | None ->
     if not s.opts.backtracking then raise Attempt_failed;
@@ -309,6 +321,7 @@ let schedule_node s v ~loc =
     clear ();
     if Schedule.can_place s.sched s.g v ~cycle ~loc then begin
       Schedule.place s.sched s.g v ~cycle ~loc;
+      emit_place s v ~cycle ~loc;
       List.iter (eject s)
         (Schedule.dependence_violations s.sched s.g v ~cycle)
     end
@@ -431,6 +444,13 @@ let apply_plan s ~anchor (edge : Ddg.edge) plan =
         set_prio s n (prio_of s anchor -. 0.25);
         add_aux s ~anchor n;
         s.st.m_comm_inserted <- s.st.m_comm_inserted + 1;
+        if Tr.enabled s.trace then
+          (match k with
+          | Op.Move -> Some Ev.Move
+          | Op.Store_r -> Some Ev.Store_r
+          | Op.Load_r -> Some Ev.Load_r
+          | _ -> None)
+          |> Option.iter (fun c -> Tr.emit s.trace (Ev.Comm_insert c));
         fresh := (n, loc) :: !fresh;
         cur := n)
     plan.steps;
@@ -742,6 +762,8 @@ let spill_value s ~bank d =
   Hashtbl.replace s.spilled d ();
   s.st.m_value_spills <- s.st.m_value_spills + 1;
   s.budget <- s.budget + (s.ratio * !fresh);
+  if Tr.enabled s.trace then
+    Tr.emit s.trace (Ev.Spill_insert { kind = Ev.Value; inserted = !fresh });
   !fresh
 
 (* Demote an invariant out of [bank]: every scheduled consumer reading
@@ -781,6 +803,9 @@ let spill_invariant s ~bank (inv : Ddg.invariant) =
   Hashtbl.replace s.inv_spilled (inv.inv_id, bank_code bank) ();
   s.st.m_invariant_spills <- s.st.m_invariant_spills + 1;
   s.budget <- s.budget + (s.ratio * !fresh);
+  if Tr.enabled s.trace then
+    Tr.emit s.trace
+      (Ev.Spill_insert { kind = Ev.Invariant; inserted = !fresh });
   !fresh
 
 let spillable_def s ~bank d =
@@ -976,23 +1001,27 @@ let pressure_ok s =
 (* Explicit rotating allocation per bank, with capacity reduced by the
    invariant residents. *)
 let allocation_failure s =
-  let ii = Schedule.ii s.sched in
-  let lts = Lifetimes.of_schedule s.sched s.g in
-  List.fold_left
-    (fun acc bank ->
-      match acc with
-      | Some _ -> acc
-      | None -> (
-        match Topology.bank_capacity s.config bank with
-        | Cap.Inf -> None
-        | Cap.Finite cap -> (
-          let capacity =
-            Cap.Finite (max 0 (cap - invariant_residents s bank))
-          in
-          match Regalloc.allocate_bank ~ii ~bank ~capacity lts with
-          | Some _ -> None
-          | None -> Some bank)))
-    None (banks_of_config s.config)
+  Tr.span s.trace Ev.Regalloc (fun () ->
+      let ii = Schedule.ii s.sched in
+      let lts = Lifetimes.of_schedule s.sched s.g in
+      List.fold_left
+        (fun acc bank ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+            match Topology.bank_capacity s.config bank with
+            | Cap.Inf -> None
+            | Cap.Finite cap -> (
+              let capacity =
+                Cap.Finite (max 0 (cap - invariant_residents s bank))
+              in
+              match
+                Regalloc.allocate_bank ~trace:s.trace ~ii ~bank ~capacity
+                  lts
+              with
+              | Some _ -> None
+              | None -> Some bank)))
+        None (banks_of_config s.config))
 
 let all_scheduled s =
   List.for_all (fun v -> Schedule.is_scheduled s.sched v) (Ddg.nodes s.g)
@@ -1000,7 +1029,7 @@ let all_scheduled s =
 (* ------------------------------------------------------------------ *)
 (* One attempt at a given II                                           *)
 
-let attempt config opts g0 ~order ~ii =
+let attempt config opts g0 ~order ~ii ~trace =
   let g = Ddg.copy g0 in
   let lat = Latency.make ~override:opts.load_override config in
   let s =
@@ -1028,6 +1057,7 @@ let attempt config opts g0 ~order ~ii =
           m_comm_inserted = 0;
           m_attempts = 0;
         };
+      trace;
     }
   in
   List.iteri (fun i v -> set_prio s v (float_of_int i)) order;
@@ -1102,27 +1132,31 @@ let attempt config opts g0 ~order ~ii =
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
-let schedule ?(opts = default_options) (config : Config.t) (g0 : Ddg.t) :
-    (outcome, error) result =
+let schedule ?(opts = default_options) ?(trace = Tr.off) (config : Config.t)
+    (g0 : Ddg.t) : (outcome, error) result =
   let t0 = Unix.gettimeofday () in
   let lat = Latency.make ~override:opts.load_override config in
-  let mii = Mii.compute ~lat config g0 in
+  let mii = Mii.compute ~trace ~lat config g0 in
   let max_ii =
     match opts.max_ii with Some m -> m | None -> max (4 * mii) (mii + 128)
   in
   (* the priority order does not depend on II: compute it once *)
   let order =
-    match opts.ordering with
-    | `Hrms -> Order.compute ~lat config g0
-    | `Topological ->
-      let asap, _ = Order.asap_alap lat g0 in
-      List.sort (fun a b -> compare (asap a, a) (asap b, b)) (Ddg.nodes g0)
+    Tr.span trace Ev.Order (fun () ->
+        match opts.ordering with
+        | `Hrms -> Order.compute ~lat config g0
+        | `Topological ->
+          let asap, _ = Order.asap_alap lat g0 in
+          List.sort
+            (fun a b -> compare (asap a, a) (asap b, b))
+            (Ddg.nodes g0))
   in
   let restarts = ref 0 in
   let rec search ii =
     if ii > max_ii then Error (`No_schedule ii)
-    else
-      match attempt config opts g0 ~order ~ii with
+    else begin
+      if Tr.enabled trace then Tr.emit trace (Ev.II_try ii);
+      match attempt config opts g0 ~order ~ii ~trace with
       | Some s ->
         let seconds = Unix.gettimeofday () -. t0 in
         let bounds = Mii.bounds ~lat:s.lat config s.g in
@@ -1154,5 +1188,6 @@ let schedule ?(opts = default_options) (config : Config.t) (g0 : Ddg.t) :
            converge in reasonable time — the first 8 steps are faithful *)
         let step = if !restarts <= 8 then 1 else max 1 (ii / 8) in
         search (ii + step)
+    end
   in
-  search mii
+  Tr.span trace Ev.Schedule (fun () -> search mii)

@@ -140,4 +140,6 @@ let bounds ?(lat : Latency.t option) (config : Config.t) (g : Ddg.t) =
   let fu, mem, comm = res_mii config g in
   { fu; mem; comm; rec_ = rec_mii lat g }
 
-let compute ?lat config g = max 1 (mii (bounds ?lat config g))
+let compute ?(trace = Hcrf_obs.Trace.off) ?lat config g =
+  Hcrf_obs.Trace.span trace Hcrf_obs.Event.Mii (fun () ->
+      max 1 (mii (bounds ?lat config g)))

@@ -30,9 +30,16 @@ let overlaps c (s1, len1) (s2, len2) =
   within s1 len1 s2 || within s2 len2 s1
 
 (** Allocate the lifetimes of one bank.  Returns [None] when [capacity]
-    (if finite) is exceeded. *)
-let allocate_bank ~ii ~(bank : Topology.bank) ~capacity
-    (lts : Lifetimes.lifetime list) =
+    (if finite) is exceeded; a failure is reported on [trace]. *)
+let allocate_bank ?(trace = Hcrf_obs.Trace.off) ~ii
+    ~(bank : Topology.bank) ~capacity (lts : Lifetimes.lifetime list) =
+  let fail () =
+    if Hcrf_obs.Trace.enabled trace then
+      Hcrf_obs.Trace.emit trace
+        (Hcrf_obs.Event.Regalloc_fail
+           { bank = Fmt.str "%a" Topology.pp_bank bank });
+    None
+  in
   let lts =
     List.filter
       (fun (l : Lifetimes.lifetime) ->
@@ -86,11 +93,11 @@ let allocate_bank ~ii ~(bank : Topology.bank) ~capacity
       end
     in
     match try_wheel lower with
-    | None -> None
+    | None -> fail ()
     | Some (r, map) ->
       if Hcrf_machine.Cap.fits r capacity then
         Some { bank; registers_used = r; map }
-      else None
+      else fail ()
   end
 
 (** Allocate every bank of a complete schedule.  Returns the assignment

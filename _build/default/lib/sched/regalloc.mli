@@ -20,11 +20,13 @@ type assignment = {
 }
 
 (** Allocate the lifetimes of one bank; [None] when [capacity] (if
-    finite) is exceeded.  Zero-span lifetimes flow through the bypass
+    finite) is exceeded, in which case a [Regalloc_fail] event is
+    reported on [trace].  Zero-span lifetimes flow through the bypass
     and receive no register. *)
 val allocate_bank :
-  ii:int -> bank:Topology.bank -> capacity:Hcrf_machine.Cap.t ->
-  Lifetimes.lifetime list -> assignment option
+  ?trace:Hcrf_obs.Trace.t -> ii:int -> bank:Topology.bank ->
+  capacity:Hcrf_machine.Cap.t -> Lifetimes.lifetime list ->
+  assignment option
 
 (** Allocate every bank of a complete schedule; [Error bank] names the
     first bank that does not fit. *)

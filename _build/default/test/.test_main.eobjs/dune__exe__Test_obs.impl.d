@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Counters Env Event Filename Fmt Fun Hcrf_cache Hcrf_eval Hcrf_model Hcrf_obs Hcrf_workload Jsonl Lazy List Marshal Metrics Option Par Result Runner String Sys Tracer Unix

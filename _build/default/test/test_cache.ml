@@ -200,11 +200,12 @@ let test_warm_cold_identical () =
     (fun name ->
       let config = Hcrf_model.Presets.published name in
       let uncached =
-        Runner.aggregate config (Runner.run_suite ~jobs:1 config suite)
+        Runner.aggregate config (Runner.run_suite config suite)
       in
       let cache = Cache.create () in
       let cached jobs =
-        Runner.aggregate config (Runner.run_suite ~cache ~jobs config suite)
+        let ctx = Runner.Ctx.make ~cache ~jobs () in
+        Runner.aggregate config (Runner.run_suite ~ctx config suite)
       in
       let cold = cached 1 in
       check (name ^ ": cold cached run equals the uncached run") true
@@ -220,8 +221,12 @@ let test_warm_cold_identical () =
             (Fmt.str "%s jobs=%d: printed aggregates identical" name jobs)
             true
             (String.equal
-               (Fmt.str "%a" (Metrics.pp_aggregate ?cache:None) uncached)
-               (Fmt.str "%a" (Metrics.pp_aggregate ?cache:None) warm)))
+               (Fmt.str "%a"
+                  (Metrics.pp_aggregate ?cache:None ?trace:None)
+                  uncached)
+               (Fmt.str "%a"
+                  (Metrics.pp_aggregate ?cache:None ?trace:None)
+                  warm)))
         [ 1; 4 ];
       let s = Cache.stats cache in
       check_int (name ^ ": one miss per loop") 10 s.Cache.misses;
@@ -234,12 +239,13 @@ let test_warm_cold_identical_real_memory () =
   let config = Hcrf_model.Presets.published "4C32S16" in
   let scenario = Runner.Real { prefetch = false } in
   let uncached =
-    Runner.aggregate config (Runner.run_suite ~scenario ~jobs:1 config suite)
+    let ctx = Runner.Ctx.make ~scenario () in
+    Runner.aggregate config (Runner.run_suite ~ctx config suite)
   in
   let cache = Cache.create () in
   let run () =
-    Runner.aggregate config
-      (Runner.run_suite ~scenario ~cache ~jobs:4 config suite)
+    let ctx = Runner.Ctx.make ~scenario ~cache ~jobs:4 () in
+    Runner.aggregate config (Runner.run_suite ~ctx config suite)
   in
   let cold = run () in
   let warm = run () in
@@ -262,10 +268,11 @@ let prop_replay_validates =
           (List.nth presets (i mod List.length presets))
       in
       let cache = Cache.create () in
-      match Runner.run_loop ~cache config l with
+      let ctx = Runner.Ctx.make ~cache () in
+      match Runner.run_loop ~ctx config l with
       | None -> QCheck.assume_fail () (* nothing cached to replay *)
       | Some _ -> (
-        match Runner.run_loop ~cache config l with
+        match Runner.run_loop ~ctx config l with
         | None -> false
         | Some r ->
           let o = r.Runner.outcome in
@@ -306,12 +313,12 @@ let test_disk_roundtrip () =
   let config = Hcrf_model.Presets.published "4C32" in
   let c1 = Cache.create ~dir () in
   Alcotest.(check (option string)) "directory in use" (Some dir) (Cache.dir c1);
-  let r1 = Runner.run_loop ~cache:c1 config l in
+  let r1 = Runner.run_loop ~ctx:(Runner.Ctx.make ~cache:c1 ()) config l in
   check "scheduled" true (r1 <> None);
   check_int "one entry file on disk" 1 (List.length (entry_files dir));
   (* a fresh cache instance sees the entry through the store *)
   let c2 = Cache.create ~dir () in
-  let r2 = Runner.run_loop ~cache:c2 config l in
+  let r2 = Runner.run_loop ~ctx:(Runner.Ctx.make ~cache:c2 ()) config l in
   let s2 = Cache.stats c2 in
   check_int "disk hit" 1 s2.Cache.disk_hits;
   check_int "no recompute" 0 s2.Cache.misses;
@@ -329,7 +336,10 @@ let test_disk_corruption_recovers () =
   let l = nth_loop 1 in
   let config = Hcrf_model.Presets.published "4C32" in
   let fresh = Runner.run_loop config l in
-  let populate () = ignore (Runner.run_loop ~cache:(Cache.create ~dir ()) config l) in
+  let populate () =
+    let ctx = Runner.Ctx.make ~cache:(Cache.create ~dir ()) () in
+    ignore (Runner.run_loop ~ctx config l)
+  in
   let corrupt bytes =
     match entry_files dir with
     | [ f ] ->
@@ -343,7 +353,7 @@ let test_disk_corruption_recovers () =
       populate ();
       corrupt bytes;
       let c = Cache.create ~dir () in
-      let r = Runner.run_loop ~cache:c config l in
+      let r = Runner.run_loop ~ctx:(Runner.Ctx.make ~cache:c ()) config l in
       let s = Cache.stats c in
       check (what ^ ": treated as a miss") true
         (s.Cache.misses = 1 && s.Cache.hits = 0);
@@ -372,9 +382,10 @@ let test_unusable_dir_degrades () =
     "degraded to in-memory-only" None (Cache.dir c);
   let l = nth_loop 2 in
   let config = Hcrf_model.Presets.published "S64" in
-  check "still schedules" true (Runner.run_loop ~cache:c config l <> None);
+  let ctx = Runner.Ctx.make ~cache:c () in
+  check "still schedules" true (Runner.run_loop ~ctx config l <> None);
   check "still caches in memory" true
-    (Runner.run_loop ~cache:c config l <> None);
+    (Runner.run_loop ~ctx config l <> None);
   check_int "memory hit" 1 (Cache.stats c).Cache.hits
 
 (* ------------------------------------------------------------------ *)

@@ -91,17 +91,13 @@ let test_aggregate () =
 let test_runner_real_memory () =
   let config = Hcrf_model.Presets.published "S64" in
   let loops = Lazy.force small_suite in
-  let ideal = Runner.aggregate config (Runner.run_suite config loops) in
-  let real =
-    Runner.aggregate config
-      (Runner.run_suite ~scenario:(Runner.Real { prefetch = false }) config
-         loops)
+  let agg scenario =
+    let ctx = Runner.Ctx.make ~scenario () in
+    Runner.aggregate config (Runner.run_suite ~ctx config loops)
   in
-  let pf =
-    Runner.aggregate config
-      (Runner.run_suite ~scenario:(Runner.Real { prefetch = true }) config
-         loops)
-  in
+  let ideal = agg Runner.Ideal in
+  let real = agg (Runner.Real { prefetch = false }) in
+  let pf = agg (Runner.Real { prefetch = true }) in
   check "ideal has no stalls" true (ideal.Metrics.stall = 0.);
   check "real memory stalls" true (real.Metrics.stall > 0.);
   check "prefetch reduces stalls" true
@@ -141,14 +137,14 @@ let test_parallel_determinism () =
   List.iter
     (fun scenario ->
       let agg jobs =
-        Runner.aggregate config
-          (Runner.run_suite ~scenario ~jobs config loops)
+        let ctx = Runner.Ctx.make ~scenario ~jobs () in
+        Runner.aggregate config (Runner.run_suite ~ctx config loops)
       in
       let serial = agg 1 and par = agg 4 in
       Alcotest.(check string)
         "identical aggregate output"
-        (Fmt.str "%a" (Metrics.pp_aggregate ?cache:None) serial)
-        (Fmt.str "%a" (Metrics.pp_aggregate ?cache:None) par);
+        (Fmt.str "%a" (Metrics.pp_aggregate ?cache:None ?trace:None) serial)
+        (Fmt.str "%a" (Metrics.pp_aggregate ?cache:None ?trace:None) par);
       check "identical cycles" true
         (serial.Metrics.exec_cycles = par.Metrics.exec_cycles);
       check "identical stall" true

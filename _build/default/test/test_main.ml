@@ -11,6 +11,7 @@ let () =
       ("workload", Test_workload.tests);
       ("memsim", Test_memsim.tests);
       ("eval", Test_eval.tests);
+      ("obs", Test_obs.tests);
       ("cache", Test_cache.tests);
       ("pipesim", Test_pipesim.tests);
       ("frontend", Test_frontend.tests);

@@ -1,0 +1,368 @@
+(* Tests for the hcrf_obs tracing subsystem: counter semantics, the
+   versioned JSONL schema (emission and strict validation), determinism
+   of the Counters sink across job counts and cache states, purity of
+   the null sink, byte-equivalence of the deprecated pre-Ctx wrappers,
+   and the HCRF_* environment parser. *)
+
+open Hcrf_eval
+open Hcrf_obs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* one of each event kind, in a fixed order *)
+let all_events =
+  [
+    Event.II_try 7;
+    Event.Place { node = 3; cycle = 12; cluster = 1 };
+    Event.Place { node = 4; cycle = 0; cluster = -1 };
+    Event.Eject { node = 3 };
+    Event.Spill_insert { kind = Event.Value; inserted = 2 };
+    Event.Spill_insert { kind = Event.Invariant; inserted = 1 };
+    Event.Comm_insert Event.Store_r;
+    Event.Comm_insert Event.Load_r;
+    Event.Comm_insert Event.Move;
+    Event.Regalloc_fail { bank = "cluster 0" };
+    Event.Budget_escalate { rung = 2 };
+    Event.Cache Event.Hit;
+    Event.Cache Event.Miss;
+    Event.Cache Event.Store;
+    Event.Phase { phase = Event.Mii; ns = 1234 };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+let test_counters_histogram () =
+  let c = Counters.create () in
+  Counters.add_all c all_events;
+  Alcotest.(check (list (pair string int)))
+    "sorted keys and derived magnitudes"
+    [
+      ("budget.escalate", 1);
+      ("cache.hit", 1);
+      ("cache.miss", 1);
+      ("cache.store", 1);
+      ("comm.load_r", 1);
+      ("comm.move", 1);
+      ("comm.store_r", 1);
+      ("eject", 1);
+      ("ii_try", 1);
+      ("phase.mii", 1);
+      ("place", 2);
+      ("regalloc.fail", 1);
+      ("spill.invariant", 1);
+      ("spill.invariant.nodes", 1);
+      ("spill.value", 1);
+      ("spill.value.nodes", 2);
+    ]
+    (Counters.counts c);
+  (* derived .nodes magnitudes are not events *)
+  check_int "total events" (List.length all_events) (Counters.total_events c);
+  Alcotest.(check (list (pair string int)))
+    "phase wall-clock lands in timings, not counts"
+    [ ("phase.mii", 1234) ]
+    (Counters.timings c);
+  let c' = Counters.create () in
+  Counters.add_all c' all_events;
+  check "equal counts" true (Counters.equal_counts c c');
+  (* timings are excluded from the equality contract *)
+  Counters.add c' (Event.Phase { phase = Event.Mii; ns = 9999 });
+  check "extra span breaks nothing but another count does" false
+    (Counters.equal_counts c c');
+  Alcotest.(check string)
+    "pp is sorted key=value"
+    "budget.escalate=1 cache.hit=1 cache.miss=1 cache.store=1 comm.load_r=1 \
+     comm.move=1 comm.store_r=1 eject=1 ii_try=1 phase.mii=1 place=2 \
+     regalloc.fail=1 spill.invariant=1 spill.invariant.nodes=1 \
+     spill.value=1 spill.value.nodes=2"
+    (Fmt.str "%a" Counters.pp c)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL: golden schema *)
+
+let golden_lines =
+  [
+    {|{"loop":"k1","ev":"ii_try","ii":7}|};
+    {|{"loop":"k1","ev":"place","node":3,"cycle":12,"cluster":1}|};
+    {|{"loop":"k1","ev":"place","node":4,"cycle":0,"cluster":-1}|};
+    {|{"loop":"k1","ev":"eject","node":3}|};
+    {|{"loop":"k1","ev":"spill_insert","kind":"value","inserted":2}|};
+    {|{"loop":"k1","ev":"spill_insert","kind":"invariant","inserted":1}|};
+    {|{"loop":"k1","ev":"comm_insert","kind":"store_r"}|};
+    {|{"loop":"k1","ev":"comm_insert","kind":"load_r"}|};
+    {|{"loop":"k1","ev":"comm_insert","kind":"move"}|};
+    {|{"loop":"k1","ev":"regalloc_fail","bank":"cluster 0"}|};
+    {|{"loop":"k1","ev":"budget_escalate","rung":2}|};
+    {|{"loop":"k1","ev":"cache","op":"hit"}|};
+    {|{"loop":"k1","ev":"cache","op":"miss"}|};
+    {|{"loop":"k1","ev":"cache","op":"store"}|};
+    {|{"loop":"k1","ev":"phase","phase":"mii","ns":1234}|};
+  ]
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | l -> go (l :: acc)
+      in
+      go [])
+
+let test_jsonl_golden () =
+  check_str "header line is the versioned schema tag"
+    {|{"schema":"hcrf-trace","version":1}|} Jsonl.header_line;
+  List.iteri
+    (fun i ev ->
+      check_str
+        (Fmt.str "golden line %d" i)
+        (List.nth golden_lines i)
+        (Jsonl.line_of_event ~label:"k1" ev))
+    all_events;
+  (* writer output = header + golden lines, and the reader accepts
+     exactly that file *)
+  let path = Filename.temp_file "hcrf-obs-test" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let w = Jsonl.create path in
+  List.iter (Jsonl.write w ~label:"k1") all_events;
+  check_int "written counts events" (List.length all_events) (Jsonl.written w);
+  Jsonl.close w;
+  Alcotest.(check (list string))
+    "file content is the golden file"
+    (Jsonl.header_line :: golden_lines)
+    (read_lines path);
+  (match Jsonl.read_file path with
+  | Error m -> Alcotest.failf "round-trip rejected: %s" m
+  | Ok events ->
+    check "round-trip preserves every event" true
+      (events = List.map (fun ev -> ("k1", ev)) all_events));
+  check "validate_file counts events" true
+    (Jsonl.validate_file path = Ok (List.length all_events))
+
+let test_jsonl_escaping () =
+  let label = "we\"ird\\la\tbel" in
+  let line = Jsonl.line_of_event ~label (Event.II_try 3) in
+  match Jsonl.event_of_line line with
+  | Error m -> Alcotest.failf "escaped label rejected: %s" m
+  | Ok (l, ev) ->
+    check_str "label round-trips through escaping" label l;
+    check "event preserved" true (ev = Event.II_try 3)
+
+let test_jsonl_rejects () =
+  let bad =
+    [
+      ("truncated object", {|{"loop":"x","ev":"ii_try","ii":7|});
+      ("missing field", {|{"loop":"x","ev":"ii_try"}|});
+      ("extra field", {|{"loop":"x","ev":"ii_try","ii":7,"extra":1}|});
+      ("wrong field type", {|{"loop":"x","ev":"ii_try","ii":"7"}|});
+      ("unknown kind", {|{"loop":"x","ev":"warp","ii":7}|});
+      ("missing loop", {|{"ev":"ii_try","ii":7}|});
+      ("duplicate key", {|{"loop":"x","loop":"y","ev":"ii_try","ii":7}|});
+      ("trailing garbage", {|{"loop":"x","ev":"ii_try","ii":7} oops|});
+      ("bad enum value", {|{"loop":"x","ev":"cache","op":"evict"}|});
+      ("nested value", {|{"loop":"x","ev":"ii_try","ii":{"v":7}}|});
+    ]
+  in
+  List.iter
+    (fun (what, line) ->
+      check what true (Result.is_error (Jsonl.event_of_line line)))
+    bad;
+  (* a file whose header claims another version is rejected at line 1 *)
+  let path = Filename.temp_file "hcrf-obs-test" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  output_string oc "{\"schema\":\"hcrf-trace\",\"version\":2}\n";
+  output_string oc (List.hd golden_lines);
+  output_char oc '\n';
+  close_out oc;
+  match Jsonl.read_file path with
+  | Ok _ -> Alcotest.fail "future schema version accepted"
+  | Error m ->
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    check "error names line 1" true (contains m ":1:")
+
+(* ------------------------------------------------------------------ *)
+(* Determinism of the Counters sink *)
+
+let small_suite = lazy (Hcrf_workload.Suite.generate ~n:16 ())
+
+(* run the suite under a fresh Counters tracer and hand the sink back *)
+let counters_of_run ?cache ~jobs config loops =
+  let c = Counters.create () in
+  let tracer = Tracer.make [ Tracer.Counters c ] in
+  let ctx = Runner.Ctx.make ?cache ~jobs ~tracer () in
+  ignore (Runner.run_suite ~ctx config loops);
+  c
+
+let test_counters_jobs_deterministic () =
+  let config = Hcrf_model.Presets.published "4C32S16" in
+  let loops = Lazy.force small_suite in
+  (* cold (uncached) engine events: identical at any job count *)
+  let c1 = counters_of_run ~jobs:1 config loops in
+  let c4 = counters_of_run ~jobs:4 config loops in
+  check "cold: jobs=1 and jobs=4 count the same events" true
+    (Counters.equal_counts c1 c4);
+  check "the engine emitted something" true (Counters.total_events c1 > 0);
+  check "placements were recorded" true
+    (List.mem_assoc "place" (Counters.counts c1));
+  (* warm cache: every lookup hits, again identically at any job count *)
+  let cache = Hcrf_cache.Cache.create () in
+  let ctx = Runner.Ctx.make ~cache () in
+  ignore (Runner.run_suite ~ctx config loops);
+  let w1 = counters_of_run ~cache ~jobs:1 config loops in
+  let w4 = counters_of_run ~cache ~jobs:4 config loops in
+  check "warm: jobs=1 and jobs=4 count the same events" true
+    (Counters.equal_counts w1 w4);
+  check_int "warm runs are pure cache hits"
+    (List.length loops)
+    (List.assoc "cache.hit" (Counters.counts w1));
+  check "warm runs re-run no scheduler" false
+    (List.mem_assoc "place" (Counters.counts w1))
+
+(* The null tracer must not perturb results: aggregates of an untraced
+   run, a null-traced run and a counter-traced run are byte-identical
+   (scheduler wall-clock scrubbed — both sides are live runs). *)
+let scrub (a : Metrics.aggregate) = { a with Metrics.sched_seconds = 0. }
+let bytes_of a = Marshal.to_string (scrub a) []
+
+let test_null_sink_purity () =
+  let config = Hcrf_model.Presets.published "S64" in
+  let loops = Lazy.force small_suite in
+  let agg ctx =
+    Runner.aggregate config (Runner.run_suite ~ctx config loops)
+  in
+  let untraced = agg (Runner.Ctx.make ()) in
+  let null_traced = agg (Runner.Ctx.make ~tracer:Tracer.null ()) in
+  let counter_traced =
+    agg
+      (Runner.Ctx.make
+         ~tracer:(Tracer.make [ Tracer.Counters (Counters.create ()) ])
+         ())
+  in
+  check "null tracer is the default" true
+    (bytes_of untraced = bytes_of null_traced);
+  check "counting changes no aggregate field" true
+    (bytes_of untraced = bytes_of counter_traced)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL traces across job counts: replay/merge equivalence *)
+
+let test_jsonl_replay_merge () =
+  let config = Hcrf_model.Presets.published "4C32" in
+  let loops = Hcrf_workload.Suite.generate ~n:12 () in
+  let traced_run jobs =
+    let path = Filename.temp_file "hcrf-obs-replay" ".jsonl" in
+    let c = Counters.create () in
+    let tracer =
+      Tracer.make [ Tracer.Counters c; Tracer.Jsonl (Jsonl.create path) ]
+    in
+    let ctx = Runner.Ctx.make ~jobs ~tracer () in
+    ignore (Runner.run_suite ~ctx config loops);
+    Tracer.close tracer;
+    (path, c)
+  in
+  let path1, c1 = traced_run 1 in
+  let path4, c4 = traced_run 4 in
+  Fun.protect ~finally:(fun () -> Sys.remove path1; Sys.remove path4)
+  @@ fun () ->
+  check "live counters identical across job counts" true
+    (Counters.equal_counts c1 c4);
+  (* replaying the jobs=4 file reproduces the jobs=1 totals *)
+  (match Jsonl.read_file path4 with
+  | Error m -> Alcotest.failf "jobs=4 trace invalid: %s" m
+  | Ok events ->
+    let replayed = Counters.create () in
+    Counters.add_all replayed (List.map snd events);
+    check "jobs=4 file replays to the jobs=1 totals" true
+      (Counters.equal_counts c1 replayed));
+  (* input-order commits: the two files list the same events in the
+     same order, phase spans (wall-clock payload) aside *)
+  let deterministic path =
+    match Jsonl.read_file path with
+    | Error m -> Alcotest.failf "%s invalid: %s" path m
+    | Ok events ->
+      List.filter
+        (fun (_, ev) -> match ev with Event.Phase _ -> false | _ -> true)
+        events
+  in
+  check "event streams identical in input order" true
+    (deterministic path1 = deterministic path4);
+  check "validate counts every event" true
+    (Jsonl.validate_file path1 = Ok (Counters.total_events c1))
+
+(* ------------------------------------------------------------------ *)
+(* Env: the HCRF_* parser *)
+
+let test_env () =
+  Unix.putenv "HCRF_LOOPS" "17";
+  Alcotest.(check (option int)) "loops parses" (Some 17) (Env.loops ());
+  Unix.putenv "HCRF_LOOPS" "2O0";
+  Alcotest.(check (option int)) "typo'd loops ignored" None (Env.loops ());
+  Unix.putenv "HCRF_JOBS" "3";
+  check_int "jobs parses" 3 (Env.jobs ());
+  Unix.putenv "HCRF_JOBS" "-1";
+  check_int "non-positive jobs falls back" (Par.default_jobs ()) (Env.jobs ());
+  Unix.putenv "HCRF_TRACE" "";
+  check "empty trace = counters only" true (Env.trace () = Env.Counters_only);
+  Unix.putenv "HCRF_TRACE" "/tmp/t.jsonl";
+  check "trace file spec" true (Env.trace () = Env.File "/tmp/t.jsonl");
+  let t = Env.tracer_of_spec Env.Counters_only in
+  check "counters-only tracer has a counters sink" true
+    (Tracer.counters t <> None);
+  check "counters-only tracer has no file" true (Tracer.jsonl_path t = None);
+  check "off spec is the null tracer" true
+    (Tracer.is_null (Env.tracer_of_spec Env.Off))
+
+(* ------------------------------------------------------------------ *)
+(* Deprecated pre-Ctx wrappers stay byte-equivalent to the Ctx path *)
+
+[@@@warning "-3" (* calling the deprecated entry points is the point *)]
+
+let test_legacy_wrappers () =
+  let config = Hcrf_model.Presets.published "S64" in
+  let loops = Lazy.force small_suite in
+  let via_ctx =
+    Runner.aggregate config
+      (Runner.run_suite ~ctx:(Runner.Ctx.make ~jobs:2 ()) config loops)
+  in
+  let via_legacy =
+    Runner.aggregate config (Runner.run_suite_legacy ~jobs:2 config loops)
+  in
+  check "run_suite_legacy = run_suite ~ctx" true
+    (bytes_of via_ctx = bytes_of via_legacy);
+  let l = List.hd loops in
+  let scrub_perf (r : Runner.loop_result option) =
+    Option.map
+      (fun r ->
+        { r.Runner.perf with Metrics.sched_seconds = 0. })
+      r
+  in
+  let one_ctx = Runner.run_loop ~ctx:Runner.Ctx.default config l in
+  let one_legacy = Runner.run_loop_legacy config l in
+  check "run_loop_legacy = run_loop ~ctx" true
+    (Marshal.to_string (scrub_perf one_ctx) []
+    = Marshal.to_string (scrub_perf one_legacy) [])
+
+(* ------------------------------------------------------------------ *)
+
+let tests =
+  [
+    ("counters: histogram and keys", `Quick, test_counters_histogram);
+    ("jsonl: golden schema", `Quick, test_jsonl_golden);
+    ("jsonl: string escaping", `Quick, test_jsonl_escaping);
+    ("jsonl: rejects malformed input", `Quick, test_jsonl_rejects);
+    ( "tracer: counters deterministic (jobs, cache)", `Slow,
+      test_counters_jobs_deterministic );
+    ("tracer: null sink purity", `Slow, test_null_sink_purity);
+    ("jsonl: replay/merge across jobs", `Slow, test_jsonl_replay_merge);
+    ("env: HCRF_* parsing", `Quick, test_env);
+    ("runner: legacy wrappers byte-identical", `Slow, test_legacy_wrappers);
+  ]

@@ -49,10 +49,12 @@ let () =
     est.Hcrf_model.Cacti.shared_access_ns
     est.Hcrf_model.Cacti.total_area_mlambda2;
 
-  (* schedule under the ideal and the real memory scenario *)
+  (* schedule under the ideal and the real memory scenario; each
+     scenario is one evaluation context *)
   List.iter
     (fun (label, scenario) ->
-      match Hcrf_eval.Runner.run_loop ~scenario config loop with
+      let ctx = Hcrf_eval.Runner.Ctx.make ~scenario () in
+      match Hcrf_eval.Runner.run_loop ~ctx config loop with
       | None -> Fmt.epr "%s: no schedule@." label
       | Some r ->
         let p = r.Hcrf_eval.Runner.perf in

@@ -189,12 +189,15 @@ type cache_stats = Hcrf_cache.Cache.stats = {
 
 let pp_cache_stats = Hcrf_cache.Cache.pp_stats
 
-let pp_aggregate ?cache ppf a =
+let pp_aggregate ?cache ?trace ppf a =
   Fmt.pf ppf
     "%s: loops=%d sum_ii=%d (mii %d, %.1f%% at mii) cycles=%.3e (stall %.2e) \
      traffic=%.3e time=%.4fs ipc=%.2f@\n  sched: %a"
     a.config a.loops a.sum_ii a.sum_mii a.pct_at_mii a.exec_cycles a.stall
     a.total_traffic a.exec_seconds (ipc a) pp_sched_stats a.sched;
-  match cache with
+  (match cache with
   | None -> ()
-  | Some c -> Fmt.pf ppf "@\n  cache: %a" pp_cache_stats c
+  | Some c -> Fmt.pf ppf "@\n  cache: %a" pp_cache_stats c);
+  match trace with
+  | None -> ()
+  | Some t -> Fmt.pf ppf "@\n  trace: %a" Hcrf_obs.Counters.pp t

@@ -91,6 +91,11 @@ type cache_stats = Hcrf_cache.Cache.stats = {
 val pp_cache_stats : Format.formatter -> cache_stats -> unit
 
 (** Print an aggregate; with [?cache] an extra "cache:" line reports
-    hit/miss/store counters next to the scheduler-effort stats. *)
+    hit/miss/store counters next to the scheduler-effort stats, and
+    with [?trace] an extra "trace:" line reports the sorted event
+    counters of a {!Hcrf_obs.Counters} sink.  Both extra lines keep
+    run-to-run-varying data (disk state, wall-clock) out of the
+    aggregate itself. *)
 val pp_aggregate :
-  ?cache:cache_stats -> Format.formatter -> aggregate -> unit
+  ?cache:cache_stats -> ?trace:Hcrf_obs.Counters.t -> Format.formatter ->
+  aggregate -> unit

@@ -1,0 +1,49 @@
+(** The [Jsonl] sink: one JSON object per line, one file per run.
+
+    Line 1 is a versioned header; every following line is one event
+    tagged with the label of the work unit that produced it.  Events
+    reach {!write} only through {!Tracer.commit}, which serializes
+    per-work-unit buffers in input order — a [jobs > 1] run produces
+    the same file as a serial one.
+
+    The module is also its own schema checker: {!validate_file} and
+    {!read_file} accept exactly the language {!write} emits and reject
+    anything else. *)
+
+val schema_name : string
+val version : int
+
+(** The exact first line of every trace file. *)
+val header_line : string
+
+(** The serialized form of one event (without the trailing newline). *)
+val line_of_event : label:string -> Event.t -> string
+
+type t
+
+(** Open [path] for writing (truncating) and emit the header line.
+    Raises [Sys_error] when the path is not writable. *)
+val create : string -> t
+
+val write : t -> label:string -> Event.t -> unit
+
+(** Flush and close the file. *)
+val close : t -> unit
+
+val path : t -> string
+
+(** Number of events written so far (the header does not count). *)
+val written : t -> int
+
+(** Parse one event line. *)
+val event_of_line : string -> (string * Event.t, string) result
+
+(** Read a whole trace file back as [(label, event)] pairs in file
+    order; [Error] pinpoints the first line that violates the schema
+    (bad header, malformed JSON, unknown event kind, wrong field set,
+    wrong field type). *)
+val read_file : string -> ((string * Event.t) list, string) result
+
+(** Schema check of a whole file: [Ok n] with the number of events, or
+    the first violation. *)
+val validate_file : string -> (int, string) result

@@ -1,0 +1,39 @@
+(** Suite-level trace collector: a set of sinks plus the commit lock.
+
+    Work units record into private {!Trace.t} buffers; callers hand
+    finished buffers to {!commit}, which replays them into every sink
+    under one mutex.  Committing buffers in *input order* (as the
+    runner does) makes [Counters] totals and [Jsonl] files identical
+    across job counts. *)
+
+type sink = Counters of Counters.t | Jsonl of Jsonl.t
+
+type t
+
+val make : sink list -> t
+
+(** No sinks: {!start} returns {!Trace.off} and instrumented code skips
+    event construction entirely. *)
+val null : t
+
+val is_null : t -> bool
+
+val sinks : t -> sink list
+
+(** The first [Counters] sink, if any. *)
+val counters : t -> Counters.t option
+
+(** The output path of the first [Jsonl] sink, if any. *)
+val jsonl_path : t -> string option
+
+(** A recording handle for one unit of work; {!Trace.off} under the
+    null tracer. *)
+val start : t -> label:string -> Trace.t
+
+(** Replay one finished buffer into every sink, under the lock.  A
+    no-op for {!Trace.off} buffers or the null tracer. *)
+val commit : t -> Trace.t -> unit
+
+(** Flush and close file-backed sinks.  Call once, after the last
+    {!commit}. *)
+val close : t -> unit

@@ -52,7 +52,11 @@ type outcome = {
 type error = [ `No_schedule of int (** last II tried *) ]
 
 (** Schedule one loop body.  The input graph is not modified (the
-    outcome's [graph] is an extended copy). *)
+    outcome's [graph] is an extended copy).  [trace] (default
+    {!Hcrf_obs.Trace.off}) receives placement, ejection, spill,
+    communication-insertion and phase-span events; it is deliberately
+    not part of {!options} so that enabling tracing cannot perturb
+    schedule-cache fingerprints. *)
 val schedule :
-  ?opts:options -> Hcrf_machine.Config.t -> Hcrf_ir.Ddg.t ->
-  (outcome, error) result
+  ?opts:options -> ?trace:Hcrf_obs.Trace.t -> Hcrf_machine.Config.t ->
+  Hcrf_ir.Ddg.t -> (outcome, error) result

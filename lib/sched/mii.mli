@@ -28,5 +28,8 @@ val rec_mii : Latency.t -> Hcrf_ir.Ddg.t -> int
 val bounds :
   ?lat:Latency.t -> Hcrf_machine.Config.t -> Hcrf_ir.Ddg.t -> bounds
 
-(** max(1, max of all bounds). *)
-val compute : ?lat:Latency.t -> Hcrf_machine.Config.t -> Hcrf_ir.Ddg.t -> int
+(** max(1, max of all bounds); the whole computation is recorded as a
+    [Phase Mii] span on [trace]. *)
+val compute :
+  ?trace:Hcrf_obs.Trace.t -> ?lat:Latency.t -> Hcrf_machine.Config.t ->
+  Hcrf_ir.Ddg.t -> int
