@@ -286,6 +286,57 @@ let duel_cmd =
        ~doc:"Compare MIRS_HC against the non-iterative scheduler of [36]")
     Term.(const run $ config_arg $ n_arg $ ctx_term)
 
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Campaign seed.")
+  in
+  let cases_arg =
+    Arg.(value & opt int 500 & info [ "cases" ] ~doc:"Number of fuzz cases.")
+  in
+  let no_shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "no-shrink" ] ~doc:"Report failures without minimizing them.")
+  in
+  let corpus_arg =
+    let doc = "Write one reproducer file per failure into $(docv)." in
+    Arg.(value & opt string "corpus" & info [ "corpus" ] ~doc ~docv:"DIR")
+  in
+  let no_corpus_arg =
+    Arg.(value & flag & info [ "no-corpus" ] ~doc:"Do not write reproducers.")
+  in
+  let inject_arg =
+    let doc =
+      "Oracle self-test: disable the engine's resource-conflict check, so \
+       every scheduled case must be caught by independent validation and \
+       shrunk to a small reproducer."
+    in
+    Arg.(value & flag & info [ "inject-fault" ] ~doc)
+  in
+  let run seed cases no_shrink corpus no_corpus inject
+      (ctx : Hcrf_eval.Runner.Ctx.t) =
+    let corpus = if no_corpus then None else Some corpus in
+    if inject then Schedule.fault := Some Schedule.Lax_resources;
+    Fun.protect
+      ~finally:(fun () -> Schedule.fault := None)
+      (fun () ->
+        let report =
+          Hcrf_check.Check.campaign ~ctx ~shrink:(not no_shrink) ?corpus
+            ~seed ~cases ()
+        in
+        Fmt.pr "%a@." Hcrf_check.Check.pp_report report;
+        finish_trace ctx.Hcrf_eval.Runner.Ctx.tracer;
+        if report.Hcrf_check.Check.r_failures <> [] then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: cross-validate the scheduler against \
+          independent oracles on randomized loops")
+    Term.(
+      const run $ seed_arg $ cases_arg $ no_shrink_arg $ corpus_arg
+      $ no_corpus_arg $ inject_arg $ ctx_term)
+
 let trace_cmd =
   (* validate a recorded trace against the versioned schema and replay
      it into counters — `diff` of two "trace:" lines is the merge
@@ -326,4 +377,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ schedule_cmd; suite_cmd; hw_cmd; ports_cmd; duel_cmd; trace_cmd ]))
+          [ schedule_cmd; suite_cmd; hw_cmd; ports_cmd; duel_cmd; fuzz_cmd;
+            trace_cmd ]))

@@ -1,1 +1,1 @@
-lib/cache/entry.ml: Ddg Engine Hcrf_ir Hcrf_machine Hcrf_sched List Mii Schedule Topology
+lib/cache/entry.ml: Buffer Ddg Dep Digest Engine Hcrf_ir Hcrf_machine Hcrf_sched List Mii Op Printf Schedule String Topology

@@ -43,13 +43,26 @@ module Ev = Hcrf_obs.Event
 let emit trace op =
   if Tr.enabled trace then Tr.emit trace (Ev.Cache op)
 
-let find ?(trace = Tr.off) t key =
+let find ?(trace = Tr.off) ?(validate = fun (_ : Entry.t) -> true) t key =
   let result =
     locked t (fun () ->
+      let miss ?(disk_error = false) () =
+        t.counters <-
+          { t.counters with
+            misses = t.counters.misses + 1;
+            disk_errors =
+              (t.counters.disk_errors + if disk_error then 1 else 0) };
+        None
+      in
       match Hashtbl.find_opt t.table key with
-      | Some e ->
+      | Some e when validate e ->
         t.counters <- { t.counters with hits = t.counters.hits + 1 };
         Some e
+      | Some _ ->
+        (* present but rejected by [validate] (e.g. the entry's schedule
+           is bound to different node ids than the querying loop's): the
+           caller must recompute, so this is a miss *)
+        miss ()
       | None -> (
         let disk =
           match t.store with
@@ -57,22 +70,18 @@ let find ?(trace = Tr.off) t key =
           | Some s -> Store.load s ~key
         in
         match disk with
-        | `Hit e ->
+        | `Hit e when validate e ->
           Hashtbl.replace t.table key e;
           t.counters <-
             { t.counters with
               hits = t.counters.hits + 1;
               disk_hits = t.counters.disk_hits + 1 };
           Some e
+        | `Hit _ -> miss ()
         | (`Miss | `Error) as r ->
           (* a present-but-unreadable file was already reported by
              [Store.load]; it counts as a miss and is recomputed *)
-          t.counters <-
-            { t.counters with
-              misses = t.counters.misses + 1;
-              disk_errors =
-                (t.counters.disk_errors + if r = `Error then 1 else 0) };
-          None))
+          miss ~disk_error:(r = `Error) ()))
   in
   emit trace (match result with Some _ -> Ev.Hit | None -> Ev.Miss);
   result

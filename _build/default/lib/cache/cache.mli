@@ -34,8 +34,14 @@ val create : ?dir:string -> unit -> t
 val dir : t -> string option
 
 (** Lookup/insert; [trace] records a [Cache Hit]/[Miss]/[Store] event
-    for the calling work unit (outside the cache lock). *)
-val find : ?trace:Hcrf_obs.Trace.t -> t -> Fingerprint.t -> Entry.t option
+    for the calling work unit (outside the cache lock).  A present
+    entry that [validate] rejects — e.g. an {!Entry.ddg_digest}
+    mismatch, meaning the stored schedule is bound to different node
+    ids than the querying loop's — is reported (and counted) as a miss
+    so the caller recomputes and overwrites it. *)
+val find :
+  ?trace:Hcrf_obs.Trace.t -> ?validate:(Entry.t -> bool) -> t ->
+  Fingerprint.t -> Entry.t option
 
 val add : ?trace:Hcrf_obs.Trace.t -> t -> Fingerprint.t -> Entry.t -> unit
 

@@ -1,6 +1,8 @@
 type t = { dir : string }
 
-let version = 1
+(* version 2: [Entry.Scheduled] gained [input_digest]; v1 payloads have
+   a different Marshal layout and must be rejected before unmarshalling *)
+let version = 2
 let magic = Printf.sprintf "hcrf-cache %d\n" version
 
 let dir t = t.dir

@@ -1,0 +1,1 @@
+lib/check/check.mli: Format Hcrf_cache Hcrf_eval Hcrf_ir Hcrf_machine Hcrf_obs Hcrf_sched Hcrf_workload Repro

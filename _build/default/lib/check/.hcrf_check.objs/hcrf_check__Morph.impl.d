@@ -1,0 +1,1 @@
+lib/check/morph.ml: Ddg Hashtbl Hcrf_ir List Loop

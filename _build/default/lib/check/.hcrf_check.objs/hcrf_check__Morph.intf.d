@@ -1,0 +1,1 @@
+lib/check/morph.mli: Hcrf_ir

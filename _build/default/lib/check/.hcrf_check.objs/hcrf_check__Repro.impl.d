@@ -1,0 +1,1 @@
+lib/check/repro.ml: Array Buffer Ddg Dep Filename Fmt Fun Hashtbl Hcrf_cache Hcrf_frontend Hcrf_ir Hcrf_machine Hcrf_obs List Loop Op Printexc Result String Sys

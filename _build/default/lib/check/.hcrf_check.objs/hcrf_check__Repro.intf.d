@@ -1,0 +1,1 @@
+lib/check/repro.mli: Hcrf_ir Hcrf_machine Hcrf_obs

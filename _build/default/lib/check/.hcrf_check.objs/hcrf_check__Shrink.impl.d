@@ -1,0 +1,1 @@
+lib/check/shrink.ml: Ddg Fun Hashtbl Hcrf_ir Hcrf_machine List Loop Option

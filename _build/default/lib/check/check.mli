@@ -1,0 +1,100 @@
+(** Differential fuzzing of the MIRS_HC scheduling pipeline.
+
+    A campaign generates loops with {!Hcrf_workload.Genloop} across a
+    deterministic sweep of generator parameters × machine
+    configurations × scheduler options, runs each case through
+    {!Hcrf_eval.Runner} and cross-checks the result against independent
+    oracles:
+
+    - {!Hcrf_sched.Validate.check} must accept the produced schedule;
+    - {!Hcrf_pipesim.Pipe_exec} must reproduce {!Hcrf_pipesim.Ref_exec}
+      values and memory at several iteration counts;
+    - a warm replay through the case's (private) schedule cache must
+      validate and be byte-identical to the cold outcome;
+    - metamorphic twins (adjacency reorder; node renumbering) must keep
+      the WL fingerprint, schedule successfully, validate, execute
+      correctly and agree on MII.  (Full II/spill equality under
+      renumbering does *not* hold for this engine — cluster selection
+      is id-sensitive — so the oracle deliberately checks the invariant
+      that does hold; see DESIGN.md.)
+
+    Every case runs under an exception barrier, so an engine crash is a
+    [Crash] verdict, not a dead campaign.  Failing cases are fed to the
+    minimizing {!Shrink}er and emitted as {!Repro} files.  Campaigns
+    are deterministic: the same seed produces a byte-identical report
+    for any [jobs] value. *)
+
+module Ev = Hcrf_obs.Event
+
+(** Named presets swept by {!campaign}. *)
+val param_presets : (string * Hcrf_workload.Genloop.params) list
+
+val config_names : string list
+val options_presets : (string * Hcrf_sched.Engine.options) list
+
+(** Resolve a machine notation like the CLI does: published Table-5
+    hardware when available, the analytic model otherwise. *)
+val config_of_name :
+  ?n_fus:int -> ?n_mem_ports:int -> string -> Hcrf_machine.Config.t
+
+type verdict = { kind : Ev.fuzz_verdict; detail : string }
+
+(** Failure = any verdict the oracles can falsify.  [Pass] is success;
+    [No_schedule] (the engine giving up after every escalation rung) is
+    recorded in the taxonomy but is not an oracle failure. *)
+val is_failure : Ev.fuzz_verdict -> bool
+
+(** Run every oracle leg on one loop.  [cache] is the schedule cache
+    the runner goes through (a fresh private one when omitted; sharing
+    one across calls additionally exercises cross-case cache
+    collisions). *)
+val oracle :
+  ?cache:Hcrf_cache.Cache.t -> opts:Hcrf_sched.Engine.options ->
+  Hcrf_machine.Config.t -> Hcrf_ir.Loop.t -> verdict
+
+type failure = {
+  f_case : int;
+  f_params : string;
+  f_config : string;
+  f_options : string;
+  f_kind : Ev.fuzz_verdict;
+  f_detail : string;  (** detail of the *shrunk* case *)
+  f_loop : Hcrf_ir.Loop.t;  (** shrunk loop (original if shrinking off) *)
+  f_lats : Hcrf_machine.Latencies.t;
+  f_nodes : int;  (** node count after shrinking *)
+  f_steps : int;  (** accepted shrink steps *)
+}
+
+type report = {
+  r_seed : int;
+  r_cases : int;
+  r_counts : (string * int) list;  (** verdict name -> count, fixed order *)
+  r_failures : failure list;       (** in case order *)
+}
+
+(** Deterministic rendering (no wall-clock, no absolute paths). *)
+val pp_report : Format.formatter -> report -> unit
+
+(** Run a campaign of [cases] cases.  [ctx] supplies [jobs] and the
+    tracer (each case emits a [Fuzz] verdict event and, when shrinking,
+    a [Shrink] event); its cache and options are *not* used — every
+    case runs its own private cache and preset options, so user-level
+    caching can never mask a divergence.  [corpus] writes a {!Repro}
+    file per failure into the given directory. *)
+val campaign :
+  ?ctx:Hcrf_eval.Runner.Ctx.t -> ?shrink:bool -> ?corpus:string ->
+  ?config_presets:(string * Hcrf_machine.Config.t) list ->
+  ?max_shrink_evals:int -> seed:int -> cases:int -> unit -> report
+
+(** Re-run the oracle on one reproducer.  With [cache], the runner goes
+    through that (shared) cache — replaying a corpus must yield the
+    same verdicts with and without one. *)
+val replay_file :
+  ?cache:Hcrf_cache.Cache.t -> Repro.t -> verdict
+
+(** Replay every [*.repro] under a directory, in file-name order.
+    Returns [(path, reproducer, verdict)] per file; parse errors fail
+    the whole replay. *)
+val replay_corpus :
+  ?cache:Hcrf_cache.Cache.t -> string ->
+  ((string * Repro.t * verdict) list, string) result

@@ -1,0 +1,32 @@
+open Hcrf_ir
+
+let reversing_bijection g =
+  let ids = Ddg.nodes g in
+  let tbl = Hashtbl.create (List.length ids + 1) in
+  List.iter2 (Hashtbl.replace tbl) ids (List.rev ids);
+  fun id -> match Hashtbl.find_opt tbl id with Some j -> j | None -> id
+
+let rewrite_loop ~m (loop : Loop.t) =
+  let r = Ddg.to_repr loop.Loop.ddg in
+  let redge (e : Ddg.edge) = { e with Ddg.src = m e.Ddg.src; dst = m e.Ddg.dst } in
+  let r' =
+    {
+      r with
+      Ddg.repr_nodes =
+        List.map
+          (fun (id, kind, succs, preds) ->
+            (m id, kind, List.rev_map redge succs, List.rev_map redge preds))
+          r.Ddg.repr_nodes;
+      repr_invariants =
+        List.map
+          (fun (inv, consumers) -> (inv, List.rev_map m consumers))
+          r.Ddg.repr_invariants;
+    }
+  in
+  let streams =
+    List.map
+      (fun (s : Loop.stream) -> { s with Loop.op = m s.Loop.op })
+      loop.Loop.streams
+  in
+  Loop.make ~trip_count:loop.Loop.trip_count ~entries:loop.Loop.entries
+    ~streams (Ddg.of_repr r')

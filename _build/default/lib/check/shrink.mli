@@ -1,0 +1,25 @@
+(** Greedy minimizing shrinker for failing fuzz cases.
+
+    Starting from a failing candidate, repeatedly tries a deterministic
+    sequence of reductions — remove a node, remove an edge, shorten a
+    loop-carried distance, drop an invariant, halve the trip/entry
+    counts, lower an operation latency — re-running the oracle after
+    each one and keeping any reduction under which the case still fails
+    with the same verdict.  Rounds restart after every accepted step and
+    stop at a fixpoint (or when the evaluation budget runs out), so the
+    result is locally minimal: no single remaining reduction preserves
+    the failure. *)
+
+type candidate = {
+  loop : Hcrf_ir.Loop.t;
+  lats : Hcrf_machine.Latencies.t;
+      (** latency record the case's machine runs with (shrunk too) *)
+}
+
+(** [run ~still_failing c] returns the shrunk candidate and the number
+    of accepted reductions.  [still_failing] must return [true] when
+    the candidate still exhibits the original failure (same verdict
+    kind); it is called at most [max_evals] times (default 500). *)
+val run :
+  still_failing:(candidate -> bool) -> ?max_evals:int -> candidate ->
+  candidate * int

@@ -1,1 +1,1 @@
-lib/eval/runner.ml: Ddg Engine Hcrf_cache Hcrf_ir Hcrf_machine Hcrf_memsim Hcrf_obs Hcrf_sched List Logs Loop Metrics Op Par Schedule
+lib/eval/runner.ml: Ddg Engine Hcrf_cache Hcrf_ir Hcrf_machine Hcrf_memsim Hcrf_obs Hcrf_sched List Logs Loop Metrics Op Par Schedule String

@@ -179,11 +179,20 @@ let run_loop_traced ~(ctx : Ctx.t) ~trace config (loop : Loop.t) :
   | None -> fresh ()
   | Some c -> (
     let key = cache_key ~scenario ~opts config loop in
-    match Hcrf_cache.Cache.find ~trace c key with
+    (* The key's WL fingerprint equates isomorphic loops, but stored
+       assignments are bound to concrete node ids: only replay entries
+       whose input graph had exactly this loop's ids. *)
+    let digest = Hcrf_cache.Entry.ddg_digest loop.Loop.ddg in
+    let id_compatible = function
+      | Hcrf_cache.Entry.Failed _ -> true
+      | Hcrf_cache.Entry.Scheduled { input_digest; _ } ->
+        String.equal input_digest digest
+    in
+    match Hcrf_cache.Cache.find ~trace ~validate:id_compatible c key with
     | Some (Hcrf_cache.Entry.Failed ii) ->
       warn_no_schedule config loop ii;
       None
-    | Some (Hcrf_cache.Entry.Scheduled { outcome; stall_cycles; retries })
+    | Some (Hcrf_cache.Entry.Scheduled { outcome; stall_cycles; retries; _ })
       ->
       Some
         (result_of_parts loop
@@ -197,8 +206,8 @@ let run_loop_traced ~(ctx : Ctx.t) ~trace config (loop : Loop.t) :
         None
       | Ok (outcome, stall_cycles, retries) ->
         Hcrf_cache.Cache.add ~trace c key
-          (Hcrf_cache.Entry.of_outcome config outcome ~stall_cycles
-             ~retries);
+          (Hcrf_cache.Entry.of_outcome config outcome ~input_digest:digest
+             ~stall_cycles ~retries);
         Some (result_of_parts loop outcome ~stall_cycles ~retries)))
 
 (** Schedule one loop; [None] if the scheduler could not find a schedule

@@ -29,10 +29,12 @@ let add t ev =
   match ev with
   | Event.Spill_insert { kind; inserted } ->
     bump t.counts ("spill." ^ Event.spill_name kind ^ ".nodes") inserted
+  | Event.Shrink { steps } -> bump t.counts "shrink.steps" steps
   | Event.Phase { phase; ns } ->
     bump t.timings ("phase." ^ Event.phase_name phase) ns
   | Event.II_try _ | Event.Place _ | Event.Eject _ | Event.Comm_insert _
-  | Event.Regalloc_fail _ | Event.Budget_escalate _ | Event.Cache _ ->
+  | Event.Regalloc_fail _ | Event.Budget_escalate _ | Event.Cache _
+  | Event.Fuzz _ ->
     ()
 
 let add_all t evs = List.iter (add t) evs
@@ -49,11 +51,13 @@ let counts t = sorted t.counts
 let timings t = sorted t.timings
 
 let total_events t =
-  (* phase keys count span events; derived ".nodes" keys are
+  (* phase keys count span events; derived ".nodes" / ".steps" keys are
      magnitudes, not events *)
   Hashtbl.fold
     (fun k v acc ->
-      if Filename.check_suffix k ".nodes" then acc else acc + v)
+      if Filename.check_suffix k ".nodes" || Filename.check_suffix k ".steps"
+      then acc
+      else acc + v)
     t.counts 0
 
 (** Counts-only equality: the determinism contract (identical at

@@ -9,6 +9,15 @@ type cache_op = Hit | Miss | Store
 type spill = Value | Invariant
 type phase = Mii | Order | Schedule | Regalloc | Memsim
 
+type fuzz_verdict =
+  | Pass
+  | No_schedule
+  | Invalid_schedule
+  | Exec_mismatch
+  | Metamorphic
+  | Replay_divergence
+  | Crash
+
 type t =
   | II_try of int  (** one attempt of the II search starts at this II *)
   | Place of { node : int; cycle : int; cluster : int }
@@ -25,6 +34,10 @@ type t =
   | Cache of cache_op  (** schedule-cache lookup or store *)
   | Phase of { phase : phase; ns : int }
       (** a timed span of one pipeline phase, in integer nanoseconds *)
+  | Fuzz of fuzz_verdict
+      (** one differential-fuzzing case finished with this verdict *)
+  | Shrink of { steps : int }
+      (** one failing case was minimized in this many accepted steps *)
 
 let comm_name = function
   | Store_r -> "store_r"
@@ -67,6 +80,25 @@ let phase_of_name = function
   | "memsim" -> Some Memsim
   | _ -> None
 
+let fuzz_verdict_name = function
+  | Pass -> "pass"
+  | No_schedule -> "no_schedule"
+  | Invalid_schedule -> "invalid_schedule"
+  | Exec_mismatch -> "exec_mismatch"
+  | Metamorphic -> "metamorphic"
+  | Replay_divergence -> "replay_divergence"
+  | Crash -> "crash"
+
+let fuzz_verdict_of_name = function
+  | "pass" -> Some Pass
+  | "no_schedule" -> Some No_schedule
+  | "invalid_schedule" -> Some Invalid_schedule
+  | "exec_mismatch" -> Some Exec_mismatch
+  | "metamorphic" -> Some Metamorphic
+  | "replay_divergence" -> Some Replay_divergence
+  | "crash" -> Some Crash
+  | _ -> None
+
 (** Stable counter key of an event; phase spans share one key per phase
     (their durations are accumulated separately by {!Counters}). *)
 let key = function
@@ -79,6 +111,8 @@ let key = function
   | Budget_escalate _ -> "budget.escalate"
   | Cache op -> "cache." ^ cache_op_name op
   | Phase { phase; _ } -> "phase." ^ phase_name phase
+  | Fuzz v -> "fuzz." ^ fuzz_verdict_name v
+  | Shrink _ -> "shrink"
 
 let pp ppf = function
   | II_try ii -> Fmt.pf ppf "ii_try ii=%d" ii
@@ -93,3 +127,5 @@ let pp ppf = function
   | Cache op -> Fmt.pf ppf "cache op=%s" (cache_op_name op)
   | Phase { phase; ns } ->
     Fmt.pf ppf "phase phase=%s ns=%d" (phase_name phase) ns
+  | Fuzz v -> Fmt.pf ppf "fuzz verdict=%s" (fuzz_verdict_name v)
+  | Shrink { steps } -> Fmt.pf ppf "shrink steps=%d" steps

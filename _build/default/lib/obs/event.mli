@@ -9,6 +9,16 @@ type cache_op = Hit | Miss | Store
 type spill = Value | Invariant
 type phase = Mii | Order | Schedule | Regalloc | Memsim
 
+(** Outcome taxonomy of one differential-fuzzing case ([hcrf_check]). *)
+type fuzz_verdict =
+  | Pass
+  | No_schedule  (** the escalation ladder still found no schedule *)
+  | Invalid_schedule  (** [Validate.check] rejected the schedule *)
+  | Exec_mismatch  (** pipeline execution diverged from the reference *)
+  | Metamorphic  (** a metamorphic invariant was violated *)
+  | Replay_divergence  (** warm-cache replay differed from the cold run *)
+  | Crash  (** the case raised instead of returning *)
+
 type t =
   | II_try of int  (** one attempt of the II search starts at this II *)
   | Place of { node : int; cycle : int; cluster : int }
@@ -25,6 +35,10 @@ type t =
   | Cache of cache_op  (** schedule-cache lookup or store *)
   | Phase of { phase : phase; ns : int }
       (** a timed span of one pipeline phase, in integer nanoseconds *)
+  | Fuzz of fuzz_verdict
+      (** one differential-fuzzing case finished with this verdict *)
+  | Shrink of { steps : int }
+      (** one failing case was minimized in this many accepted steps *)
 
 val comm_name : comm -> string
 val comm_of_name : string -> comm option
@@ -34,6 +48,8 @@ val spill_name : spill -> string
 val spill_of_name : string -> spill option
 val phase_name : phase -> string
 val phase_of_name : string -> phase option
+val fuzz_verdict_name : fuzz_verdict -> string
+val fuzz_verdict_of_name : string -> fuzz_verdict option
 
 (** Stable counter key of an event ("place", "comm.store_r",
     "cache.hit", "phase.mii", ...); phase spans share one key per phase

@@ -68,6 +68,8 @@ let payload (ev : Event.t) =
   | Event.Cache op -> ("cache", [ ("op", S (Event.cache_op_name op)) ])
   | Event.Phase { phase; ns } ->
     ("phase", [ ("phase", S (Event.phase_name phase)); ("ns", I ns) ])
+  | Event.Fuzz v -> ("fuzz", [ ("verdict", S (Event.fuzz_verdict_name v)) ])
+  | Event.Shrink { steps } -> ("shrink", [ ("steps", I steps) ])
 
 let line_of_event ~label ev =
   let kind, fields = payload ev in
@@ -270,6 +272,14 @@ let event_of_line line : (string * Event.t, string) result =
         let* phase = need_enum "phase" Event.phase_of_name ev in
         let* ns = need_int "ns" ev in
         Ok (label, Event.Phase { phase; ns })
+      | "fuzz" ->
+        let* () = exact [ "verdict" ] in
+        let* verdict = need_enum "verdict" Event.fuzz_verdict_of_name ev in
+        Ok (label, Event.Fuzz verdict)
+      | "shrink" ->
+        let* () = exact [ "steps" ] in
+        let* steps = need_int "steps" ev in
+        Ok (label, Event.Shrink { steps })
       | other -> Error (Fmt.str "unknown event kind %S" other)))
 
 let check_header line =

@@ -83,8 +83,19 @@ let lstart t (g : Ddg.t) v =
         Some (match acc with None -> bound | Some a -> min a bound))
     None (Ddg.succs g v)
 
+(* Deliberate fault injection for the differential fuzzer (hcrf_check):
+   [Lax_resources] makes [can_place] ignore the reservation table, so the
+   engine happily oversubscribes functional units and ports.  [Validate]
+   rebuilds occupancy independently and must flag every such schedule;
+   the fuzzer asserts it does.  Never set outside tests/campaigns. *)
+type fault = Lax_resources
+
+let fault : fault option ref = ref None
+
 let can_place t g v ~cycle ~loc =
-  Mrt.can_place t.mrt (uses_of t g v ~loc) ~cycle
+  match !fault with
+  | Some Lax_resources -> true
+  | None -> Mrt.can_place t.mrt (uses_of t g v ~loc) ~cycle
 
 let place t g v ~cycle ~loc =
   if is_scheduled t v then Fmt.invalid_arg "Schedule.place: %d placed" v;

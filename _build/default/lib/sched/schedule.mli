@@ -52,6 +52,16 @@ val estart : t -> Hcrf_ir.Ddg.t -> int -> int
     no successor is scheduled. *)
 val lstart : t -> Hcrf_ir.Ddg.t -> int -> int option
 
+(** Deliberate engine faults for differential testing.  [Lax_resources]
+    makes {!can_place} ignore the reservation table entirely, so the
+    engine builds resource-oversubscribed schedules that an independent
+    {!Validate.check} must reject — the fuzzer's canary.  The flag is
+    global and read-only during scheduling; set it only from tests and
+    fuzzing campaigns, and reset it afterwards. *)
+type fault = Lax_resources
+
+val fault : fault option ref
+
 val can_place :
   t -> Hcrf_ir.Ddg.t -> int -> cycle:int -> loc:Topology.loc -> bool
 

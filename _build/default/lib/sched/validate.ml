@@ -18,24 +18,27 @@ open Hcrf_machine
 
 type issue =
   | Unscheduled of int
-  | Bad_location of int
+  | Bad_location of int * Topology.loc
   | Dependence_violated of Ddg.edge
-  | Resource_oversubscribed of Topology.resource * int (* slot *)
-  | Bank_mismatch of Ddg.edge  (** operand read from the wrong bank *)
+  | Resource_oversubscribed of Topology.resource * int * int (* slot, used *)
+  | Bank_mismatch of Ddg.edge * Topology.bank * Topology.bank
+      (** operand defined in one bank, read from another *)
   | Over_capacity of Topology.bank * int * int (* used, capacity *)
   | Allocation_failed of Topology.bank
 
 let pp_issue ppf = function
   | Unscheduled v -> Fmt.pf ppf "node %d not scheduled" v
-  | Bad_location v -> Fmt.pf ppf "node %d at illegal location" v
+  | Bad_location (v, loc) ->
+    Fmt.pf ppf "node %d at illegal location %a" v Topology.pp_loc loc
   | Dependence_violated e ->
     Fmt.pf ppf "dependence %d->%d (%a,d%d) violated" e.src e.dst Dep.pp
       e.dep e.distance
-  | Resource_oversubscribed (r, s) ->
-    Fmt.pf ppf "resource %a oversubscribed at slot %d" Topology.pp_resource
-      r s
-  | Bank_mismatch e ->
-    Fmt.pf ppf "operand %d->%d read from wrong bank" e.src e.dst
+  | Resource_oversubscribed (r, s, used) ->
+    Fmt.pf ppf "resource %a oversubscribed at slot %d (%d reserved)"
+      Topology.pp_resource r s used
+  | Bank_mismatch (e, db, rb) ->
+    Fmt.pf ppf "operand %d->%d defined in bank %a, read from bank %a" e.src
+      e.dst Topology.pp_bank db Topology.pp_bank rb
   | Over_capacity (b, used, cap) ->
     Fmt.pf ppf "bank %a: %d live > %d registers" Topology.pp_bank b used cap
   | Allocation_failed b ->
@@ -57,7 +60,7 @@ let check ?(invariant_residents = fun (_ : Topology.bank) -> 0)
       | Some e ->
         let legal = Topology.exec_locs config n.kind in
         if not (List.exists (Topology.equal_loc e.loc) legal) then
-          add (Bad_location n.id));
+          add (Bad_location (n.id, e.loc)));
   (* dependences *)
   List.iter
     (fun (e : Ddg.edge) ->
@@ -86,7 +89,7 @@ let check ?(invariant_residents = fun (_ : Topology.bank) -> 0)
   Hashtbl.iter
     (fun (r, slot) count ->
       if not (Cap.fits count (Topology.units config r)) then
-        add (Resource_oversubscribed (r, slot)))
+        add (Resource_oversubscribed (r, slot, count)))
     occ;
   (* operand banks *)
   Ddg.iter_nodes g (fun n ->
@@ -107,7 +110,7 @@ let check ?(invariant_residents = fun (_ : Topology.bank) -> 0)
               | Some db, dk ->
                 let rb = Topology.read_bank config dk b.loc in
                 if not (Topology.equal_bank db rb) then
-                  add (Bank_mismatch e)
+                  add (Bank_mismatch (e, db, rb))
               | None, _ -> ())
             | None, _ | _, None -> ())
         n.preds);

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Check Ddg Dep Filename Fmt Fun Hcrf_cache Hcrf_check Hcrf_eval Hcrf_ir Hcrf_machine Hcrf_obs Hcrf_sched Hcrf_workload List Loop Morph Op Repro Sys

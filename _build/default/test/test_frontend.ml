@@ -298,6 +298,236 @@ let prop_random_programs =
             config.Hcrf_machine.Config.name Hcrf_pipesim.Pipe_exec.pp_error e;
           false))
 
+(* Semantic cross-check: interpret the IF-converted AST directly —
+   without ever building a dependence graph — and require the final
+   memory image to match [Ref_exec.run] on the compiled loop exactly.
+   The interpreter mirrors the compiler's observable conventions
+   (per-iteration CSE killed by same-location stores, parameter ids in
+   first-use order, array allocation in the order [Compile.streams]
+   touches references, select as two guarded multiplies and a blend) but
+   shares none of its code paths, so a dataflow bug in either side shows
+   up as a float mismatch. *)
+
+type ival = Inum of float | Ipar of int
+
+let interp_value kind ivals =
+  let ops = List.filter_map (function Inum v -> Some v | Ipar _ -> None) ivals in
+  let invs =
+    (* the executor feeds each distinct invariant to a consumer once,
+       however many edges connect them *)
+    List.sort_uniq compare
+      (List.filter_map (function Ipar i -> Some i | Inum _ -> None) ivals)
+  in
+  Hcrf_pipesim.Semantics.combine kind ops
+    ~invariants:(List.map Hcrf_pipesim.Semantics.invariant_value invs)
+    ~memory:None
+
+(* Array allocation indices as [Compile.streams] assigns them: it walks
+   the ref list with [rev_map], so the reference compiled LAST gets the
+   first fresh index.  Reproduce the compiler's CSE-aware ref list
+   structurally (values play no part). *)
+let interp_array_indices body =
+  let refs = ref [] in
+  let live = Hashtbl.create 16 in
+  let rec scan = function
+    | Arr (a, k) ->
+      if not (Hashtbl.mem live (a, k)) then begin
+        Hashtbl.replace live (a, k) ();
+        refs := (a, k) :: !refs
+      end
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) -> scan a; scan b
+    | Sqrt a -> scan a
+    | Select (c, a, b) ->
+      (* the compiler materialises the condition twice *)
+      scan c; scan a; scan c; scan b
+    | Var _ | Param _ | Prev _ -> ()
+  in
+  List.iter
+    (function
+      | Def (_, e) -> scan e
+      | Store (a, k, e) ->
+        scan e;
+        refs := (a, k) :: !refs;
+        Hashtbl.remove live (a, k)
+      | If _ -> Alcotest.fail "interp: conditional survived IF-conversion")
+    body;
+  let arrays = Hashtbl.create 8 in
+  List.iter
+    (fun (a, _) ->
+      if not (Hashtbl.mem arrays a) then
+        Hashtbl.replace arrays a (Hashtbl.length arrays))
+    !refs;
+  arrays
+
+(* Run [iterations] of an IF-converted body; returns the final memory
+   image keyed by address, laid out like the compiled loop's streams. *)
+let interpret (src : Ast.t) ~iterations =
+  let body = src.Ast.body in
+  let arrays = interp_array_indices body in
+  let addr a k i =
+    let idx = Hashtbl.find arrays a in
+    (idx * (1 lsl 20)) + (idx * 1056) + ((k + i) * 8)
+  in
+  let params = Hashtbl.create 8 in
+  let param_id s =
+    match Hashtbl.find_opt params s with
+    | Some id -> id
+    | None ->
+      let id = Hashtbl.length params in
+      Hashtbl.replace params s id;
+      id
+  in
+  let scalars = Hashtbl.create 8 in
+  let memory = Hashtbl.create 64 in
+  let read a =
+    match Hashtbl.find_opt memory a with
+    | Some v -> v
+    | None -> Hcrf_pipesim.Semantics.memory_init a
+  in
+  let cse = Hashtbl.create 16 in
+  for i = 0 to iterations - 1 do
+    Hashtbl.reset cse;
+    List.iter
+      (fun stmt ->
+        (* evaluation order matters only for parameter-id assignment;
+           keep it explicitly left-to-right, as the compiler traverses *)
+        let rec eval e : ival =
+          match e with
+          | Param s -> Ipar (param_id s)
+          | Var s -> (
+            match Hashtbl.find_opt scalars s with
+            | Some v -> Inum v
+            | None -> Alcotest.fail ("interp: undefined scalar " ^ s))
+          | Prev _ -> Alcotest.fail "interp: prev unsupported"
+          | Arr (a, k) -> (
+            match Hashtbl.find_opt cse (a, k) with
+            | Some v -> Inum v
+            | None ->
+              let v = read (addr a k i) in
+              Hashtbl.replace cse (a, k) v;
+              Inum v)
+          | Add (a, b) | Sub (a, b) ->
+            let va = eval a in
+            let vb = eval b in
+            Inum (interp_value Op.Fadd [ va; vb ])
+          | Mul (a, b) ->
+            let va = eval a in
+            let vb = eval b in
+            Inum (interp_value Op.Fmul [ va; vb ])
+          | Div (a, b) ->
+            let va = eval a in
+            let vb = eval b in
+            Inum (interp_value Op.Fdiv [ va; vb ])
+          | Sqrt a -> Inum (interp_value Op.Fsqrt [ eval a ])
+          | Select (c, a, b) ->
+            let vc1 = eval c in
+            let va = eval a in
+            let m1 = interp_value Op.Fmul [ vc1; va ] in
+            let vc2 = eval c in
+            let vb = eval b in
+            let m2 = interp_value Op.Fmul [ vc2; vb ] in
+            Inum (interp_value Op.Fadd [ Inum m1; Inum m2 ])
+        in
+        match stmt with
+        | Def (s, e) -> (
+          match eval e with
+          | Inum v -> Hashtbl.replace scalars s v
+          | Ipar _ -> Alcotest.fail ("interp: " ^ s ^ " bound to a parameter"))
+        | Store (a, k, e) ->
+          let v = interp_value Op.Store [ eval e ] in
+          Hashtbl.replace memory (addr a k i) v;
+          Hashtbl.remove cse (a, k)
+        | If _ -> Alcotest.fail "interp: conditional survived IF-conversion")
+      body
+  done;
+  memory
+
+(* Like [random_source] but without loop-carried scalars: [prev] reaches
+   back before iteration 0, where the executor substitutes live-in
+   values keyed by node id — information an AST-level interpreter cannot
+   have.  Adds direct selects for coverage beyond IF-conversion. *)
+let random_source_carried_free seed =
+  let rng = Hcrf_workload.Rng.create ~seed in
+  let arrays = [| "a"; "b"; "c"; "d" |] in
+  let params = [| "p"; "q" |] in
+  let scalars = ref [] in
+  let pick l = List.nth l (Hcrf_workload.Rng.int rng (List.length l)) in
+  let rec expr depth =
+    let leaf () =
+      match Hcrf_workload.Rng.int rng 4 with
+      | 0 | 1 ->
+        arr
+          ~off:(Hcrf_workload.Rng.range rng (-2) 2)
+          arrays.(Hcrf_workload.Rng.int rng (Array.length arrays))
+      | 2 when !scalars <> [] -> var (pick !scalars)
+      | _ -> param params.(Hcrf_workload.Rng.int rng (Array.length params))
+    in
+    if depth <= 0 then leaf ()
+    else
+      match Hcrf_workload.Rng.int rng 7 with
+      | 0 -> expr (depth - 1) +: expr (depth - 1)
+      | 1 -> expr (depth - 1) *: expr (depth - 1)
+      | 2 -> expr (depth - 1) -: expr (depth - 1)
+      | 3 -> expr (depth - 1) /: expr (depth - 1)
+      | 4 -> sqrt_ (expr (depth - 1))
+      | 5 -> select (expr 0) (expr (depth - 1)) (expr (depth - 1))
+      | _ -> leaf ()
+  in
+  let rec stmts n ~allow_if =
+    List.concat
+      (List.init n (fun _ ->
+           match Hcrf_workload.Rng.int rng 4 with
+           | 0 | 1 ->
+             let name = Fmt.str "s%d" (Hcrf_workload.Rng.int rng 4) in
+             let s = def name (expr 1 +: expr 1) in
+             scalars := name :: List.filter (( <> ) name) !scalars;
+             [ s ]
+           | 2 ->
+             [ store
+                 ~off:(Hcrf_workload.Rng.range rng (-1) 1)
+                 arrays.(Hcrf_workload.Rng.int rng (Array.length arrays))
+                 (expr 2) ]
+           | _ when allow_if ->
+             let c = Fmt.str "s%d" (Hcrf_workload.Rng.int rng 4) in
+             scalars := c :: List.filter (( <> ) c) !scalars;
+             def c (expr 0 +: expr 0)
+             :: [ if_ (var c) (stmts 2 ~allow_if:false)
+                    (stmts 1 ~allow_if:false) ]
+           | _ -> [ store "out" (expr 2) ]))
+  in
+  let preamble =
+    List.init 4 (fun k ->
+        let name = Fmt.str "s%d" k in
+        scalars := name :: !scalars;
+        def name (arr arrays.(k mod Array.length arrays)))
+  in
+  let body = preamble @ stmts 5 ~allow_if:true @ [ store "out" (expr 2) ] in
+  make ~name:(Fmt.str "noprev%d" seed) ~trip_count:64 body
+
+let prop_interpreter_agrees =
+  QCheck.Test.make ~name:"compiled loops match direct AST interpretation"
+    ~count:60
+    QCheck.(int_range 0 59)
+    (fun seed ->
+      let src = random_source_carried_free ((seed * 257) + 13) in
+      let loop = Compile.compile src in
+      let expected = interpret (If_convert.run src) ~iterations:4 in
+      let got =
+        (Hcrf_pipesim.Ref_exec.run loop ~iterations:4).Hcrf_pipesim.Ref_exec
+        .memory
+      in
+      let agrees =
+        Hashtbl.length expected = Hashtbl.length got
+        && Hashtbl.fold
+             (fun a v ok ->
+               ok && compare (Hashtbl.find_opt got a) (Some v) = 0)
+             expected true
+      in
+      if not agrees then
+        Fmt.epr "interpreter mismatch on %s (%d vs %d addresses)@."
+          src.Ast.name (Hashtbl.length expected) (Hashtbl.length got);
+      agrees)
+
 let tests =
   [
     ("frontend: daxpy", `Quick, test_compile_daxpy);
@@ -312,4 +542,5 @@ let tests =
     ("frontend: nested if", `Quick, test_nested_if);
     ("frontend: functional end-to-end", `Quick, test_functional_end_to_end);
     QCheck_alcotest.to_alcotest prop_random_programs;
+    QCheck_alcotest.to_alcotest prop_interpreter_agrees;
   ]

@@ -15,6 +15,7 @@ let () =
       ("cache", Test_cache.tests);
       ("pipesim", Test_pipesim.tests);
       ("frontend", Test_frontend.tests);
+      ("check", Test_check.tests);
       ("codegen", Test_codegen.tests);
       ("topology", Test_topology.tests);
     ]

@@ -322,6 +322,84 @@ let prop_pressure_monotone =
       | _ :: rest ->
         Lifetimes.pressure ~ii ~bank:(Topology.Local 0) rest <= p)
 
+(* ------------------------------------------------------------------ *)
+(* Determinism of the scheduling order sources (the engine replays a
+   priority order; any hidden insertion-order dependence would make
+   schedules irreproducible) *)
+
+let prop_pqueue_tie_determinism =
+  QCheck.Test.make
+    ~name:"pqueue: equal-priority ties are insertion-order independent"
+    ~count:200
+    QCheck.(
+      pair
+        (list (pair (int_range 0 30) (int_range 0 3)))
+        (int_range 0 1000))
+    (fun (entries, salt) ->
+      (* dedupe ids; tiny priority range -> plenty of ties *)
+      let entries =
+        List.sort_uniq (fun (a, _) (b, _) -> compare a b) entries
+      in
+      let drain l =
+        let q = Pqueue.create () in
+        List.iter
+          (fun (id, p) -> Pqueue.push q ~priority:(float_of_int p) id)
+          l;
+        let rec go acc =
+          match Pqueue.pop q with
+          | None -> List.rev acc
+          | Some v -> go (v :: acc)
+        in
+        go []
+      in
+      let perm =
+        (* a deterministic salt-driven permutation of the insertions *)
+        List.sort
+          (fun (a, _) (b, _) ->
+            compare (((a * 7919) + salt) mod 101, a)
+              (((b * 7919) + salt) mod 101, b))
+          entries
+      in
+      drain entries = drain perm)
+
+let prop_order_deterministic =
+  QCheck.Test.make
+    ~name:"order: a permutation, stable across recomputation and copy"
+    ~count:50
+    QCheck.(int_range 0 30)
+    (fun i ->
+      let rng = Hcrf_workload.Rng.create ~seed:(0xABCD + (i * 7919)) in
+      let loop = Hcrf_workload.Genloop.generate ~rng ~index:i () in
+      let cfg = Lazy.force s128 in
+      let o1 = Order.compute cfg loop.Loop.ddg in
+      let o2 = Order.compute cfg (Ddg.copy loop.Loop.ddg) in
+      o1 = o2 && List.sort compare o1 = Ddg.nodes loop.Loop.ddg)
+
+(* ------------------------------------------------------------------ *)
+(* Validate.pp_issue: every constructor renders unambiguously *)
+
+let test_pp_issue_golden () =
+  let e = { Ddg.src = 3; dst = 7; dep = Dep.True; distance = 2 } in
+  List.iter
+    (fun (issue, expect) ->
+      Alcotest.(check string)
+        expect expect
+        (Fmt.str "%a" Validate.pp_issue issue))
+    [
+      (Validate.Unscheduled 5, "node 5 not scheduled");
+      ( Validate.Bad_location (4, Topology.Cluster 2),
+        "node 4 at illegal location c2" );
+      (Validate.Dependence_violated e, "dependence 3->7 (true,d2) violated");
+      ( Validate.Resource_oversubscribed (Topology.Mem 1, 3, 5),
+        "resource mem1 oversubscribed at slot 3 (5 reserved)" );
+      ( Validate.Bank_mismatch (e, Topology.Local 0, Topology.Shared),
+        "operand 3->7 defined in bank L0, read from bank S" );
+      ( Validate.Over_capacity (Topology.Shared, 40, 32),
+        "bank S: 40 live > 32 registers" );
+      ( Validate.Allocation_failed (Topology.Local 3),
+        "bank L3: rotating allocation failed" );
+    ]
+
 let tests =
   [
     ("mii: daxpy", `Quick, test_mii_daxpy);
@@ -344,7 +422,10 @@ let tests =
     ("regalloc: disjoint", `Quick, test_regalloc_simple);
     ("regalloc: overlap", `Quick, test_regalloc_overlap);
     ("regalloc: capacity", `Quick, test_regalloc_capacity);
+    ("validate: pp_issue golden", `Quick, test_pp_issue_golden);
     QCheck_alcotest.to_alcotest prop_regalloc_geq_maxlives;
     QCheck_alcotest.to_alcotest prop_mrt_place_remove_roundtrip;
     QCheck_alcotest.to_alcotest prop_pressure_monotone;
+    QCheck_alcotest.to_alcotest prop_pqueue_tie_determinism;
+    QCheck_alcotest.to_alcotest prop_order_deterministic;
   ]

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Fuzzing smoke test, run on every `dune runtest`: a 50-case pinned-seed
+# differential campaign over 2 worker domains.  The oracles must find
+# nothing (a failure here is a real scheduler/executor divergence), and
+# the report must be byte-stable — the same seed gives the same bytes on
+# every run and for any worker count.
+set -eu
+
+abspath () { case "$1" in */*) printf '%s\n' "$1" ;; *) printf './%s\n' "$1" ;; esac }
+explore=$(abspath "$1")
+
+"$explore" fuzz --seed 42 --cases 50 --jobs 2 --no-corpus > fuzz1.txt
+"$explore" fuzz --seed 42 --cases 50 --jobs 1 --no-corpus > fuzz2.txt
+
+grep -q '^fuzz: seed=42 cases=50 failures=0$' fuzz1.txt ||
+  { echo "fuzz smoke: campaign reported failures" >&2; cat fuzz1.txt >&2
+    exit 1; }
+
+cmp fuzz1.txt fuzz2.txt ||
+  { echo "fuzz smoke: report depends on the worker count" >&2; exit 1; }
+
+echo "fuzz smoke: ok (50 cases, no oracle failures, byte-stable report)"

@@ -1,0 +1,181 @@
+open Hcrf_ir
+module Lat = Hcrf_machine.Latencies
+
+type candidate = { loop : Loop.t; lats : Lat.t }
+
+(* Rebuild a loop around a reduced graph, dropping streams whose
+   operation is gone. *)
+let with_graph (loop : Loop.t) g =
+  let streams =
+    List.filter (fun (s : Loop.stream) -> Ddg.mem g s.Loop.op)
+      loop.Loop.streams
+  in
+  Loop.make ~trip_count:loop.Loop.trip_count ~entries:loop.Loop.entries
+    ~streams g
+
+(* The distance-0 subgraph must stay acyclic (Kahn count). *)
+let acyclic0 g =
+  let nodes = Ddg.nodes g in
+  let indeg = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      Hashtbl.replace indeg v
+        (List.length
+           (List.filter
+              (fun (e : Ddg.edge) -> e.Ddg.distance = 0)
+              (Ddg.preds g v))))
+    nodes;
+  let ready = ref (List.filter (fun v -> Hashtbl.find indeg v = 0) nodes) in
+  let seen = ref 0 in
+  while !ready <> [] do
+    let v = List.hd !ready in
+    ready := List.tl !ready;
+    incr seen;
+    List.iter
+      (fun (e : Ddg.edge) ->
+        if e.Ddg.distance = 0 then begin
+          let d = Hashtbl.find indeg e.Ddg.dst - 1 in
+          Hashtbl.replace indeg e.Ddg.dst d;
+          if d = 0 then ready := e.Ddg.dst :: !ready
+        end)
+      (Ddg.succs g v)
+  done;
+  !seen = List.length nodes
+
+(* ------------------------------------------------------------------ *)
+(* Reduction candidates, as thunks in a fixed, deterministic order.    *)
+
+let node_removals c =
+  (* highest ids first: inserted/late nodes tend to be the removable
+     periphery, and the survivor keeps a dense prefix of ids *)
+  List.rev_map
+    (fun id () ->
+      let g = Ddg.copy c.loop.Loop.ddg in
+      Ddg.remove_node g id;
+      if Ddg.num_nodes g = 0 then None else Some { c with loop = with_graph c.loop g })
+    (Ddg.nodes c.loop.Loop.ddg)
+
+let edge_removals c =
+  List.map
+    (fun (e : Ddg.edge) () ->
+      let g = Ddg.copy c.loop.Loop.ddg in
+      Ddg.remove_edge g e;
+      Some { c with loop = with_graph c.loop g })
+    (Ddg.edges c.loop.Loop.ddg)
+
+let distance_reductions c =
+  List.filter_map
+    (fun (e : Ddg.edge) ->
+      if e.Ddg.distance = 0 then None
+      else
+        Some
+          (fun () ->
+            let target = if e.Ddg.distance > 1 then 1 else 0 in
+            let g = Ddg.copy c.loop.Loop.ddg in
+            Ddg.remove_edge g e;
+            Ddg.add_edge g ~distance:target ~dep:e.Ddg.dep e.Ddg.src e.Ddg.dst;
+            if target = 0 && not (acyclic0 g) then None
+            else Some { c with loop = with_graph c.loop g }))
+    (Ddg.edges c.loop.Loop.ddg)
+
+let invariant_drops c =
+  List.map
+    (fun (inv : Ddg.invariant) ()->
+      let r = Ddg.to_repr c.loop.Loop.ddg in
+      let r' =
+        { r with
+          Ddg.repr_invariants =
+            List.filter (fun (id, _) -> id <> inv.Ddg.inv_id)
+              r.Ddg.repr_invariants }
+      in
+      Some { c with loop = with_graph c.loop (Ddg.of_repr r') })
+    (Ddg.invariants c.loop.Loop.ddg)
+
+let count_shrinks c =
+  let halve n = if n > 1 then Some (n / 2) else None in
+  let trip =
+    Option.map
+      (fun n () ->
+        Some
+          { c with
+            loop =
+              Loop.make ~trip_count:n ~entries:c.loop.Loop.entries
+                ~streams:c.loop.Loop.streams c.loop.Loop.ddg })
+      (halve c.loop.Loop.trip_count)
+  in
+  let entries =
+    Option.map
+      (fun n () ->
+        Some
+          { c with
+            loop =
+              Loop.make ~trip_count:c.loop.Loop.trip_count ~entries:n
+                ~streams:c.loop.Loop.streams c.loop.Loop.ddg })
+      (halve c.loop.Loop.entries)
+  in
+  List.filter_map Fun.id [ trip; entries ]
+
+let latency_shrinks c =
+  let l = c.lats in
+  let field get set =
+    if get l > 1 then Some (fun () -> Some { c with lats = set l (get l - 1) })
+    else None
+  in
+  List.filter_map Fun.id
+    [
+      field (fun l -> l.Lat.fadd) (fun l v -> { l with Lat.fadd = v });
+      field (fun l -> l.Lat.fmul) (fun l v -> { l with Lat.fmul = v });
+      field (fun l -> l.Lat.fdiv) (fun l v -> { l with Lat.fdiv = v });
+      field (fun l -> l.Lat.fsqrt) (fun l v -> { l with Lat.fsqrt = v });
+      field (fun l -> l.Lat.mem_read) (fun l v -> { l with Lat.mem_read = v });
+      field (fun l -> l.Lat.mem_write) (fun l v -> { l with Lat.mem_write = v });
+      field (fun l -> l.Lat.move) (fun l v -> { l with Lat.move = v });
+      field (fun l -> l.Lat.loadr) (fun l v -> { l with Lat.loadr = v });
+      field (fun l -> l.Lat.storer) (fun l v -> { l with Lat.storer = v });
+    ]
+
+let candidates c =
+  List.concat
+    [
+      node_removals c;
+      edge_removals c;
+      distance_reductions c;
+      invariant_drops c;
+      count_shrinks c;
+      latency_shrinks c;
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let run ~still_failing ?(max_evals = 500) start =
+  let evals = ref 0 in
+  let steps = ref 0 in
+  let cur = ref start in
+  let accept c =
+    if !evals >= max_evals then false
+    else begin
+      incr evals;
+      still_failing c
+    end
+  in
+  let rec round () =
+    let accepted =
+      List.exists
+        (fun mk ->
+          !evals < max_evals
+          &&
+          match mk () with
+          | None -> false
+          | Some c ->
+            if accept c then begin
+              cur := c;
+              incr steps;
+              true
+            end
+            else false)
+        (candidates !cur)
+    in
+    if accepted && !evals < max_evals then round ()
+  in
+  round ();
+  (!cur, !steps)

@@ -10,11 +10,12 @@
 
 type issue =
   | Unscheduled of int
-  | Bad_location of int
+  | Bad_location of int * Topology.loc  (** node, illegal location *)
   | Dependence_violated of Hcrf_ir.Ddg.edge
-  | Resource_oversubscribed of Topology.resource * int (** slot *)
-  | Bank_mismatch of Hcrf_ir.Ddg.edge
-      (** operand read from the wrong bank *)
+  | Resource_oversubscribed of Topology.resource * int * int
+      (** resource, modulo slot, units reserved there *)
+  | Bank_mismatch of Hcrf_ir.Ddg.edge * Topology.bank * Topology.bank
+      (** operand edge, bank it was defined in, bank it was read from *)
   | Over_capacity of Topology.bank * int * int (** used, capacity *)
   | Allocation_failed of Topology.bank
 
