@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- quick        # all, on a small suite
      dune exec bench/main.exe -- stats        # scheduler-effort counters
      dune exec bench/main.exe -- trace        # per-config event counters
+     dune exec bench/main.exe -- json         # machine-readable cold/warm report
      dune exec bench/main.exe -- micro        # bechamel micro-benchmarks
 
    Experiments: fig1 tab1 tab2 tab3 tab4 fig4 tab5 tab6 fig6 calib stats
@@ -118,6 +119,50 @@ let trace_sec ~loops ~ctx () =
           let a = Runner.aggregate config results in
           Fmt.pr "%a@." (Metrics.pp_aggregate ?cache:None ~trace:counters) a)
         [ "S64"; "4C32S16" ])
+
+(* Machine-readable benchmark report (the sched-core speedup gate):
+   for each configuration, one cold suite run against a fresh in-memory
+   cache and one warm run against the same cache, wall-clock seconds
+   each, plus the per-phase nanosecond totals from the tracing
+   subsystem accumulated over both runs.  A single JSON document on
+   stdout, schema "hcrf-bench/1"; not part of "all" (it re-runs the
+   suite twice per config). *)
+let json_sec ~loops () =
+  let jobs = Env.jobs () in
+  let buf = Buffer.create 1024 in
+  let bpf fmt = Printf.bprintf buf fmt in
+  bpf "{ \"schema\": \"hcrf-bench/1\", \"runs\": [";
+  List.iteri
+    (fun i name ->
+      let config = Hcrf_model.Presets.published name in
+      let counters = Hcrf_obs.Counters.create () in
+      let tracer =
+        Hcrf_obs.Tracer.make [ Hcrf_obs.Tracer.Counters counters ]
+      in
+      let cache = Hcrf_cache.Cache.create () in
+      let ctx = Runner.Ctx.make ~cache ~jobs ~tracer () in
+      let wall f =
+        let t0 = Unix.gettimeofday () in
+        ignore (f ());
+        Unix.gettimeofday () -. t0
+      in
+      let cold = wall (fun () -> Runner.run_suite ~ctx config loops) in
+      let warm = wall (fun () -> Runner.run_suite ~ctx config loops) in
+      if i > 0 then bpf ",";
+      bpf "\n  { \"config\": %S, \"loops\": %d, \"jobs\": %d," name
+        (List.length loops) jobs;
+      bpf "\n    \"cold_wall_s\": %.3f, \"warm_wall_s\": %.3f," cold warm;
+      bpf "\n    \"phase_ns\": { ";
+      List.iteri
+        (fun j (k, ns) ->
+          if j > 0 then bpf ", ";
+          bpf "%S: %d" k ns)
+        (Hcrf_obs.Counters.timings counters);
+      bpf " } }";
+      Hcrf_obs.Tracer.close tracer)
+    [ "S64"; "4C32"; "4C32S16" ];
+  bpf "\n] }\n";
+  print_string (Buffer.contents buf)
 
 (* Workbench statistics: how the synthetic suite compares with the
    distributions the paper reports for the Perfect Club loops. *)
@@ -266,11 +311,14 @@ let () =
     List.exists wants
       [ "fig1"; "tab1"; "tab3"; "tab4"; "fig4"; "tab6"; "fig6"; "calib";
         "ablate"; "stats"; "trace" ]
+    || List.mem "json" selected
   in
   let loops =
     if needs_loops then begin
-      Fmt.pr "Generating the %d-loop workbench (%d jobs)...@." n
-        ctx.Runner.Ctx.jobs;
+      (* a json-only invocation must emit nothing but the JSON document *)
+      if selected <> [ "json" ] then
+        Fmt.pr "Generating the %d-loop workbench (%d jobs)...@." n
+          ctx.Runner.Ctx.jobs;
       Hcrf_workload.Suite.generate ~n ()
     end
     else []
@@ -288,6 +336,7 @@ let () =
   if wants "ablate" then ablate ~loops ~ctx ();
   if wants "stats" then stats ~loops ~ctx ();
   if wants "trace" then trace_sec ~loops ~ctx ();
+  if List.mem "json" selected then json_sec ~loops ();
   if wants "micro" then micro ();
   (match ctx.Runner.Ctx.cache with
   | None -> ()

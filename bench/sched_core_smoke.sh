@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Scheduler-core smoke test, run on every `dune runtest`: a small cold
+# workbench (tab6, 20 loops, serial) byte-compared against the golden
+# output committed when the data-oriented core replaced the original
+# functional one.  Any behavioural drift in the scheduler — a different
+# eject victim, a different spill choice, a different II — changes some
+# table cell and fails the comparison; only wall-clock lines are
+# filtered out.
+set -eu
+
+# dune passes the executable as a path relative to the rule's cwd
+case "$1" in
+  */*) exe="$1" ;;
+  *) exe="./$1" ;;
+esac
+golden="$2"
+
+HCRF_LOOPS=20 HCRF_JOBS=1 "$exe" quick tab6 > sched_core.txt
+grep -v 'took' sched_core.txt > sched_core.filtered
+
+cmp "$golden" sched_core.filtered ||
+  { echo "sched-core smoke: output drifted from the committed golden" >&2
+    diff "$golden" sched_core.filtered | head -40 >&2 || true
+    exit 1; }
+
+# the JSON bench emitter must produce a parseable hcrf-bench/1 report
+# on the same small workbench (wall-clock values vary; shape must not)
+HCRF_LOOPS=5 HCRF_JOBS=1 "$exe" json > sched_core.json
+grep -q '"schema": "hcrf-bench/1"' sched_core.json ||
+  { echo "sched-core smoke: JSON report missing schema tag" >&2; exit 1; }
+if command -v jq > /dev/null 2>&1; then
+  jq -e '.runs | length == 3 and all(.cold_wall_s >= 0 and .phase_ns != null)' \
+    sched_core.json > /dev/null ||
+    { echo "sched-core smoke: malformed JSON report" >&2; exit 1; }
+fi
+
+echo "sched-core smoke: ok (tab6@20 byte-identical to golden, JSON report valid)"

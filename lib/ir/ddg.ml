@@ -35,11 +35,19 @@ type t = {
   mutable next_id : int;
   mutable next_inv : int;
   mutable invariants : invariant list;
+  mutable watcher : (int -> unit) option;
+      (* fired with [e.src] on every edge insertion/removal; lets a
+         scheduler keep incremental per-value state (the consumer set of
+         [e.src] just changed) without scanning the graph.  Never copied
+         nor serialized. *)
 }
 
 let create ?(name = "loop") () =
   { name; nodes = Hashtbl.create 64; next_id = 0; next_inv = 0;
-    invariants = [] }
+    invariants = []; watcher = None }
+
+let set_watcher t w = t.watcher <- w
+let notify t src = match t.watcher with None -> () | Some f -> f src
 
 let name t = t.name
 let num_nodes t = Hashtbl.length t.nodes
@@ -65,7 +73,8 @@ let add_edge t ?(distance = 0) ~dep src dst =
   let e = { src; dst; dep; distance } in
   let ns = node t src and nd = node t dst in
   ns.succs <- e :: ns.succs;
-  nd.preds <- e :: nd.preds
+  nd.preds <- e :: nd.preds;
+  notify t src
 
 let edge_equal a b =
   a.src = b.src && a.dst = b.dst && Dep.equal a.dep b.dep
@@ -87,7 +96,8 @@ let has_edge t e =
 let remove_edge t e =
   let ns = node t e.src and nd = node t e.dst in
   ns.succs <- remove_once (edge_equal e) ns.succs;
-  nd.preds <- remove_once (edge_equal e) nd.preds
+  nd.preds <- remove_once (edge_equal e) nd.preds;
+  notify t e.src
 
 (** Remove a node and every edge touching it.  Invariant consumer lists are
     updated as well. *)
@@ -148,7 +158,8 @@ let num_compute_ops t = count_kind t Op.is_compute
 let copy t =
   let t' =
     { name = t.name; nodes = Hashtbl.create (Hashtbl.length t.nodes);
-      next_id = t.next_id; next_inv = t.next_inv; invariants = [] }
+      next_id = t.next_id; next_inv = t.next_inv; invariants = [];
+      watcher = None }
   in
   Hashtbl.iter
     (fun id n ->
@@ -197,7 +208,8 @@ let of_repr r =
       invariants =
         List.map
           (fun (inv_id, inv_consumers) -> { inv_id; inv_consumers })
-          r.repr_invariants }
+          r.repr_invariants;
+      watcher = None }
   in
   List.iter
     (fun (id, kind, succs, preds) ->

@@ -60,6 +60,14 @@ val remove_edge : t -> edge -> unit
     are updated as well. *)
 val remove_node : t -> int -> unit
 
+(** Install (or clear) the edge watcher: it fires with [e.src] on every
+    edge insertion and removal — i.e. whenever the consumer set of
+    [e.src]'s value changes — including the per-edge removals of
+    {!remove_node}.  Used by the scheduler to maintain incremental
+    per-value lifetime state.  At most one watcher; [copy] and
+    {!of_repr} never carry one over. *)
+val set_watcher : t -> (int -> unit) option -> unit
+
 val add_invariant : t -> consumers:int list -> int
 val invariants : t -> invariant list
 val add_invariant_consumer : t -> inv_id:int -> int -> unit

@@ -1,0 +1,54 @@
+(** Reusable scratch buffers for per-II scheduler state.
+
+    One arena lives for the whole II-escalation loop of a single
+    [Engine.schedule] call: every attempt re-acquires its flat tables
+    (reservation counts, occupant stacks, pressure slot counts, schedule
+    entry columns) from the arena instead of allocating fresh ones, so
+    escalating through many IIs does not churn the minor heap.  Buffers
+    are identified by small integer slot ids (see the [slot_*] constants
+    in the users); acquiring a buffer zero- or sentinel-fills the
+    requested prefix, which is the only region the caller may touch.
+
+    Arenas are single-owner: one arena must never be shared by two live
+    structures using the same slot id, nor across domains. *)
+
+type t = {
+  mutable ints : int array array;
+  mutable stacks : int array array array;
+}
+
+let slots = 12
+
+let create () =
+  { ints = Array.make slots [||]; stacks = Array.make slots [||] }
+
+(** An int buffer of length >= [len] with the first [len] cells set to
+    [fill]. *)
+let ints t ~id ~fill len =
+  let b = t.ints.(id) in
+  let b =
+    if Array.length b >= len then b
+    else begin
+      let b' = Array.make (max len (2 * Array.length b)) fill in
+      t.ints.(id) <- b';
+      b'
+    end
+  in
+  Array.fill b 0 len fill;
+  b
+
+(** A buffer of [len] growable int stacks (capacity of previously used
+    stacks is retained; the caller tracks live lengths separately). *)
+let stacks t ~id len =
+  let b = t.stacks.(id) in
+  if Array.length b >= len then b
+  else begin
+    let b' = Array.make (max len (2 * Array.length b)) [||] in
+    Array.blit b 0 b' 0 (Array.length b);
+    t.stacks.(id) <- b';
+    b'
+  end
+
+(** Store a grown replacement for slot [id] so the next acquisition
+    reuses the larger buffer. *)
+let keep_ints t ~id b = if Array.length b > Array.length t.ints.(id) then t.ints.(id) <- b

@@ -1,0 +1,22 @@
+(** Reusable scratch buffers for per-II scheduler state.
+
+    One arena serves one [Engine.schedule] call: each II attempt
+    re-acquires its flat tables from the arena instead of allocating.
+    Buffers are identified by small integer slot ids; an arena must not
+    be shared by two live users of the same slot, nor across domains. *)
+
+type t
+
+val slots : int
+val create : unit -> t
+
+(** An int buffer of length >= [len], first [len] cells set to [fill].
+    Only that prefix may be touched. *)
+val ints : t -> id:int -> fill:int -> int -> int array
+
+(** A buffer of [len] growable int stacks; capacities survive reuse,
+    live lengths are the caller's business. *)
+val stacks : t -> id:int -> int -> int array array
+
+(** Remember a grown replacement buffer for [id]. *)
+val keep_ints : t -> id:int -> int array -> unit

@@ -91,6 +91,7 @@ type state = {
   config : Config.t;
   lat : Latency.t;
   sched : Schedule.t;
+  press : Pressure.t;                    (* incremental MaxLives tracker *)
   pq : Pqueue.t;
   prio : (int, float) Hashtbl.t;
   aux : (int, int list) Hashtbl.t;       (* anchor -> inserted comm nodes *)
@@ -103,6 +104,11 @@ type state = {
   n0 : int;  (** nodes in the original graph, for the growth cap *)
   st : mstats;
   trace : Tr.t;
+  mutable srev : int;
+      (* state revision: bumped on every placement, ejection and graph
+         edit; keys the capacity-check memo below *)
+  mutable memo_srev : int;               (* -1 = no memo *)
+  mutable memo_verdict : [ `Inserted of int | `Unfixable ];
 }
 
 (* Safety net: spilling must not grow the graph without bound (the paper
@@ -127,6 +133,26 @@ let add_aux s ~anchor n =
   let cur = Option.value ~default:[] (Hashtbl.find_opt s.aux anchor) in
   Hashtbl.replace s.aux anchor (n :: cur)
 
+(* Scheduling/unscheduling [v] changes its own lifetime and extends or
+   shrinks its operand producers' (a consumer appeared/disappeared). *)
+let mark_lifetimes s v =
+  Pressure.mark s.press v;
+  List.iter
+    (fun (e : Ddg.edge) -> Pressure.mark s.press e.src)
+    (Ddg.operands s.g v)
+
+let place_node s v cu ~cycle ~loc =
+  Schedule.place_prepared s.sched s.g v cu ~cycle ~loc;
+  s.srev <- s.srev + 1;
+  mark_lifetimes s v
+
+let unplace_node s v =
+  if Schedule.is_scheduled s.sched v then begin
+    s.srev <- s.srev + 1;
+    mark_lifetimes s v;
+    Schedule.unplace s.sched v
+  end
+
 let kind_of s v = Ddg.kind s.g v
 
 let is_comm_kind = function
@@ -147,6 +173,7 @@ let cluster_of_loc = function Topology.Cluster i -> i | Topology.Global -> 0
    consumers (distances compose).  Invariant consumer lists are updated:
    consumers of an invariant's LoadR become direct consumers again. *)
 let splice_out s v =
+  s.srev <- s.srev + 1;  (* invariant consumer lists may change below *)
   let operands = Ddg.operands s.g v in
   let consumers = Ddg.consumers s.g v in
   (match operands with
@@ -164,7 +191,7 @@ let splice_out s v =
           List.filter (fun c -> c <> v) inv.inv_consumers
           @ List.map (fun (ce : Ddg.edge) -> ce.dst) consumers)
     (Ddg.invariants s.g);
-  Schedule.unplace s.sched v;
+  unplace_node s v;
   Pqueue.remove s.pq v;
   Ddg.remove_node s.g v
 
@@ -186,7 +213,7 @@ let maybe_discard s v =
    StoreR reads the bank its producer was in). *)
 let rec eject s v =
   if Schedule.is_scheduled s.sched v then begin
-    Schedule.unplace s.sched v;
+    unplace_node s v;
     s.st.m_ejections <- s.st.m_ejections + 1;
     if Tr.enabled s.trace then Tr.emit s.trace (Ev.Eject { node = v });
     let loc_bound =
@@ -250,16 +277,8 @@ let schedule_node s v ~loc =
         match Topology.bank_capacity s.config bank with
         | Cap.Inf -> 0.
         | Cap.Finite cap when cap > 0 ->
-          let defs =
-            List.length
-              (List.filter
-                 (fun n ->
-                   match def_bank_of s n with
-                   | Some b -> Topology.equal_bank b bank
-                   | None -> false)
-                 (Schedule.scheduled_nodes s.sched))
-          in
-          float_of_int defs /. float_of_int cap
+          float_of_int (Schedule.bank_def_count s.sched bank)
+          /. float_of_int cap
         | Cap.Finite _ -> 1.
       in
       let dst =
@@ -270,27 +289,37 @@ let schedule_node s v ~loc =
       fill dst >= fill Topology.Shared
     | _ -> false
   in
-  let candidates =
+  (* candidate scan over the precompiled reservation vector: no list of
+     cycles, no per-cycle [uses] rebuild *)
+  let cu = Schedule.prepare_uses s.sched s.g v ~loc in
+  let probe c = c >= 0 && Schedule.can_place_prepared s.sched cu ~cycle:c in
+  let scan_down hi n =
+    let rec go k =
+      if k >= n then None else if probe (hi - k) then Some (hi - k) else go (k + 1)
+    in
+    go 0
+  in
+  let scan_up lo n =
+    let rec go k =
+      if k >= n then None else if probe (lo + k) then Some (lo + k) else go (k + 1)
+    in
+    go 0
+  in
+  let found =
     match (has_spreds, lstart) with
     | false, Some l when l >= 0 ->
       (* only successors scheduled: scan downwards from lstart *)
-      List.init (min ii (l + 1)) (fun k -> l - k)
+      scan_down l (min ii (l + 1))
     | _, Some l ->
       let hi = min l (estart + ii - 1) in
-      if hi < estart then []
-      else if prefer_late then
-        List.init (hi - estart + 1) (fun k -> hi - k)
-      else List.init (hi - estart + 1) (fun k -> estart + k)
-    | _, None -> List.init ii (fun k -> estart + k)
-  in
-  let found =
-    List.find_opt
-      (fun c -> c >= 0 && Schedule.can_place s.sched s.g v ~cycle:c ~loc)
-      candidates
+      if hi < estart then None
+      else if prefer_late then scan_down hi (hi - estart + 1)
+      else scan_up estart (hi - estart + 1)
+    | _, None -> scan_up estart ii
   in
   match found with
   | Some cycle ->
-    Schedule.place s.sched s.g v ~cycle ~loc;
+    place_node s v cu ~cycle ~loc;
     emit_place s v ~cycle ~loc;
     Hashtbl.remove s.last_force v
   | None ->
@@ -319,8 +348,12 @@ let schedule_node s v ~loc =
       | _ -> ()
     in
     clear ();
+    (* re-prepare: the ejections above may have unscheduled a Move's
+       producer, changing the reservation vector *)
     if Schedule.can_place s.sched s.g v ~cycle ~loc then begin
-      Schedule.place s.sched s.g v ~cycle ~loc;
+      place_node s v
+        (Schedule.prepare_uses s.sched s.g v ~loc)
+        ~cycle ~loc;
       emit_place s v ~cycle ~loc;
       List.iter (eject s)
         (Schedule.dependence_violations s.sched s.g v ~cycle)
@@ -528,10 +561,11 @@ let placement_cost s v ~loc =
   let ii = Schedule.ii s.sched in
   let estart = Schedule.estart s.sched s.g v in
   let slot_ok =
+    let cu = Schedule.prepare_uses s.sched s.g v ~loc in
     let rec scan k =
       if k >= ii then false
       else if
-        Schedule.can_place s.sched s.g v ~cycle:(max 0 estart + k) ~loc
+        Schedule.can_place_prepared s.sched cu ~cycle:(max 0 estart + k)
       then true
       else scan (k + 1)
     in
@@ -547,15 +581,7 @@ let placement_cost s v ~loc =
     fu_fill :=
       !fu_fill + Mrt.occupancy s.sched.Schedule.mrt fill_resource ~slot
   done;
-  let bank_fill =
-    List.length
-      (List.filter
-         (fun n ->
-           match def_bank_of s n with
-           | Some (Topology.Local c) -> c = cluster
-           | _ -> false)
-         (Schedule.scheduled_nodes s.sched))
-  in
+  let bank_fill = Schedule.bank_def_count s.sched (Topology.Local cluster) in
   (* graded register-availability term: a nearly-full bank is almost as
      bad as a communication op, since placing here will trigger spill
      code (the "availability of registers" part of Select_Cluster) *)
@@ -850,59 +876,66 @@ let pick_and_spill s ~bank lts =
     | Some l -> spill_value s ~bank l.def
     | None -> 0)
 
-(* Check every finite bank and insert spill code until the requirement
-   fits (or no candidate remains).  Returns the number of inserted
-   nodes. *)
 (* Check every finite bank; insert spill code until the requirement fits.
    Returns the number of inserted nodes; [`Unfixable] when a bank stays
-   over capacity with no spill candidate left. *)
+   over capacity with no spill candidate left.
+
+   The requirement comes from the incremental tracker ([Pressure]), so a
+   check that inserts nothing is O(banks × II); the full lifetime list is
+   only materialized when a bank actually overflows.  Checks are also
+   memoized on the state revision: a verdict reached without modifying
+   any state ([`Inserted 0], or [`Unfixable] with no insertions) is
+   returned directly while the revision is unchanged — rerunning the
+   check on identical state is deterministic and side-effect-free, so
+   this skip is behaviour-preserving by construction (see DESIGN.md). *)
 let check_insert_spill ?(force_bank = None) s =
-  let ii = Schedule.ii s.sched in
-  let inserted = ref 0 in
-  let unfixable = ref false in
-  let lts = ref (lazy (Lifetimes.of_schedule s.sched s.g)) in
-  let refresh () = lts := lazy (Lifetimes.of_schedule s.sched s.g) in
-  List.iter
-    (fun bank ->
-      match Topology.bank_capacity s.config bank with
-      | Cap.Inf -> ()
-      | Cap.Finite cap ->
-        let forced =
-          match force_bank with
-          | Some b when Topology.equal_bank b bank -> 1
-          | _ -> 0
-        in
-        let guard = ref 64 in
-        let rec fix extra_required =
-          decr guard;
-          if !guard <= 0 then ()
-          else begin
-            let l = Lazy.force !lts in
-            let used =
-              Lifetimes.pressure ~ii ~bank
-                ~invariant_residents:(invariant_residents s bank)
-                l
-            in
-            if used + extra_required > cap then begin
-              let n = pick_and_spill s ~bank l in
-              inserted := !inserted + n;
-              if n > 0 then begin
-                refresh ();
-                fix extra_required
-              end
-              else begin
-                Logs.debug (fun m ->
-                    m "unfixable: bank %a used=%d cap=%d ii=%d nodes=%d"
-                      Topology.pp_bank bank used cap ii
-                      (Ddg.num_nodes s.g));
-                unfixable := true
+  if force_bank = None && s.memo_srev = s.srev then s.memo_verdict
+  else begin
+    let srev0 = s.srev in
+    let ii = Schedule.ii s.sched in
+    let inserted = ref 0 in
+    let unfixable = ref false in
+    List.iter
+      (fun bank ->
+        match Topology.bank_capacity s.config bank with
+        | Cap.Inf -> ()
+        | Cap.Finite cap ->
+          let forced =
+            match force_bank with
+            | Some b when Topology.equal_bank b bank -> 1
+            | _ -> 0
+          in
+          let guard = ref 64 in
+          let rec fix extra_required =
+            decr guard;
+            if !guard <= 0 then ()
+            else begin
+              let used =
+                Pressure.pressure s.press ~bank + invariant_residents s bank
+              in
+              if used + extra_required > cap then begin
+                let n = pick_and_spill s ~bank (Pressure.lifetimes s.press) in
+                inserted := !inserted + n;
+                if n > 0 then fix extra_required
+                else begin
+                  Logs.debug (fun m ->
+                      m "unfixable: bank %a used=%d cap=%d ii=%d nodes=%d"
+                        Topology.pp_bank bank used cap ii
+                        (Ddg.num_nodes s.g));
+                  unfixable := true
+                end
               end
             end
-          end
-        in
-        fix forced)
-    (banks_of_config s.config);
-  if !unfixable then `Unfixable else `Inserted !inserted
+          in
+          fix forced)
+      (banks_of_config s.config);
+    let verdict = if !unfixable then `Unfixable else `Inserted !inserted in
+    if force_bank = None && s.srev = srev0 then begin
+      s.memo_srev <- s.srev;
+      s.memo_verdict <- verdict
+    end;
+    verdict
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Final cleanup and checks                                            *)
@@ -925,7 +958,7 @@ let prune_dead_comm s =
                     List.mem v inv.inv_consumers)
                   (Ddg.invariants s.g))
         then begin
-          Schedule.unplace s.sched v;
+          unplace_node s v;
           Pqueue.remove s.pq v;
           Ddg.remove_node s.g v;
           changed := true
@@ -985,17 +1018,12 @@ let repair_deps s =
   !count
 
 let pressure_ok s =
-  let ii = Schedule.ii s.sched in
-  let lts = Lifetimes.of_schedule s.sched s.g in
   List.for_all
     (fun bank ->
       match Topology.bank_capacity s.config bank with
       | Cap.Inf -> true
       | Cap.Finite cap ->
-        Lifetimes.pressure ~ii ~bank
-          ~invariant_residents:(invariant_residents s bank)
-          lts
-        <= cap)
+        Pressure.pressure s.press ~bank + invariant_residents s bank <= cap)
     (banks_of_config s.config)
 
 (* Explicit rotating allocation per bank, with capacity reduced by the
@@ -1003,7 +1031,7 @@ let pressure_ok s =
 let allocation_failure s =
   Tr.span s.trace Ev.Regalloc (fun () ->
       let ii = Schedule.ii s.sched in
-      let lts = Lifetimes.of_schedule s.sched s.g in
+      let lts = Pressure.lifetimes s.press in
       List.fold_left
         (fun acc bank ->
           match acc with
@@ -1029,15 +1057,17 @@ let all_scheduled s =
 (* ------------------------------------------------------------------ *)
 (* One attempt at a given II                                           *)
 
-let attempt config opts g0 ~order ~ii ~trace =
+let attempt config opts g0 ~order ~ii ~trace ~arena =
   let g = Ddg.copy g0 in
   let lat = Latency.make ~override:opts.load_override config in
+  let sched = Schedule.create ~arena ~lat config ~ii in
   let s =
     {
       g;
       config;
       lat;
-      sched = Schedule.create ~lat config ~ii;
+      sched;
+      press = Pressure.create ~arena sched g;
       pq = Pqueue.create ();
       prio = Hashtbl.create 64;
       aux = Hashtbl.create 64;
@@ -1058,8 +1088,17 @@ let attempt config opts g0 ~order ~ii ~trace =
           m_attempts = 0;
         };
       trace;
+      srev = 0;
+      memo_srev = -1;
+      memo_verdict = `Inserted 0;
     }
   in
+  (* graph surgery invalidates affected lifetimes and the check memo *)
+  Ddg.set_watcher g
+    (Some
+       (fun u ->
+         s.srev <- s.srev + 1;
+         Pressure.mark s.press u));
   List.iteri (fun i v -> set_prio s v (float_of_int i)) order;
   List.iter (fun v -> Pqueue.push s.pq ~priority:(prio_of s v) v) order;
   let schedule_fresh fresh =
@@ -1127,7 +1166,9 @@ let attempt config opts g0 ~order ~ii ~trace =
               | `Inserted _ | `Unfixable -> None)
         end
   in
-  try loop () with Attempt_failed -> None
+  let result = try loop () with Attempt_failed -> None in
+  Ddg.set_watcher g None;
+  result
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -1152,11 +1193,14 @@ let schedule ?(opts = default_options) ?(trace = Tr.off) (config : Config.t)
             (Ddg.nodes g0))
   in
   let restarts = ref 0 in
+  (* one arena serves every II attempt of this call: escalating re-uses
+     the flat tables instead of reallocating them *)
+  let arena = Arena.create () in
   let rec search ii =
     if ii > max_ii then Error (`No_schedule ii)
     else begin
       if Tr.enabled trace then Tr.emit trace (Ev.II_try ii);
-      match attempt config opts g0 ~order ~ii ~trace with
+      match attempt config opts g0 ~order ~ii ~trace ~arena with
       | Some s ->
         let seconds = Unix.gettimeofday () -. t0 in
         let bounds = Mii.bounds ~lat:s.lat config s.g in

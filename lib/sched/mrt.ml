@@ -1,116 +1,228 @@
-(** Modulo reservation table.
+(** Modulo reservation table — flat, data-oriented implementation.
 
     Tracks, for every hardware resource and every slot in [0, II), how
     many units are occupied and by which nodes.  Non-pipelined operations
     occupy their resource for several consecutive cycles (all taken modulo
     II).  Occupancy is count-based: the table checks that no slot exceeds
     the unit count, which is the standard (and, for interval-shaped
-    reservations, safe in practice) feasibility test. *)
+    reservations, safe in practice) feasibility test.
+
+    Layout: resources are encoded as small integer row codes
+    ([5 * cluster + tag]); one flat [counts] array of [rows * II] ints
+    answers [can_place] with pure array probes (no hashing, no list
+    allocation), and per-(row, slot) occupant stacks — int arrays with a
+    separate length column — support the (rare) force-and-eject path.
+    Observational equivalence with the original association-based table
+    ({!Mrt_ref}) is asserted by QCheck over random operation traces; the
+    eject-victim choice of [conflicts] (most recently placed occupant
+    first) and the duplicate-aware [remove] follow the reference
+    semantics exactly.
+
+    [uses] lists can be precompiled ({!compile}) into int-coded arrays
+    once per (op kind, location, source bank) and probed at many cycles
+    without touching the original list — the scheduler's inner loop. *)
 
 open Hcrf_machine
 
-type slot_state = { mutable count : int; mutable occupants : int list }
+(* Row code of a resource: 5 * cluster + tag.  [Bus] has no cluster and
+   takes the otherwise-unused tag 4 of cluster 0. *)
+let code = function
+  | Topology.Fu i -> 5 * i
+  | Topology.Mem i -> (5 * i) + 1
+  | Topology.Lp i -> (5 * i) + 2
+  | Topology.Sp i -> (5 * i) + 3
+  | Topology.Bus -> 4
 
 type t = {
   ii : int;
   config : Config.t;
-  tables : (Topology.resource, slot_state array) Hashtbl.t;
-  placed : (int, (Topology.resource * int * int) list) Hashtbl.t;
-      (** node -> (resource, issue cycle, duration) list *)
+  rows : int;
+  valid : bool array;      (* row -> resource exists in the configuration *)
+  units : int array;       (* row -> unit count (max_int encodes Cap.Inf) *)
+  counts : int array;      (* row * ii + slot -> occupied units *)
+  occ : int array array;   (* row * ii + slot -> occupant stack *)
+  occ_len : int array;     (* live length of each occupant stack *)
+  placed : (int, (int * int * int) array) Hashtbl.t;
+      (* node -> (row, issue cycle, duration) per use *)
 }
 
-let create (config : Config.t) ~ii =
+(* Arena slot ids (see {!Arena}). *)
+let slot_counts = 0
+let slot_occ_len = 1
+let slot_stacks = 0
+
+let create ?arena (config : Config.t) ~ii =
   if ii < 1 then invalid_arg "Mrt.create: ii < 1";
-  let tables = Hashtbl.create 16 in
+  let rows = (5 * Config.clusters config) + 5 in
+  let valid = Array.make rows false in
+  let units = Array.make rows 0 in
   List.iter
     (fun r ->
-      Hashtbl.replace tables r
-        (Array.init ii (fun _ -> { count = 0; occupants = [] })))
+      let c = code r in
+      valid.(c) <- true;
+      units.(c) <-
+        (match Topology.units config r with
+        | Cap.Inf -> max_int
+        | Cap.Finite n -> n))
     (Topology.all_resources config);
-  { ii; config; tables; placed = Hashtbl.create 64 }
+  let cells = rows * ii in
+  let counts, occ, occ_len =
+    match arena with
+    | Some a ->
+      ( Arena.ints a ~id:slot_counts ~fill:0 cells,
+        Arena.stacks a ~id:slot_stacks cells,
+        Arena.ints a ~id:slot_occ_len ~fill:0 cells )
+    | None -> (Array.make cells 0, Array.make cells [||], Array.make cells 0)
+  in
+  { ii; config; rows; valid; units; counts; occ; occ_len;
+    placed = Hashtbl.create 64 }
 
-let slots t r =
-  match Hashtbl.find_opt t.tables r with
-  | Some a -> a
-  | None ->
-    Fmt.invalid_arg "Mrt: resource %a not in configuration"
-      Topology.pp_resource r
+let bad_resource r =
+  Fmt.invalid_arg "Mrt: resource %a not in configuration"
+    Topology.pp_resource r
 
-(* Occupied modulo slots of a reservation of [dur] cycles at [cycle]. *)
-let reserved_slots t ~cycle ~dur =
-  let dur = min dur t.ii in
-  List.init dur (fun k -> ((cycle + k) mod t.ii + t.ii) mod t.ii)
+let row t r =
+  let c = code r in
+  if c >= t.rows || not t.valid.(c) then bad_resource r;
+  c
 
-let fits_one t r ~cycle ~dur =
-  let a = slots t r in
-  let u = Topology.units t.config r in
-  List.for_all (fun s -> Cap.fits (a.(s).count + 1) u)
-    (reserved_slots t ~cycle ~dur)
+(* Modulo slot of [cycle + k]; cycles may be negative. *)
+let smod t c =
+  let m = c mod t.ii in
+  if m < 0 then m + t.ii else m
 
-(** Can [uses] all be reserved at [cycle]? *)
-let can_place t (uses : (Topology.resource * int) list) ~cycle =
-  List.for_all (fun (r, dur) -> fits_one t r ~cycle ~dur) uses
+(* ------------------------------------------------------------------ *)
+(* Precompiled uses                                                    *)
 
-(** Reserve; the node must not already be placed. *)
-let place t ~node (uses : (Topology.resource * int) list) ~cycle =
+type cuses = { urows : int array; udurs : int array }
+
+let compile t (uses : (Topology.resource * int) list) =
+  let n = List.length uses in
+  let urows = Array.make n 0 and udurs = Array.make n 0 in
+  List.iteri
+    (fun i (r, dur) ->
+      urows.(i) <- row t r;
+      udurs.(i) <- dur)
+    uses;
+  { urows; udurs }
+
+let fits_row t ~r ~cycle ~dur =
+  let u = t.units.(r) in
+  if u = max_int then true
+  else begin
+    let dur = if dur > t.ii then t.ii else dur in
+    let base = r * t.ii in
+    let ok = ref true in
+    let k = ref 0 in
+    while !ok && !k < dur do
+      if t.counts.(base + smod t (cycle + !k)) + 1 > u then ok := false;
+      incr k
+    done;
+    !ok
+  end
+
+let can_place_c t (u : cuses) ~cycle =
+  let ok = ref true in
+  let i = ref 0 in
+  let n = Array.length u.urows in
+  while !ok && !i < n do
+    if not (fits_row t ~r:u.urows.(!i) ~cycle ~dur:u.udurs.(!i)) then
+      ok := false;
+    incr i
+  done;
+  !ok
+
+(* Occupant stack push/pop-one for cell [idx]. *)
+let push_occ t idx node =
+  let st = t.occ.(idx) in
+  let len = t.occ_len.(idx) in
+  let st =
+    if len < Array.length st then st
+    else begin
+      let st' = Array.make (max 4 (2 * Array.length st)) 0 in
+      Array.blit st 0 st' 0 len;
+      t.occ.(idx) <- st';
+      st'
+    end
+  in
+  st.(len) <- node;
+  t.occ_len.(idx) <- len + 1
+
+(* Remove the most recently pushed occurrence of [node] (= the first
+   occurrence from the head of the reference implementation's list). *)
+let remove_occ t idx node =
+  let st = t.occ.(idx) in
+  let len = t.occ_len.(idx) in
+  let i = ref (len - 1) in
+  while !i >= 0 && st.(!i) <> node do decr i done;
+  if !i >= 0 then begin
+    for j = !i to len - 2 do
+      st.(j) <- st.(j + 1)
+    done;
+    t.occ_len.(idx) <- len - 1
+  end
+
+let place_c t ~node (u : cuses) ~cycle =
   if Hashtbl.mem t.placed node then
     Fmt.invalid_arg "Mrt.place: node %d already placed" node;
-  List.iter
-    (fun (r, dur) ->
-      let a = slots t r in
-      List.iter
-        (fun s ->
-          a.(s).count <- a.(s).count + 1;
-          a.(s).occupants <- node :: a.(s).occupants)
-        (reserved_slots t ~cycle ~dur))
-    uses;
-  Hashtbl.replace t.placed node
-    (List.map (fun (r, dur) -> (r, cycle, dur)) uses)
+  let n = Array.length u.urows in
+  let record = Array.make n (0, 0, 0) in
+  for i = 0 to n - 1 do
+    let r = u.urows.(i) and dur = u.udurs.(i) in
+    let base = r * t.ii in
+    let d = if dur > t.ii then t.ii else dur in
+    for k = 0 to d - 1 do
+      let idx = base + smod t (cycle + k) in
+      t.counts.(idx) <- t.counts.(idx) + 1;
+      push_occ t idx node
+    done;
+    record.(i) <- (r, cycle, dur)
+  done;
+  Hashtbl.replace t.placed node record
 
 let is_placed t node = Hashtbl.mem t.placed node
 
 let remove t ~node =
   match Hashtbl.find_opt t.placed node with
   | None -> ()
-  | Some uses ->
-    List.iter
+  | Some record ->
+    Array.iter
       (fun (r, cycle, dur) ->
-        let a = slots t r in
-        List.iter
-          (fun s ->
-            a.(s).count <- a.(s).count - 1;
-            a.(s).occupants <-
-              (let removed = ref false in
-               List.filter
-                 (fun o ->
-                   if o = node && not !removed then begin
-                     removed := true;
-                     false
-                   end
-                   else true)
-                 a.(s).occupants))
-          (reserved_slots t ~cycle ~dur))
-      uses;
+        let base = r * t.ii in
+        let d = if dur > t.ii then t.ii else dur in
+        for k = 0 to d - 1 do
+          let idx = base + smod t (cycle + k) in
+          t.counts.(idx) <- t.counts.(idx) - 1;
+          remove_occ t idx node
+        done)
+      record;
     Hashtbl.remove t.placed node
 
-(** Nodes whose ejection would make room for [uses] at [cycle]: for every
-    resource slot that is full, the most recently placed occupant. *)
-let conflicts t (uses : (Topology.resource * int) list) ~cycle =
-  List.concat_map
-    (fun (r, dur) ->
-      let a = slots t r in
-      let u = Topology.units t.config r in
-      List.filter_map
-        (fun s ->
-          if Cap.fits (a.(s).count + 1) u then None
-          else
-            match a.(s).occupants with
-            | o :: _ -> Some o
-            | [] -> None)
-        (reserved_slots t ~cycle ~dur))
-    uses
-  |> List.sort_uniq compare
+let conflicts_c t (u : cuses) ~cycle =
+  let acc = ref [] in
+  let n = Array.length u.urows in
+  for i = n - 1 downto 0 do
+    let r = u.urows.(i) and dur = u.udurs.(i) in
+    let un = t.units.(r) in
+    if un < max_int then begin
+      let base = r * t.ii in
+      let d = if dur > t.ii then t.ii else dur in
+      for k = d - 1 downto 0 do
+        let idx = base + smod t (cycle + k) in
+        if t.counts.(idx) + 1 > un && t.occ_len.(idx) > 0 then
+          acc := t.occ.(idx).(t.occ_len.(idx) - 1) :: !acc
+      done
+    end
+  done;
+  List.sort_uniq compare !acc
+
+(* ------------------------------------------------------------------ *)
+(* List-based interface (compatibility; compiles on the fly)           *)
+
+let can_place t uses ~cycle = can_place_c t (compile t uses) ~cycle
+let place t ~node uses ~cycle = place_c t ~node (compile t uses) ~cycle
+let conflicts t uses ~cycle = conflicts_c t (compile t uses) ~cycle
 
 (** Occupancy count of resource [r] at modulo slot [s] (for tests and
     statistics). *)
-let occupancy t r ~slot = (slots t r).(slot).count
+let occupancy t r ~slot = t.counts.((row t r * t.ii) + slot)

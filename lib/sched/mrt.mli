@@ -1,15 +1,22 @@
-(** Modulo reservation table.
+(** Modulo reservation table — flat, data-oriented implementation.
 
     Tracks, for every hardware resource and every slot in [0, II), how
     many units are occupied and by which nodes.  Non-pipelined
     operations occupy their resource for several consecutive cycles (all
     taken modulo II).  Occupancy is count-based: the table checks that
-    no slot exceeds the unit count. *)
+    no slot exceeds the unit count.
+
+    Resources are encoded as small integer row codes over one flat
+    counts array, so [can_place] is pure array probing; {!Mrt_ref} keeps
+    the original association-based implementation as the executable
+    specification, and QCheck asserts observational equivalence. *)
 
 type t
 
-(** Raises [Invalid_argument] for [ii < 1]. *)
-val create : Hcrf_machine.Config.t -> ii:int -> t
+(** Raises [Invalid_argument] for [ii < 1].  When [arena] is given, the
+    table borrows its flat buffers from it (see {!Arena}); at most one
+    live table may use a given arena. *)
+val create : ?arena:Arena.t -> Hcrf_machine.Config.t -> ii:int -> t
 
 (** Can all of [uses] (resource, duration) be reserved at [cycle]? *)
 val can_place : t -> (Topology.resource * int) list -> cycle:int -> bool
@@ -30,3 +37,20 @@ val conflicts :
 
 (** Occupancy count of a resource at a modulo slot. *)
 val occupancy : t -> Topology.resource -> slot:int -> int
+
+(** {1 Precompiled uses}
+
+    A [uses] list compiled once against a table can be probed at many
+    cycles without list traversal or hashing — the scheduler's inner
+    candidate loop.  Compiled uses are only valid for tables of the same
+    configuration and II they were compiled against. *)
+
+type cuses
+
+(** Raises [Invalid_argument] if a resource is not in the
+    configuration. *)
+val compile : t -> (Topology.resource * int) list -> cuses
+
+val can_place_c : t -> cuses -> cycle:int -> bool
+val place_c : t -> node:int -> cuses -> cycle:int -> unit
+val conflicts_c : t -> cuses -> cycle:int -> int list

@@ -7,7 +7,15 @@
     [estart]/[lstart] are the classic windows derived from the *scheduled*
     neighbours: a node may issue at cycle c only if
     c >= cycle(p) + latency(e) - II * distance(e) for scheduled
-    predecessors p, and symmetrically for scheduled successors. *)
+    predecessors p, and symmetrically for scheduled successors.
+
+    Storage is flat: per-node int columns indexed by node id (cycle with
+    a [min_int] sentinel, encoded location, encoded definition bank), a
+    per-bank count of scheduled definitions (O(1) bank-fill queries for
+    cluster selection), and a cache of precompiled reservation vectors
+    keyed by (op kind, location, Move source bank) so the engine's
+    candidate scan probes the reservation table without building a
+    [uses] list per cycle. *)
 
 open Hcrf_ir
 open Hcrf_machine
@@ -18,17 +26,73 @@ type t = {
   config : Config.t;
   ii : int;
   lat : Latency.t;
-  assigns : (int, entry) Hashtbl.t;
   mrt : Mrt.t;
+  nclusters : int;
+  mutable e_cycle : int array;  (* id -> issue cycle; min_int = unscheduled *)
+  mutable e_loc : int array;    (* id -> location code (-1 Global, i cluster) *)
+  mutable e_bank : int array;   (* id -> def-bank index, -1 when none *)
+  mutable cap : int;            (* length of the entry columns *)
+  mutable nsched : int;
+  bank_defs : int array;        (* bank index -> scheduled defs there *)
+  ucache : (int, Mrt.cuses) Hashtbl.t;
+  arena : Arena.t option;
 }
 
-let create ?(lat : Latency.t option) (config : Config.t) ~ii =
+let unscheduled = min_int
+
+(* Arena slot ids for the entry columns (see {!Arena}). *)
+let slot_cycle = 7
+let slot_loc = 8
+let slot_bank = 9
+
+let loc_code = function Topology.Global -> -1 | Topology.Cluster i -> i
+let loc_decode = function -1 -> Topology.Global | i -> Topology.Cluster i
+
+(* Bank index: Local i -> i, Shared -> #clusters; -1 encodes "no bank". *)
+let bank_index t = function
+  | Topology.Local i -> i
+  | Topology.Shared -> t.nclusters
+
+let create ?arena ?(lat : Latency.t option) (config : Config.t) ~ii =
   let lat = match lat with Some l -> l | None -> Latency.make config in
-  { config; ii; lat; assigns = Hashtbl.create 64; mrt = Mrt.create config ~ii }
+  let nclusters = Config.clusters config in
+  let cap = 256 in
+  let e_cycle, e_loc, e_bank =
+    match arena with
+    | Some a ->
+      ( Arena.ints a ~id:slot_cycle ~fill:unscheduled cap,
+        Arena.ints a ~id:slot_loc ~fill:(-1) cap,
+        Arena.ints a ~id:slot_bank ~fill:(-1) cap )
+    | None ->
+      (Array.make cap unscheduled, Array.make cap (-1), Array.make cap (-1))
+  in
+  { config; ii; lat; mrt = Mrt.create ?arena config ~ii; nclusters;
+    e_cycle; e_loc; e_bank; cap; nsched = 0;
+    bank_defs = Array.make (nclusters + 1) 0;
+    ucache = Hashtbl.create 64; arena }
+
+let grow t id =
+  let cap' = max (2 * t.cap) (id + 1) in
+  let extend a fill slot =
+    let a' = Array.make cap' fill in
+    Array.blit a 0 a' 0 t.cap;
+    (match t.arena with
+    | Some ar -> Arena.keep_ints ar ~id:slot a'
+    | None -> ());
+    a'
+  in
+  t.e_cycle <- extend t.e_cycle unscheduled slot_cycle;
+  t.e_loc <- extend t.e_loc (-1) slot_loc;
+  t.e_bank <- extend t.e_bank (-1) slot_bank;
+  t.cap <- cap'
 
 let ii t = t.ii
-let is_scheduled t v = Hashtbl.mem t.assigns v
-let entry t v = Hashtbl.find_opt t.assigns v
+let is_scheduled t v = v < t.cap && v >= 0 && t.e_cycle.(v) <> unscheduled
+
+let entry t v =
+  if is_scheduled t v then
+    Some { cycle = t.e_cycle.(v); loc = loc_decode t.e_loc.(v) }
+  else None
 
 let entry_exn t v =
   match entry t v with
@@ -37,14 +101,28 @@ let entry_exn t v =
 
 let cycle_of t v = (entry_exn t v).cycle
 let loc_of t v = (entry_exn t v).loc
-let scheduled_nodes t = Hashtbl.fold (fun v _ acc -> v :: acc) t.assigns []
-let num_scheduled t = Hashtbl.length t.assigns
+
+let scheduled_nodes t =
+  let acc = ref [] in
+  for v = t.cap - 1 downto 0 do
+    if t.e_cycle.(v) <> unscheduled then acc := v :: !acc
+  done;
+  !acc
+
+let num_scheduled t = t.nsched
 
 (** Bank holding the value defined by scheduled node [v], if any. *)
-let def_bank t (g : Ddg.t) v =
-  match entry t v with
-  | None -> None
-  | Some e -> Topology.def_bank t.config (Ddg.kind g v) e.loc
+let def_bank t (_g : Ddg.t) v =
+  if not (is_scheduled t v) then None
+  else
+    match t.e_bank.(v) with
+    | -1 -> None
+    | i when i = t.nclusters -> Some Topology.Shared
+    | i -> Some (Topology.Local i)
+
+(** Scheduled definitions currently living in [bank] (for the cluster
+    selection and down-copy heuristics). *)
+let bank_def_count t bank = t.bank_defs.(bank_index t bank)
 
 (* Source bank for a [Move]'s reservation: the bank of its producer. *)
 let move_src_bank t (g : Ddg.t) v =
@@ -61,14 +139,41 @@ let uses_of t (g : Ddg.t) v ~loc =
   in
   Topology.uses t.config kind loc ~src
 
+let kind_tag = function
+  | Op.Fadd -> 0 | Op.Fmul -> 1 | Op.Fdiv -> 2 | Op.Fsqrt -> 3
+  | Op.Load -> 4 | Op.Store -> 5 | Op.Move -> 6 | Op.Load_r -> 7
+  | Op.Store_r -> 8 | Op.Spill_load -> 9 | Op.Spill_store -> 10
+
+(* Reservation vector of [v] at [loc], compiled once per
+   (kind, location, Move source bank) and cached. *)
+let cuses_of t (g : Ddg.t) v ~loc =
+  let kind = Ddg.kind g v in
+  let src =
+    match kind with Op.Move -> move_src_bank t g v | _ -> None
+  in
+  let skey =
+    match src with
+    | None -> 0
+    | Some Topology.Shared -> 1
+    | Some (Topology.Local i) -> i + 2
+  in
+  let key = (((kind_tag kind * 64) + loc_code loc + 1) * 64) + skey in
+  match Hashtbl.find_opt t.ucache key with
+  | Some cu -> cu
+  | None ->
+    let cu = Mrt.compile t.mrt (Topology.uses t.config kind loc ~src) in
+    Hashtbl.replace t.ucache key cu;
+    cu
+
 (** Earliest legal issue cycle given the scheduled predecessors. *)
 let estart t (g : Ddg.t) v =
   List.fold_left
     (fun acc (e : Ddg.edge) ->
-      match entry t e.src with
-      | None -> acc
-      | Some p ->
-        max acc (p.cycle + Latency.of_edge t.lat g e - (t.ii * e.distance)))
+      if is_scheduled t e.src then
+        max acc
+          (t.e_cycle.(e.src) + Latency.of_edge t.lat g e
+          - (t.ii * e.distance))
+      else acc)
     0 (Ddg.preds g v)
 
 (** Latest legal issue cycle given the scheduled successors; [None] when
@@ -76,11 +181,12 @@ let estart t (g : Ddg.t) v =
 let lstart t (g : Ddg.t) v =
   List.fold_left
     (fun acc (e : Ddg.edge) ->
-      match entry t e.dst with
-      | None -> acc
-      | Some s ->
-        let bound = s.cycle - Latency.of_edge t.lat g e + (t.ii * e.distance) in
-        Some (match acc with None -> bound | Some a -> min a bound))
+      if is_scheduled t e.dst then
+        let bound =
+          t.e_cycle.(e.dst) - Latency.of_edge t.lat g e + (t.ii * e.distance)
+        in
+        Some (match acc with None -> bound | Some a -> min a bound)
+      else acc)
     None (Ddg.succs g v)
 
 (* Deliberate fault injection for the differential fuzzer (hcrf_check):
@@ -92,25 +198,58 @@ type fault = Lax_resources
 
 let fault : fault option ref = ref None
 
+(* ---- precompiled probing (the engine's candidate scan) ------------- *)
+
+let prepare_uses t g v ~loc = cuses_of t g v ~loc
+
+let can_place_prepared t cu ~cycle =
+  match !fault with
+  | Some Lax_resources -> true
+  | None -> Mrt.can_place_c t.mrt cu ~cycle
+
+let place_prepared t g v cu ~cycle ~loc =
+  if is_scheduled t v then Fmt.invalid_arg "Schedule.place: %d placed" v;
+  Mrt.place_c t.mrt ~node:v cu ~cycle;
+  if v >= t.cap then grow t v;
+  t.e_cycle.(v) <- cycle;
+  t.e_loc.(v) <- loc_code loc;
+  let bank =
+    match Topology.def_bank t.config (Ddg.kind g v) loc with
+    | None -> -1
+    | Some b ->
+      let i = bank_index t b in
+      t.bank_defs.(i) <- t.bank_defs.(i) + 1;
+      i
+  in
+  t.e_bank.(v) <- bank;
+  t.nsched <- t.nsched + 1
+
+let conflicts_prepared t cu ~cycle = Mrt.conflicts_c t.mrt cu ~cycle
+
+(* ---- list-based interface ----------------------------------------- *)
+
 let can_place t g v ~cycle ~loc =
   match !fault with
   | Some Lax_resources -> true
-  | None -> Mrt.can_place t.mrt (uses_of t g v ~loc) ~cycle
+  | None -> Mrt.can_place_c t.mrt (cuses_of t g v ~loc) ~cycle
 
 let place t g v ~cycle ~loc =
-  if is_scheduled t v then Fmt.invalid_arg "Schedule.place: %d placed" v;
-  Mrt.place t.mrt ~node:v (uses_of t g v ~loc) ~cycle;
-  Hashtbl.replace t.assigns v { cycle; loc }
+  place_prepared t g v (cuses_of t g v ~loc) ~cycle ~loc
 
 let unplace t v =
   if is_scheduled t v then begin
     Mrt.remove t.mrt ~node:v;
-    Hashtbl.remove t.assigns v
+    t.e_cycle.(v) <- unscheduled;
+    (match t.e_bank.(v) with
+    | -1 -> ()
+    | i -> t.bank_defs.(i) <- t.bank_defs.(i) - 1);
+    t.e_bank.(v) <- -1;
+    t.nsched <- t.nsched - 1
   end
 
 (** Nodes that must be ejected to reserve [v]'s resources at [cycle]. *)
 let resource_conflicts t g v ~cycle ~loc =
-  Mrt.conflicts t.mrt (uses_of t g v ~loc) ~cycle
+  Mrt.conflicts_c t.mrt (cuses_of t g v ~loc) ~cycle
 
 (** Scheduled neighbours whose dependence constraints are violated by [v]
     issuing at [cycle]. *)
@@ -118,37 +257,43 @@ let dependence_violations t (g : Ddg.t) v ~cycle =
   let bad_preds =
     List.filter_map
       (fun (e : Ddg.edge) ->
-        match entry t e.src with
-        | Some p
-          when e.src <> v
-               && p.cycle + Latency.of_edge t.lat g e - (t.ii * e.distance)
-                  > cycle ->
-          Some e.src
-        | Some _ | None -> None)
+        if
+          e.src <> v
+          && is_scheduled t e.src
+          && t.e_cycle.(e.src) + Latency.of_edge t.lat g e
+             - (t.ii * e.distance)
+             > cycle
+        then Some e.src
+        else None)
       (Ddg.preds g v)
   and bad_succs =
     List.filter_map
       (fun (e : Ddg.edge) ->
-        match entry t e.dst with
-        | Some s
-          when e.dst <> v
-               && cycle + Latency.of_edge t.lat g e - (t.ii * e.distance)
-                  > s.cycle ->
-          Some e.dst
-        | Some _ | None -> None)
+        if
+          e.dst <> v
+          && is_scheduled t e.dst
+          && cycle + Latency.of_edge t.lat g e - (t.ii * e.distance)
+             > t.e_cycle.(e.dst)
+        then Some e.dst
+        else None)
       (Ddg.succs g v)
   in
   List.sort_uniq compare (bad_preds @ bad_succs)
 
 let max_cycle t =
-  Hashtbl.fold (fun _ e acc -> max acc e.cycle) t.assigns 0
+  let m = ref 0 in
+  for v = 0 to t.cap - 1 do
+    if t.e_cycle.(v) <> unscheduled && t.e_cycle.(v) > !m then
+      m := t.e_cycle.(v)
+  done;
+  !m
 
 (** Number of stages of II cycles in the kernel. *)
 let stage_count t = (max_cycle t / t.ii) + 1
 
 let pp ppf t =
   let entries =
-    Hashtbl.fold (fun v e acc -> (v, e) :: acc) t.assigns []
+    List.map (fun v -> (v, entry_exn t v)) (scheduled_nodes t)
     |> List.sort (fun (_, a) (_, b) -> compare (a.cycle, a.loc) (b.cycle, b.loc))
   in
   Fmt.pf ppf "@[<v>schedule ii=%d sc=%d@," t.ii (stage_count t);

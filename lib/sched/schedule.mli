@@ -8,7 +8,12 @@
     [estart]/[lstart] are the classic windows derived from the
     *scheduled* neighbours: a node may issue at cycle c only if
     [c >= cycle(p) + latency(e) - II * distance(e)] for scheduled
-    predecessors p, and symmetrically for scheduled successors. *)
+    predecessors p, and symmetrically for scheduled successors.
+
+    Entries live in flat per-node int columns (no hashing on the hot
+    path); reservation vectors are precompiled per (op kind, location,
+    Move source bank) and probed via {!prepare_uses} /
+    {!can_place_prepared} in the engine's candidate scan. *)
 
 type entry = { cycle : int; loc : Topology.loc }
 
@@ -16,11 +21,21 @@ type t = {
   config : Hcrf_machine.Config.t;
   ii : int;
   lat : Latency.t;
-  assigns : (int, entry) Hashtbl.t;
   mrt : Mrt.t;
+  nclusters : int;
+  mutable e_cycle : int array;  (** id -> issue cycle; [min_int] = unscheduled *)
+  mutable e_loc : int array;    (** id -> location code (-1 Global, i cluster) *)
+  mutable e_bank : int array;   (** id -> def-bank index, -1 when none *)
+  mutable cap : int;            (** length of the entry columns *)
+  mutable nsched : int;
+  bank_defs : int array;        (** bank index -> scheduled defs there *)
+  ucache : (int, Mrt.cuses) Hashtbl.t;
+  arena : Arena.t option;
 }
 
-val create : ?lat:Latency.t -> Hcrf_machine.Config.t -> ii:int -> t
+val create :
+  ?arena:Arena.t -> ?lat:Latency.t -> Hcrf_machine.Config.t -> ii:int -> t
+
 val ii : t -> int
 val is_scheduled : t -> int -> bool
 val entry : t -> int -> entry option
@@ -30,11 +45,18 @@ val entry_exn : t -> int -> entry
 
 val cycle_of : t -> int -> int
 val loc_of : t -> int -> Topology.loc
+
+(** Scheduled node ids, in increasing id order. *)
 val scheduled_nodes : t -> int list
+
 val num_scheduled : t -> int
 
 (** Bank holding the value defined by scheduled node [v], if any. *)
 val def_bank : t -> Hcrf_ir.Ddg.t -> int -> Topology.bank option
+
+(** Scheduled definitions currently living in [bank] — O(1); the
+    cluster-selection and down-copy heuristics' fill measure. *)
+val bank_def_count : t -> Topology.bank -> int
 
 (** Source bank for a [Move]'s reservation: the bank of its (scheduled)
     producer. *)
@@ -61,6 +83,25 @@ val lstart : t -> Hcrf_ir.Ddg.t -> int -> int option
 type fault = Lax_resources
 
 val fault : fault option ref
+
+(** {1 Precompiled probing}
+
+    [prepare_uses] compiles (and caches) the reservation vector of [v]
+    at [loc]; the [_prepared] variants probe/commit it without
+    rebuilding the [uses] list.  The vector is only valid while the
+    inputs that chose it hold — for a [Move], the producer's bank. *)
+
+val prepare_uses :
+  t -> Hcrf_ir.Ddg.t -> int -> loc:Topology.loc -> Mrt.cuses
+
+val can_place_prepared : t -> Mrt.cuses -> cycle:int -> bool
+
+(** Raises [Invalid_argument] when already placed. *)
+val place_prepared :
+  t -> Hcrf_ir.Ddg.t -> int -> Mrt.cuses -> cycle:int ->
+  loc:Topology.loc -> unit
+
+val conflicts_prepared : t -> Mrt.cuses -> cycle:int -> int list
 
 val can_place :
   t -> Hcrf_ir.Ddg.t -> int -> cycle:int -> loc:Topology.loc -> bool

@@ -376,6 +376,248 @@ let prop_order_deterministic =
       o1 = o2 && List.sort compare o1 = Ddg.nodes loop.Loop.ddg)
 
 (* ------------------------------------------------------------------ *)
+(* Flat-core observational equivalence.
+
+   The data-oriented reservation table (Mrt) and the incremental
+   MaxLives tracker (Pressure) must be indistinguishable from the
+   association-based reference (Mrt_ref) and the from-scratch
+   recomputation (Lifetimes.of_schedule + pressure) on every operation
+   sequence.  QCheck shrinks counterexamples; the seeded campaign below
+   additionally pins 200 deterministic cases into the tier-1 gate. *)
+
+let equiv_configs =
+  lazy
+    [
+      Hcrf_model.Presets.published "S128";
+      Hcrf_model.Presets.published "4C32";
+      Hcrf_model.Presets.published "2C32S32";
+    ]
+
+(* One MRT trace: interleaved place/remove and conflict queries, every
+   observation (can_place, is_placed, conflicts, occupancy) compared
+   between the two implementations after each step. *)
+let run_mrt_trace config ~ii cmds =
+  let rs = Array.of_list (Topology.all_resources config) in
+  let nr = Array.length rs in
+  let m = Mrt.create config ~ii in
+  let r = Mrt_ref.create config ~ii in
+  let ok = ref true in
+  let same b = if not b then ok := false in
+  List.iter
+    (fun (act, node, ri, cycle, dur) ->
+      let uses = [ (rs.(ri mod nr), dur) ] in
+      let uses =
+        if (node + ri) mod 3 = 0 then
+          (rs.((ri + 1) mod nr), ((dur * 7) mod 4) + 1) :: uses
+        else uses
+      in
+      (match act mod 4 with
+      | 0 | 1 ->
+        let cm = Mrt.can_place m uses ~cycle in
+        same (cm = Mrt_ref.can_place r uses ~cycle);
+        if cm && not (Mrt.is_placed m node) then begin
+          Mrt.place m ~node uses ~cycle;
+          Mrt_ref.place r ~node uses ~cycle
+        end
+      | 2 ->
+        Mrt.remove m ~node;
+        Mrt_ref.remove r ~node
+      | _ -> ());
+      same (Mrt.is_placed m node = Mrt_ref.is_placed r node);
+      same (Mrt.conflicts m uses ~cycle = Mrt_ref.conflicts r uses ~cycle);
+      Array.iter
+        (fun res ->
+          for slot = 0 to ii - 1 do
+            same (Mrt.occupancy m res ~slot = Mrt_ref.occupancy r res ~slot)
+          done)
+        rs)
+    cmds;
+  !ok
+
+(* One Pressure trace: random place/eject steps (plus occasional graph
+   rewiring, which must reach the tracker through the Ddg watcher) over
+   a generated loop, comparing the incremental requirement and lifetime
+   list against the from-scratch reference after every step.  Dirtiness
+   is wired exactly as in the engine: the moved node and its operand
+   producers on place/unplace, edge sources via the watcher. *)
+let run_pressure_trace config ~seed ~index =
+  let rng = Hcrf_workload.Rng.create ~seed in
+  let loop = Hcrf_workload.Genloop.generate ~rng ~index () in
+  let g = loop.Loop.ddg in
+  let ii = 1 + Hcrf_workload.Rng.int rng 8 in
+  let s = Schedule.create config ~ii in
+  let press = Pressure.create s g in
+  Ddg.set_watcher g (Some (fun u -> Pressure.mark press u));
+  let nodes = Array.of_list (Ddg.nodes g) in
+  let mark v =
+    Pressure.mark press v;
+    List.iter
+      (fun (e : Ddg.edge) -> Pressure.mark press e.src)
+      (Ddg.operands g v)
+  in
+  let banks =
+    Topology.Shared
+    :: List.init (Config.clusters config) (fun i -> Topology.Local i)
+  in
+  let ok = ref true in
+  for _ = 1 to 60 do
+    let v = nodes.(Hcrf_workload.Rng.int rng (Array.length nodes)) in
+    (if Schedule.is_scheduled s v then begin
+       mark v;
+       Schedule.unplace s v
+     end
+     else
+       let kind = Ddg.kind g v in
+       match Topology.exec_locs config kind with
+       | [] -> ()
+       | locs ->
+         let loc =
+           List.nth locs (Hcrf_workload.Rng.int rng (List.length locs))
+         in
+         let cycle = Hcrf_workload.Rng.int rng 40 in
+         if Schedule.can_place s g v ~cycle ~loc then begin
+           Schedule.place s g v ~cycle ~loc;
+           mark v
+         end);
+    (if Hcrf_workload.Rng.bool rng 0.1 then
+       let v = nodes.(Hcrf_workload.Rng.int rng (Array.length nodes)) in
+       match Ddg.succs g v with
+       | e :: _ ->
+         Ddg.remove_edge g e;
+         Ddg.add_edge g ~distance:e.distance ~dep:e.dep e.src e.dst
+       | [] -> ());
+    let ref_lts = Lifetimes.of_schedule s g in
+    if Pressure.lifetimes press <> ref_lts then ok := false;
+    List.iter
+      (fun bank ->
+        if Pressure.pressure press ~bank <> Lifetimes.pressure ~ii ~bank ref_lts
+        then ok := false)
+      banks
+  done;
+  Ddg.set_watcher g None;
+  !ok
+
+let prop_mrt_flat_equiv_ref =
+  QCheck.Test.make ~name:"mrt: flat table = reference on random op traces"
+    ~count:200
+    QCheck.(
+      pair (int_range 1 10)
+        (small_list
+           (quad (int_range 0 7) (int_range 0 11) (int_range 0 40)
+              (pair (int_range (-5) 30) (int_range 1 14)))))
+    (fun (ii, cmds) ->
+      let cmds = List.map (fun (a, n, r, (c, d)) -> (a, n, r, c, d)) cmds in
+      List.for_all
+        (fun config -> run_mrt_trace config ~ii cmds)
+        (Lazy.force equiv_configs))
+
+let prop_pressure_equiv_lifetimes =
+  QCheck.Test.make
+    ~name:"pressure: incremental = from-scratch on place/eject traces"
+    ~count:60
+    QCheck.(pair (int_range 0 1000) (int_range 0 30))
+    (fun (seed, index) ->
+      List.for_all
+        (fun config -> run_pressure_trace config ~seed ~index)
+        (Lazy.force equiv_configs))
+
+module Pq_model = Set.Make (struct
+  type t = float * int
+
+  let compare = compare
+end)
+
+let prop_pqueue_set_model =
+  QCheck.Test.make ~name:"pqueue: lazy-deletion heap = set model" ~count:200
+    QCheck.(small_list (triple (int_range 0 4) (int_range 0 15) (int_range 0 9)))
+    (fun ops ->
+      let q = Pqueue.create () in
+      let m = ref Pq_model.empty in
+      let ok = ref true in
+      List.iter
+        (fun (act, node, p) ->
+          let priority = float_of_int p /. 2. in
+          (match act with
+          | 0 | 1 ->
+            Pqueue.push q ~priority node;
+            m := Pq_model.add (priority, node) !m
+          | 2 ->
+            Pqueue.remove q node;
+            m := Pq_model.filter (fun (_, v) -> v <> node) !m
+          | _ -> (
+            let expect =
+              match Pq_model.min_elt_opt !m with
+              | None -> None
+              | Some ((_, v) as e) ->
+                m := Pq_model.remove e !m;
+                Some v
+            in
+            if Pqueue.pop q <> expect then ok := false));
+          if Pqueue.size q <> Pq_model.cardinal !m then ok := false;
+          if Pqueue.mem q node <> Pq_model.exists (fun (_, v) -> v = node) !m
+          then ok := false)
+        ops;
+      !ok)
+
+(* Minimized eject-victim witness (shrunk from the campaign's failure
+   under a seeded oldest-occupant bug, campaign case 2): one single-slot
+   resource filled to capacity, one conflicts query.  The reference
+   names the MOST RECENTLY placed occupant — its occupant list is
+   consed, so the head is the newest — and the flat table's stack top
+   must agree.  A naive flat port reading the bottom of the stack
+   (oldest occupant) passes every place/remove/occupancy check and only
+   diverges here, which then changes every force-and-eject decision
+   downstream. *)
+let test_mrt_eject_victim_minimal () =
+  let config = Lazy.force s128 in
+  let uses = [ (Topology.Mem 0, 1) ] in
+  let m = Mrt.create config ~ii:1 in
+  let r = Mrt_ref.create config ~ii:1 in
+  (* 4 memory ports: fill the only slot with nodes 1..4 *)
+  for node = 1 to 4 do
+    Mrt.place m ~node uses ~cycle:0;
+    Mrt_ref.place r ~node uses ~cycle:0
+  done;
+  check "reference ejects the most recent" true
+    (Mrt_ref.conflicts r uses ~cycle:0 = [ 4 ]);
+  check "flat table agrees" true (Mrt.conflicts m uses ~cycle:0 = [ 4 ]);
+  (* after ejecting the victim, the next-most-recent becomes the victim *)
+  Mrt.remove m ~node:4;
+  Mrt_ref.remove r ~node:4;
+  Mrt.place m ~node:9 uses ~cycle:0;
+  Mrt_ref.place r ~node:9 uses ~cycle:0;
+  check "victim follows placement order, not id order" true
+    (Mrt.conflicts m uses ~cycle:0 = [ 9 ]
+    && Mrt_ref.conflicts r uses ~cycle:0 = [ 9 ])
+
+(* The deterministic gate: 200 cases from seed 42, alternating the three
+   organizations, exercising both equivalences.  Fails loudly with the
+   case number so a regression is reproducible without QCheck's seed. *)
+let test_flat_core_campaign () =
+  let configs = Array.of_list (Lazy.force equiv_configs) in
+  for case = 0 to 199 do
+    let config = configs.(case mod Array.length configs) in
+    let rng = Hcrf_workload.Rng.create ~seed:(42 + (case * 7919)) in
+    let ii = 1 + Hcrf_workload.Rng.int rng 10 in
+    let cmds =
+      List.init
+        (8 + Hcrf_workload.Rng.int rng 40)
+        (fun _ ->
+          ( Hcrf_workload.Rng.int rng 8,
+            Hcrf_workload.Rng.int rng 12,
+            Hcrf_workload.Rng.int rng 41,
+            Hcrf_workload.Rng.range rng (-5) 30,
+            1 + Hcrf_workload.Rng.int rng 14 ))
+    in
+    check (Fmt.str "case %d: mrt equivalence" case) true
+      (run_mrt_trace config ~ii cmds);
+    check
+      (Fmt.str "case %d: pressure equivalence" case)
+      true
+      (run_pressure_trace config ~seed:(42 + case) ~index:(case mod 31))
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Validate.pp_issue: every constructor renders unambiguously *)
 
 let test_pp_issue_golden () =
@@ -423,6 +665,11 @@ let tests =
     ("regalloc: overlap", `Quick, test_regalloc_overlap);
     ("regalloc: capacity", `Quick, test_regalloc_capacity);
     ("validate: pp_issue golden", `Quick, test_pp_issue_golden);
+    ("mrt: eject-victim minimal witness", `Quick, test_mrt_eject_victim_minimal);
+    ("flat core: 200-case seed-42 campaign", `Quick, test_flat_core_campaign);
+    QCheck_alcotest.to_alcotest prop_mrt_flat_equiv_ref;
+    QCheck_alcotest.to_alcotest prop_pressure_equiv_lifetimes;
+    QCheck_alcotest.to_alcotest prop_pqueue_set_model;
     QCheck_alcotest.to_alcotest prop_regalloc_geq_maxlives;
     QCheck_alcotest.to_alcotest prop_mrt_place_remove_roundtrip;
     QCheck_alcotest.to_alcotest prop_pressure_monotone;
