@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Exact-scheduler smoke test, run on every `dune runtest`: certify a
+# 10-loop seed-42 Genloop micro-suite on a monolithic, a clustered and
+# a hierarchical machine.  Every loop must certify within the default
+# budget, the heuristic must never beat a certified bound (the driver
+# exits non-zero on a violation), and the gap summary line is goldened
+# — the same seed gives the same certification on every run.
+set -eu
+
+abspath () { case "$1" in */*) printf '%s\n' "$1" ;; *) printf './%s\n' "$1" ;; esac }
+explore=$(abspath "$1")
+
+for config in S64 2C32 2C32S32; do
+  "$explore" exact --genloop --seed 42 -n 10 --config "$config" \
+    > "exact_$config.txt" ||
+    { echo "exact smoke: violation or crash on $config" >&2
+      cat "exact_$config.txt" >&2; exit 1; }
+  grep -q \
+    "^exact: config=$config loops=10 certified=10 budget_hit=0 gaps: 0=10$" \
+    "exact_$config.txt" ||
+    { echo "exact smoke: $config summary drifted from golden" >&2
+      cat "exact_$config.txt" >&2; exit 1; }
+done
+
+echo "exact smoke: ok (3 configs x 10 loops, all certified, heuristic at optimum)"

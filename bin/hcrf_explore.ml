@@ -313,16 +313,28 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "inject-fault" ] ~doc)
   in
-  let run seed cases no_shrink corpus no_corpus inject
+  let exact_arg =
+    let doc =
+      "Arm the Optimality oracle: generate exact-tractable loops (the \
+       small_exact preset) and certify every scheduled case with the \
+       exact branch-and-bound; the heuristic undercutting a certified \
+       bound is an oracle failure."
+    in
+    Arg.(value & flag & info [ "exact" ] ~doc)
+  in
+  let run seed cases no_shrink corpus no_corpus inject exact
       (ctx : Hcrf_eval.Runner.Ctx.t) =
     let corpus = if no_corpus then None else Some corpus in
     if inject then Schedule.fault := Some Schedule.Lax_resources;
     Fun.protect
       ~finally:(fun () -> Schedule.fault := None)
       (fun () ->
+        let param_presets =
+          if exact then Some Hcrf_check.Check.small_exact_presets else None
+        in
         let report =
           Hcrf_check.Check.campaign ~ctx ~shrink:(not no_shrink) ?corpus
-            ~seed ~cases ()
+            ?param_presets ~exact ~seed ~cases ()
         in
         Fmt.pr "%a@." Hcrf_check.Check.pp_report report;
         finish_trace ctx.Hcrf_eval.Runner.Ctx.tracer;
@@ -335,7 +347,131 @@ let fuzz_cmd =
           independent oracles on randomized loops")
     Term.(
       const run $ seed_arg $ cases_arg $ no_shrink_arg $ corpus_arg
-      $ no_corpus_arg $ inject_arg $ ctx_term)
+      $ no_corpus_arg $ inject_arg $ exact_arg $ ctx_term)
+
+let exact_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~doc:"Seed for the --genloop corpus.")
+  in
+  let genloop_arg =
+    let doc =
+      "Certify a seeded Genloop corpus (the small_exact preset) instead \
+       of the synthetic workbench."
+    in
+    Arg.(value & flag & info [ "genloop" ] ~doc)
+  in
+  let max_nodes_arg =
+    let doc = "Skip loops with more than $(docv) operations." in
+    Arg.(value & opt int 12 & info [ "max-nodes" ] ~doc ~docv:"N")
+  in
+  let budget_arg =
+    let doc = "Branch-and-bound step budget per loop." in
+    Arg.(
+      value
+      & opt int Hcrf_exact.Exact.default_budget
+      & info [ "budget" ] ~doc ~docv:"STEPS")
+  in
+  let gap_corpus_arg =
+    let doc =
+      "Hunt optimality gaps instead: sweep small_exact cases across the \
+       published configurations, shrink every case the heuristic \
+       provably misses, and write one reproducer per gap into $(docv)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "gap-corpus" ] ~doc ~docv:"DIR")
+  in
+  let run config_name n seed genloop max_nodes budget gap_corpus
+      (ctx : Hcrf_eval.Runner.Ctx.t) =
+    match gap_corpus with
+    | Some dir ->
+      let repros = Hcrf_check.Check.hunt_gaps ~seed ~cases:n () in
+      List.iter
+        (fun (r : Hcrf_check.Repro.t) ->
+          let path = Hcrf_check.Repro.write ~dir r in
+          Fmt.pr "%s: %s@." path r.Hcrf_check.Repro.detail)
+        repros;
+      Fmt.pr "gap hunt: seed=%d cases=%d gaps=%d@." seed n
+        (List.length repros)
+    | None ->
+      let config = config_of_string config_name in
+      let loops =
+        if genloop then
+          let params = List.assoc "small_exact"
+              Hcrf_check.Check.small_exact_presets in
+          List.init n (fun index ->
+              let rng = Hcrf_workload.Rng.create ~seed:(seed + index) in
+              Hcrf_workload.Genloop.generate ~params ~rng ~index ())
+        else Hcrf_workload.Suite.generate ~n ()
+      in
+      let loops =
+        List.filter
+          (fun (l : Hcrf_ir.Loop.t) ->
+            Hcrf_ir.Ddg.num_nodes l.Hcrf_ir.Loop.ddg <= max_nodes)
+          loops
+      in
+      let tracer = ctx.Hcrf_eval.Runner.Ctx.tracer in
+      let certified = ref 0 and budget_hit = ref 0 and violations = ref 0 in
+      let gaps = Hashtbl.create 7 in
+      List.iter
+        (fun (loop : Hcrf_ir.Loop.t) ->
+          let name = Hcrf_ir.Loop.name loop in
+          let trace = Hcrf_obs.Tracer.start tracer ~label:name in
+          let r =
+            Hcrf_exact.Exact.solve ~budget ~trace config
+              loop.Hcrf_ir.Loop.ddg
+          in
+          Hcrf_obs.Tracer.commit tracer trace;
+          let heur =
+            match Engine.schedule config loop.Hcrf_ir.Loop.ddg with
+            | Error _ -> None
+            | Ok o -> Some o.Engine.ii
+          in
+          if r.Hcrf_exact.Exact.x_optimal then begin
+            incr certified;
+            match heur with
+            | Some h ->
+              let g = h - r.Hcrf_exact.Exact.x_lb in
+              Hashtbl.replace gaps g
+                (1 + Option.value ~default:0 (Hashtbl.find_opt gaps g))
+            | None -> ()
+          end;
+          if r.Hcrf_exact.Exact.x_budget_hit then incr budget_hit;
+          (match heur with
+          | Some h
+            when r.Hcrf_exact.Exact.x_lb_exhausted
+                 && h < r.Hcrf_exact.Exact.x_lb ->
+            incr violations;
+            Fmt.pr "VIOLATION %s: heuristic II=%d beats certified lb=%d@."
+              name h r.Hcrf_exact.Exact.x_lb
+          | _ -> ());
+          Fmt.pr "%-10s nodes=%-3d %a heur_ii=%a@." name
+            (Hcrf_ir.Ddg.num_nodes loop.Hcrf_ir.Loop.ddg)
+            Hcrf_exact.Exact.pp r
+            Fmt.(option ~none:(any "-") int)
+            heur)
+        loops;
+      let gaps =
+        List.sort compare
+          (Hashtbl.fold (fun g n acc -> (g, n) :: acc) gaps [])
+      in
+      Fmt.pr "exact: config=%s loops=%d certified=%d budget_hit=%d gaps:%a@."
+        config.Hcrf_machine.Config.name (List.length loops) !certified
+        !budget_hit
+        Fmt.(list ~sep:nop (fun ppf (g, n) -> pf ppf " %d=%d" g n))
+        gaps;
+      finish_trace tracer;
+      if !violations > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "exact"
+       ~doc:
+         "Certify minimal IIs of small loops with the exact \
+          branch-and-bound and measure the heuristic's optimality gap")
+    Term.(
+      const run $ config_arg $ n_arg $ seed_arg $ genloop_arg $ max_nodes_arg
+      $ budget_arg $ gap_corpus_arg $ ctx_term)
 
 let trace_cmd =
   (* validate a recorded trace against the versioned schema and replay
@@ -378,4 +514,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ schedule_cmd; suite_cmd; hw_cmd; ports_cmd; duel_cmd; fuzz_cmd;
-            trace_cmd ]))
+            exact_cmd; trace_cmd ]))

@@ -8,6 +8,7 @@ module Lat = Hcrf_machine.Latencies
 module Genloop = Hcrf_workload.Genloop
 module Rng = Hcrf_workload.Rng
 module Pipe_exec = Hcrf_pipesim.Pipe_exec
+module Exact = Hcrf_exact.Exact
 
 (* ------------------------------------------------------------------ *)
 (* Presets                                                             *)
@@ -35,6 +36,18 @@ let param_presets =
         Genloop.fanin2_prob = 0.9;
         far_pick_prob = 0.5;
         max_ops = 24 } );
+  ]
+
+(* Exact-tractable loops for the Optimality oracle: small DAG-ish
+   bodies whose certification fits comfortably in the default exact
+   budget.  Kept out of [param_presets] so the long-standing campaign
+   case mapping is untouched. *)
+let small_exact_presets =
+  let d = Genloop.default_params in
+  [
+    ( "small_exact",
+      { d with Genloop.min_ops = 3; max_ops = 8; size_mu = 1.5;
+        invariant_max = 2 } );
   ]
 
 (* Published Table-5 points spanning monolithic, flat clustered and
@@ -81,7 +94,8 @@ let case_seed ~seed index =
   let h = (seed * 0x1000193) + (index * 0x9E3779B1) in
   (h lxor (h lsr 17)) land 0x3FFFFFFF
 
-let case_of_index ~config_presets ~seed index =
+let case_of_index ?(param_presets = param_presets) ~config_presets ~seed index
+    =
   let nth l i = List.nth l (i mod List.length l) in
   let params_name, params = nth param_presets index in
   let config_name, config =
@@ -105,8 +119,20 @@ let pass = { kind = Ev.Pass; detail = "" }
 let is_failure = function
   | Ev.Pass | Ev.No_schedule -> false
   | Ev.Invalid_schedule | Ev.Exec_mismatch | Ev.Metamorphic
-  | Ev.Replay_divergence | Ev.Crash ->
+  | Ev.Replay_divergence | Ev.Crash | Ev.Optimality ->
     true
+
+(* What the Optimality leg measured on one case (reported even when the
+   leg passes — the campaign aggregates these into the gap summary). *)
+type exact_case = {
+  xc_lb : int;  (** certified II lower bound *)
+  xc_exhausted : bool;
+  xc_witness_ii : int option;
+  xc_optimal : bool;  (** minimal II certified exactly *)
+  xc_heur_ii : int;
+  xc_heur_spills : int;  (** heuristic value + invariant spills *)
+  xc_budget_hit : bool;
+}
 
 let fail kind fmt = Fmt.kstr (fun detail -> Error { kind; detail }) fmt
 
@@ -127,7 +153,8 @@ let issues_of (r : Runner.loop_result) =
   Validate.check ~invariant_residents:o.Engine.invariant_residents
     o.Engine.schedule o.Engine.graph
 
-let oracle ?cache ~opts config (loop : Loop.t) : verdict =
+let oracle ?cache ?(exact = false) ?exact_out ?(trace = Tr.off) ~opts config
+    (loop : Loop.t) : verdict =
   let ( let* ) = Result.bind in
   let run () =
     let cache =
@@ -217,6 +244,38 @@ let oracle ?cache ~opts config (loop : Loop.t) : verdict =
       Morph.rewrite_loop ~m:(Morph.reversing_bijection loop.Loop.ddg) loop
     in
     let* () = twin_leg "renumber" renumber in
+    (* leg 6: the heuristic must never beat the certified II bound *)
+    let* () =
+      if not exact then Ok ()
+      else begin
+        let o = cold.Runner.outcome in
+        let r = Exact.solve ~max_ii:o.Engine.ii ~trace config loop.Loop.ddg in
+        (match exact_out with
+        | None -> ()
+        | Some cell ->
+          cell :=
+            Some
+              {
+                xc_lb = r.Exact.x_lb;
+                xc_exhausted = r.Exact.x_lb_exhausted;
+                xc_witness_ii =
+                  Option.map
+                    (fun (w : Exact.witness) -> w.Exact.w_ii)
+                    r.Exact.x_witness;
+                xc_optimal = r.Exact.x_optimal;
+                xc_heur_ii = o.Engine.ii;
+                xc_heur_spills =
+                  o.Engine.stats.Engine.value_spills
+                  + o.Engine.stats.Engine.invariant_spills;
+                xc_budget_hit = r.Exact.x_budget_hit;
+              });
+        if r.Exact.x_lb_exhausted && o.Engine.ii < r.Exact.x_lb then
+          fail Ev.Optimality
+            "heuristic II=%d beats the certified lower bound %d" o.Engine.ii
+            r.Exact.x_lb
+        else Ok ()
+      end
+    in
     Ok ()
   in
   match run () with
@@ -242,26 +301,38 @@ type failure = {
   f_steps : int;
 }
 
+(* Aggregate view of the Optimality legs of a campaign (only the cases
+   where the heuristic found a schedule run the leg). *)
+type exact_summary = {
+  xs_cases : int;  (** cases the exact leg ran on *)
+  xs_certified : int;  (** minimal II certified exactly *)
+  xs_budget : int;  (** budget trips (uncertified cases) *)
+  xs_gaps : (int * int) list;  (** II gap -> count, over certified cases *)
+  xs_spills : int;  (** heuristic spills on certified cases (witness: 0) *)
+}
+
 type report = {
   r_seed : int;
   r_cases : int;
   r_counts : (string * int) list;
   r_failures : failure list;
+  r_exact : exact_summary option;
 }
 
 let all_verdicts =
   [ Ev.Pass; Ev.No_schedule; Ev.Invalid_schedule; Ev.Exec_mismatch;
-    Ev.Metamorphic; Ev.Replay_divergence; Ev.Crash ]
+    Ev.Metamorphic; Ev.Replay_divergence; Ev.Crash; Ev.Optimality ]
 
-let run_case ~trace ~shrink ~max_shrink_evals (c : case) =
-  let v = oracle ~opts:c.opts c.config c.loop in
+let run_case ~trace ~shrink ~max_shrink_evals ~exact (c : case) =
+  let exact_out = ref None in
+  let v = oracle ~exact ~exact_out ~trace ~opts:c.opts c.config c.loop in
   if Tr.enabled trace then Tr.emit trace (Ev.Fuzz v.kind);
-  if not (is_failure v.kind) then (c, v, None)
+  if not (is_failure v.kind) then (c, v, None, !exact_out)
   else begin
     let base = { Shrink.loop = c.loop; lats = c.config.Config.lats } in
     let still_failing (cand : Shrink.candidate) =
       let config = { c.config with Config.lats = cand.Shrink.lats } in
-      let v' = oracle ~opts:c.opts config cand.Shrink.loop in
+      let v' = oracle ~exact ~opts:c.opts config cand.Shrink.loop in
       v'.kind = v.kind
     in
     let shrunk, steps =
@@ -272,10 +343,10 @@ let run_case ~trace ~shrink ~max_shrink_evals (c : case) =
     (* re-run once on the minimum to report its (final) detail *)
     let final =
       let config = { c.config with Config.lats = shrunk.Shrink.lats } in
-      let v' = oracle ~opts:c.opts config shrunk.Shrink.loop in
+      let v' = oracle ~exact ~opts:c.opts config shrunk.Shrink.loop in
       if v'.kind = v.kind then v' else v
     in
-    (c, final, Some (shrunk, steps))
+    (c, final, Some (shrunk, steps), !exact_out)
   end
 
 let failure_of (c, (v : verdict), shrunk) =
@@ -313,7 +384,8 @@ let repro_of_failure ~seed (c : case) f =
   }
 
 let campaign ?(ctx = Runner.Ctx.default) ?(shrink = true) ?corpus
-    ?config_presets ?(max_shrink_evals = 500) ~seed ~cases () =
+    ?config_presets ?param_presets ?(exact = false) ?(max_shrink_evals = 500)
+    ~seed ~cases () =
   let config_presets =
     match config_presets with
     | Some l -> l
@@ -323,32 +395,61 @@ let campaign ?(ctx = Runner.Ctx.default) ?(shrink = true) ?corpus
     Runner.par_map ~ctx
       ~label:(fun i -> Fmt.str "fuzz%04d" i)
       (fun ~trace i ->
-        let c = case_of_index ~config_presets ~seed i in
-        run_case ~trace ~shrink ~max_shrink_evals c)
+        let c = case_of_index ?param_presets ~config_presets ~seed i in
+        run_case ~trace ~shrink ~max_shrink_evals ~exact c)
       (List.init cases Fun.id)
   in
   let count k =
     List.length
-      (List.filter (fun (_, (v : verdict), _) -> v.kind = k) results)
+      (List.filter (fun (_, (v : verdict), _, _) -> v.kind = k) results)
   in
   let r_counts =
     List.map (fun k -> (Ev.fuzz_verdict_name k, count k)) all_verdicts
   in
   let r_failures =
     List.filter_map
-      (fun ((_, v, _) as res) ->
-        if is_failure v.kind then Some (failure_of res) else None)
+      (fun (c, v, shrunk, _) ->
+        if is_failure v.kind then Some (failure_of (c, v, shrunk)) else None)
       results
+  in
+  let r_exact =
+    if not exact then None
+    else begin
+      let xs = List.filter_map (fun (_, _, _, x) -> x) results in
+      let certified = List.filter (fun x -> x.xc_optimal) xs in
+      let xs_gaps =
+        List.sort compare
+          (List.fold_left
+             (fun acc x ->
+               let g = x.xc_heur_ii - x.xc_lb in
+               match List.assoc_opt g acc with
+               | Some n -> (g, n + 1) :: List.remove_assoc g acc
+               | None -> (g, 1) :: acc)
+             [] certified)
+      in
+      Some
+        {
+          xs_cases = List.length xs;
+          xs_certified = List.length certified;
+          xs_budget =
+            List.length (List.filter (fun x -> x.xc_budget_hit) xs);
+          xs_gaps;
+          xs_spills =
+            List.fold_left (fun acc x -> acc + x.xc_heur_spills) 0 certified;
+        }
+    end
   in
   (match corpus with
   | None -> ()
   | Some dir ->
     List.iter
-      (fun ((c, (v : verdict), _) as res) ->
+      (fun (c, (v : verdict), shrunk, _) ->
         if is_failure v.kind then
-          ignore (Repro.write ~dir (repro_of_failure ~seed c (failure_of res))))
+          ignore
+            (Repro.write ~dir
+               (repro_of_failure ~seed c (failure_of (c, v, shrunk)))))
       results);
-  { r_seed = seed; r_cases = cases; r_counts; r_failures }
+  { r_seed = seed; r_cases = cases; r_counts; r_failures; r_exact }
 
 let pp_report ppf r =
   Fmt.pf ppf "fuzz: seed=%d cases=%d failures=%d@," r.r_seed r.r_cases
@@ -356,6 +457,14 @@ let pp_report ppf r =
   Fmt.pf ppf "verdicts:%a@,"
     (Fmt.list ~sep:Fmt.nop (fun ppf (name, n) -> Fmt.pf ppf " %s=%d" name n))
     r.r_counts;
+  (match r.r_exact with
+  | None -> ()
+  | Some s ->
+    Fmt.pf ppf "exact: cases=%d certified=%d budget_hit=%d heur_spills=%d \
+                gaps:%a@,"
+      s.xs_cases s.xs_certified s.xs_budget s.xs_spills
+      (Fmt.list ~sep:Fmt.nop (fun ppf (g, n) -> Fmt.pf ppf " %d=%d" g n))
+      s.xs_gaps);
   List.iter
     (fun f ->
       Fmt.pf ppf
@@ -387,6 +496,68 @@ let replay_file ?cache (r : Repro.t) =
   with
   | v -> v
   | exception e -> { kind = Ev.Crash; detail = Printexc.to_string e }
+
+(* ------------------------------------------------------------------ *)
+(* Optimality-gap corpus                                               *)
+
+(* Heuristic-vs-certified measurement used both to hunt gap witnesses
+   and to replay the committed gap corpus: a plain engine run (no
+   escalation ladder, so replay needs no runner state) plus a full
+   certification capped at the achieved II.  [Some] iff the loop is
+   certified optimal and the heuristic provably missed the optimum. *)
+let measure_gap ~opts config (loop : Loop.t) =
+  match Engine.schedule ~opts config loop.Loop.ddg with
+  | Error _ -> None
+  | Ok o ->
+    let r = Exact.solve ~max_ii:o.Engine.ii config loop.Loop.ddg in
+    if r.Exact.x_optimal && o.Engine.ii - r.Exact.x_lb >= 1 then Some (o, r)
+    else None
+
+let gap_detail ((o : Engine.outcome), (r : Exact.t)) =
+  Fmt.str "gap=%d heur_ii=%d optimal_ii=%d heur_spills=%d"
+    (o.Engine.ii - r.Exact.x_lb)
+    o.Engine.ii r.Exact.x_lb
+    (o.Engine.stats.Engine.value_spills
+    + o.Engine.stats.Engine.invariant_spills)
+
+let hunt_gaps ?(max_shrink_evals = 200) ~seed ~cases () =
+  let config_presets = Lazy.force default_config_presets in
+  let out = ref [] in
+  for i = cases - 1 downto 0 do
+    let c =
+      case_of_index ~param_presets:small_exact_presets ~config_presets ~seed i
+    in
+    if Option.is_some (measure_gap ~opts:c.opts c.config c.loop) then begin
+      let base = { Shrink.loop = c.loop; lats = c.config.Config.lats } in
+      let still_failing (cand : Shrink.candidate) =
+        let config = { c.config with Config.lats = cand.Shrink.lats } in
+        Option.is_some (measure_gap ~opts:c.opts config cand.Shrink.loop)
+      in
+      let shrunk, _ =
+        Shrink.run ~still_failing ~max_evals:max_shrink_evals base
+      in
+      let config = { c.config with Config.lats = shrunk.Shrink.lats } in
+      match measure_gap ~opts:c.opts config shrunk.Shrink.loop with
+      | None -> () (* unreachable: shrinking preserves the predicate *)
+      | Some m ->
+        out :=
+          {
+            Repro.seed;
+            case = c.index;
+            params = c.params_name;
+            config = c.config_name;
+            n_fus = c.config.Config.n_fus;
+            n_mem_ports = c.config.Config.n_mem_ports;
+            lats = shrunk.Shrink.lats;
+            options = c.options_name;
+            verdict = Ev.Optimality;
+            detail = gap_detail m;
+            loop = shrunk.Shrink.loop;
+          }
+          :: !out
+    end
+  done;
+  !out
 
 let replay_corpus ?cache dir =
   let ( let* ) = Result.bind in

@@ -30,6 +30,7 @@ let add t ev =
   | Event.Spill_insert { kind; inserted } ->
     bump t.counts ("spill." ^ Event.spill_name kind ^ ".nodes") inserted
   | Event.Shrink { steps } -> bump t.counts "shrink.steps" steps
+  | Event.Exact_search { steps; _ } -> bump t.counts "exact.steps" steps
   | Event.Phase { phase; ns } ->
     bump t.timings ("phase." ^ Event.phase_name phase) ns
   | Event.II_try _ | Event.Place _ | Event.Eject _ | Event.Comm_insert _

@@ -7,7 +7,7 @@
 type comm = Store_r | Load_r | Move
 type cache_op = Hit | Miss | Store
 type spill = Value | Invariant
-type phase = Mii | Order | Schedule | Regalloc | Memsim
+type phase = Mii | Order | Schedule | Regalloc | Memsim | Exact
 
 type fuzz_verdict =
   | Pass
@@ -17,6 +17,7 @@ type fuzz_verdict =
   | Metamorphic
   | Replay_divergence
   | Crash
+  | Optimality
 
 type t =
   | II_try of int  (** one attempt of the II search starts at this II *)
@@ -38,6 +39,10 @@ type t =
       (** one differential-fuzzing case finished with this verdict *)
   | Shrink of { steps : int }
       (** one failing case was minimized in this many accepted steps *)
+  | Exact_search of { lb : int; witness_ii : int; steps : int }
+      (** one exact-certification run finished: certified II lower
+          bound, II of the witness schedule found (-1 when none), and
+          branch-and-bound steps spent *)
 
 let comm_name = function
   | Store_r -> "store_r"
@@ -71,6 +76,7 @@ let phase_name = function
   | Schedule -> "schedule"
   | Regalloc -> "regalloc"
   | Memsim -> "memsim"
+  | Exact -> "exact"
 
 let phase_of_name = function
   | "mii" -> Some Mii
@@ -78,6 +84,7 @@ let phase_of_name = function
   | "schedule" -> Some Schedule
   | "regalloc" -> Some Regalloc
   | "memsim" -> Some Memsim
+  | "exact" -> Some Exact
   | _ -> None
 
 let fuzz_verdict_name = function
@@ -88,6 +95,7 @@ let fuzz_verdict_name = function
   | Metamorphic -> "metamorphic"
   | Replay_divergence -> "replay_divergence"
   | Crash -> "crash"
+  | Optimality -> "optimality"
 
 let fuzz_verdict_of_name = function
   | "pass" -> Some Pass
@@ -97,6 +105,7 @@ let fuzz_verdict_of_name = function
   | "metamorphic" -> Some Metamorphic
   | "replay_divergence" -> Some Replay_divergence
   | "crash" -> Some Crash
+  | "optimality" -> Some Optimality
   | _ -> None
 
 (** Stable counter key of an event; phase spans share one key per phase
@@ -113,6 +122,7 @@ let key = function
   | Phase { phase; _ } -> "phase." ^ phase_name phase
   | Fuzz v -> "fuzz." ^ fuzz_verdict_name v
   | Shrink _ -> "shrink"
+  | Exact_search _ -> "exact"
 
 let pp ppf = function
   | II_try ii -> Fmt.pf ppf "ii_try ii=%d" ii
@@ -129,3 +139,5 @@ let pp ppf = function
     Fmt.pf ppf "phase phase=%s ns=%d" (phase_name phase) ns
   | Fuzz v -> Fmt.pf ppf "fuzz verdict=%s" (fuzz_verdict_name v)
   | Shrink { steps } -> Fmt.pf ppf "shrink steps=%d" steps
+  | Exact_search { lb; witness_ii; steps } ->
+    Fmt.pf ppf "exact_search lb=%d witness_ii=%d steps=%d" lb witness_ii steps

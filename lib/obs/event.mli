@@ -7,7 +7,7 @@
 type comm = Store_r | Load_r | Move
 type cache_op = Hit | Miss | Store
 type spill = Value | Invariant
-type phase = Mii | Order | Schedule | Regalloc | Memsim
+type phase = Mii | Order | Schedule | Regalloc | Memsim | Exact
 
 (** Outcome taxonomy of one differential-fuzzing case ([hcrf_check]). *)
 type fuzz_verdict =
@@ -18,6 +18,7 @@ type fuzz_verdict =
   | Metamorphic  (** a metamorphic invariant was violated *)
   | Replay_divergence  (** warm-cache replay differed from the cold run *)
   | Crash  (** the case raised instead of returning *)
+  | Optimality  (** the heuristic beat the certified II lower bound *)
 
 type t =
   | II_try of int  (** one attempt of the II search starts at this II *)
@@ -39,6 +40,10 @@ type t =
       (** one differential-fuzzing case finished with this verdict *)
   | Shrink of { steps : int }
       (** one failing case was minimized in this many accepted steps *)
+  | Exact_search of { lb : int; witness_ii : int; steps : int }
+      (** one exact-certification run finished: certified II lower
+          bound, II of the witness schedule found (-1 when none), and
+          branch-and-bound steps spent *)
 
 val comm_name : comm -> string
 val comm_of_name : string -> comm option

@@ -70,6 +70,9 @@ let payload (ev : Event.t) =
     ("phase", [ ("phase", S (Event.phase_name phase)); ("ns", I ns) ])
   | Event.Fuzz v -> ("fuzz", [ ("verdict", S (Event.fuzz_verdict_name v)) ])
   | Event.Shrink { steps } -> ("shrink", [ ("steps", I steps) ])
+  | Event.Exact_search { lb; witness_ii; steps } ->
+    ( "exact_search",
+      [ ("lb", I lb); ("witness_ii", I witness_ii); ("steps", I steps) ] )
 
 let line_of_event ~label ev =
   let kind, fields = payload ev in
@@ -280,6 +283,12 @@ let event_of_line line : (string * Event.t, string) result =
         let* () = exact [ "steps" ] in
         let* steps = need_int "steps" ev in
         Ok (label, Event.Shrink { steps })
+      | "exact_search" ->
+        let* () = exact [ "lb"; "witness_ii"; "steps" ] in
+        let* lb = need_int "lb" ev in
+        let* witness_ii = need_int "witness_ii" ev in
+        let* steps = need_int "steps" ev in
+        Ok (label, Event.Exact_search { lb; witness_ii; steps })
       | other -> Error (Fmt.str "unknown event kind %S" other)))
 
 let check_header line =

@@ -119,7 +119,11 @@ let compute ?(lat : Latency.t option) config (g : Ddg.t) : int list =
   in
   List.iter
     (fun group ->
-      let already = Hashtbl.fold (fun v _ acc -> v :: acc) marked [] in
+      (* sorted: hash order must not reach path_nodes (determinism even
+         under randomized hashing) *)
+      let already =
+        List.sort compare (Hashtbl.fold (fun v _ acc -> v :: acc) marked [])
+      in
       if already <> [] then begin
         let bridge_fwd = path_nodes g ~from_set:already ~to_set:group in
         let bridge_bwd = path_nodes g ~from_set:group ~to_set:already in

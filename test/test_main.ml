@@ -16,6 +16,7 @@ let () =
       ("pipesim", Test_pipesim.tests);
       ("frontend", Test_frontend.tests);
       ("check", Test_check.tests);
+      ("exact", Test_exact.tests);
       ("codegen", Test_codegen.tests);
       ("topology", Test_topology.tests);
     ]

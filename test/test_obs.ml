@@ -29,6 +29,11 @@ let all_events =
     Event.Cache Event.Miss;
     Event.Cache Event.Store;
     Event.Phase { phase = Event.Mii; ns = 1234 };
+    Event.Phase { phase = Event.Exact; ns = 55 };
+    Event.Fuzz Event.Pass;
+    Event.Fuzz Event.Optimality;
+    Event.Shrink { steps = 3 };
+    Event.Exact_search { lb = 2; witness_ii = 2; steps = 901 };
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -48,21 +53,28 @@ let test_counters_histogram () =
       ("comm.move", 1);
       ("comm.store_r", 1);
       ("eject", 1);
+      ("exact", 1);
+      ("exact.steps", 901);
+      ("fuzz.optimality", 1);
+      ("fuzz.pass", 1);
       ("ii_try", 1);
+      ("phase.exact", 1);
       ("phase.mii", 1);
       ("place", 2);
       ("regalloc.fail", 1);
+      ("shrink", 1);
+      ("shrink.steps", 3);
       ("spill.invariant", 1);
       ("spill.invariant.nodes", 1);
       ("spill.value", 1);
       ("spill.value.nodes", 2);
     ]
     (Counters.counts c);
-  (* derived .nodes magnitudes are not events *)
+  (* derived .nodes/.steps magnitudes are not events *)
   check_int "total events" (List.length all_events) (Counters.total_events c);
   Alcotest.(check (list (pair string int)))
     "phase wall-clock lands in timings, not counts"
-    [ ("phase.mii", 1234) ]
+    [ ("phase.exact", 55); ("phase.mii", 1234) ]
     (Counters.timings c);
   let c' = Counters.create () in
   Counters.add_all c' all_events;
@@ -74,9 +86,10 @@ let test_counters_histogram () =
   Alcotest.(check string)
     "pp is sorted key=value"
     "budget.escalate=1 cache.hit=1 cache.miss=1 cache.store=1 comm.load_r=1 \
-     comm.move=1 comm.store_r=1 eject=1 ii_try=1 phase.mii=1 place=2 \
-     regalloc.fail=1 spill.invariant=1 spill.invariant.nodes=1 \
-     spill.value=1 spill.value.nodes=2"
+     comm.move=1 comm.store_r=1 eject=1 exact=1 exact.steps=901 \
+     fuzz.optimality=1 fuzz.pass=1 ii_try=1 phase.exact=1 phase.mii=1 \
+     place=2 regalloc.fail=1 shrink=1 shrink.steps=3 spill.invariant=1 \
+     spill.invariant.nodes=1 spill.value=1 spill.value.nodes=2"
     (Fmt.str "%a" Counters.pp c)
 
 (* ------------------------------------------------------------------ *)
@@ -99,6 +112,11 @@ let golden_lines =
     {|{"loop":"k1","ev":"cache","op":"miss"}|};
     {|{"loop":"k1","ev":"cache","op":"store"}|};
     {|{"loop":"k1","ev":"phase","phase":"mii","ns":1234}|};
+    {|{"loop":"k1","ev":"phase","phase":"exact","ns":55}|};
+    {|{"loop":"k1","ev":"fuzz","verdict":"pass"}|};
+    {|{"loop":"k1","ev":"fuzz","verdict":"optimality"}|};
+    {|{"loop":"k1","ev":"shrink","steps":3}|};
+    {|{"loop":"k1","ev":"exact_search","lb":2,"witness_ii":2,"steps":901}|};
   ]
 
 let read_lines path =
@@ -165,6 +183,13 @@ let test_jsonl_rejects () =
       ("trailing garbage", {|{"loop":"x","ev":"ii_try","ii":7} oops|});
       ("bad enum value", {|{"loop":"x","ev":"cache","op":"evict"}|});
       ("nested value", {|{"loop":"x","ev":"ii_try","ii":{"v":7}}|});
+      ("bad fuzz verdict", {|{"loop":"x","ev":"fuzz","verdict":"maybe"}|});
+      ("bad phase name", {|{"loop":"x","ev":"phase","phase":"solve","ns":5}|});
+      ( "exact_search missing field",
+        {|{"loop":"x","ev":"exact_search","lb":2,"steps":9}|} );
+      ( "exact_search extra field",
+        {|{"loop":"x","ev":"exact_search","lb":2,"witness_ii":2,"steps":9,"sigmas":1}|}
+      );
     ]
   in
   List.iter
