@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Serving smoke test, run on every `dune runtest`: boot an hcrf_serve
+# daemon on a loopback unix socket, fire a 1000-request storm from 4
+# concurrent clients at it, and check the acceptance contract:
+#
+#   - every warm response comes from a cache tier: the storm moves no
+#     engine computation counter (computed=0);
+#   - responses are byte-identical to a direct local Runner.run_loop
+#     (--verify; scheduler wall-clock scrubbed);
+#   - a malformed frame is refused without taking the daemon down;
+#   - SIGTERM drains cleanly (final stats line, exit 0, socket gone);
+#   - the --json report has the hcrf-bench/1 shape — key-compatible
+#     with BENCH_sched_core.json's runs[] entries (trajectory guard,
+#     not wall-clock).
+set -eu
+
+case "$1" in
+  */*) serve="$1" ;;
+  *) serve="./$1" ;;
+esac
+case "$2" in
+  */*) explore="$2" ;;
+  *) explore="./$2" ;;
+esac
+golden="$3"
+
+dir=$(mktemp -d "${TMPDIR:-/tmp}/hcrf-serve-smoke.XXXXXX")
+sock="$dir/serve.sock"
+cleanup () {
+  [ -n "${daemon_pid:-}" ] && kill "$daemon_pid" 2> /dev/null || true
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+"$serve" --addr "$sock" --cache "$dir/cache" --lru 64 --jobs 2 \
+  > "$dir/daemon.log" 2>&1 &
+daemon_pid=$!
+
+for _ in $(seq 1 100); do
+  [ -S "$sock" ] && break
+  kill -0 "$daemon_pid" 2> /dev/null ||
+    { echo "serve smoke: daemon died at startup" >&2
+      cat "$dir/daemon.log" >&2; exit 1; }
+  sleep 0.1
+done
+[ -S "$sock" ] ||
+  { echo "serve smoke: daemon socket never appeared" >&2; exit 1; }
+
+"$explore" serve-bench --addr "$sock" -c 4C32 -n 20 -r 1000 --clients 4 \
+  --verify --malformed --json "$dir/serve.json" > bench_out.txt
+
+grep -q 'malformed: daemon survived' bench_out.txt ||
+  { echo "serve smoke: malformed-frame check missing" >&2
+    cat bench_out.txt >&2; exit 1; }
+grep -q '^storm: computed=0 ' bench_out.txt ||
+  { echo "serve smoke: warm storm invoked the engine" >&2
+    cat bench_out.txt >&2; exit 1; }
+grep -q '^verify: ok' bench_out.txt ||
+  { echo "serve smoke: daemon responses differ from the local runner" >&2
+    cat bench_out.txt >&2; exit 1; }
+
+# graceful drain: SIGTERM, clean exit, final stats, socket removed
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" ||
+  { echo "serve smoke: daemon exited non-zero on SIGTERM" >&2
+    cat "$dir/daemon.log" >&2; exit 1; }
+daemon_pid=""
+grep -q 'hcrf_serve: drained;' "$dir/daemon.log" ||
+  { echo "serve smoke: no drain stats line" >&2
+    cat "$dir/daemon.log" >&2; exit 1; }
+[ ! -e "$sock" ] ||
+  { echo "serve smoke: socket file left behind after drain" >&2; exit 1; }
+
+# entries must have landed in the sharded store layout
+find "$dir/cache" -mindepth 2 -name '*.hcrf' | grep -q . ||
+  { echo "serve smoke: no sharded cache entries written" >&2; exit 1; }
+
+# hcrf-bench/1 shape gate: serve.json's runs[] must carry exactly the
+# key set of the committed sched-core benchmark document, so both
+# reports stay machine-comparable
+grep -q '"schema": "hcrf-bench/1"' "$dir/serve.json" ||
+  { echo "serve smoke: JSON report missing schema tag" >&2; exit 1; }
+if command -v jq > /dev/null 2>&1; then
+  jq -e '.runs | length >= 1 and all(.cold_wall_s >= 0 and .phase_ns != null)' \
+    "$dir/serve.json" > /dev/null ||
+    { echo "serve smoke: malformed JSON report" >&2; exit 1; }
+  serve_keys=$(jq -r '.runs[0] | keys | sort | join(",")' "$dir/serve.json")
+  golden_keys=$(jq -r '.runs_after[0] | keys | sort | join(",")' "$golden")
+  [ "$serve_keys" = "$golden_keys" ] ||
+    { echo "serve smoke: runs[] key shape drifted from BENCH_sched_core" >&2
+      echo "  serve:  $serve_keys" >&2
+      echo "  golden: $golden_keys" >&2; exit 1; }
+fi
+
+echo "serve smoke: ok (1000-request storm warm, verified, malformed survived, drained)"

@@ -500,6 +500,233 @@ let trace_cmd =
        ~doc:"Validate a JSONL event trace and print its counter totals")
     Term.(const run $ file_arg)
 
+let serve_bench_cmd =
+  (* fire a request storm at a running hcrf_serve daemon and print the
+     tier counters each phase moved: one cold pass (every distinct loop
+     once), then a concurrent warm storm.  Every response is checked
+     byte-identical to the first response for its loop; --verify
+     additionally byte-compares against a local Runner.run_loop
+     (wall-clock seconds scrubbed: independent computations).
+     --malformed sends a garbage frame first and proves the daemon
+     survives it.  --json emits an hcrf-bench/1 document. *)
+  let open Hcrf_server in
+  let addr_arg =
+    let doc =
+      "Daemon address (unix socket path or host:port).  Defaults to \
+       HCRF_SERVE_ADDR."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "a"; "addr" ] ~doc ~docv:"ADDR")
+  in
+  let requests_arg =
+    let doc = "Total schedule requests in the warm storm." in
+    Arg.(value & opt int 1000 & info [ "r"; "requests" ] ~doc ~docv:"N")
+  in
+  let clients_arg =
+    let doc = "Concurrent client connections for the storm." in
+    Arg.(value & opt int 4 & info [ "clients" ] ~doc ~docv:"N")
+  in
+  let timeout_arg =
+    let doc = "Per-request deadline in milliseconds (0: none)." in
+    Arg.(value & opt int 0 & info [ "timeout-ms" ] ~doc ~docv:"MS")
+  in
+  let verify_arg =
+    let doc =
+      "Recompute every loop locally and byte-compare against the \
+       daemon's responses."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let malformed_arg =
+    let doc =
+      "Send a deliberately broken frame before benchmarking and check \
+       the daemon survives it."
+    in
+    Arg.(value & flag & info [ "malformed" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Write an hcrf-bench/1 JSON report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  let memory_arg =
+    Arg.(
+      value
+      & opt memory_conv Hcrf_eval.Runner.Ideal
+      & info [ "m"; "memory" ] ~doc:"Memory scenario." ~docv:"SCENARIO")
+  in
+  let fail fmt = Fmt.kstr (fun m -> Fmt.epr "serve-bench: %s@." m; exit 1) fmt in
+  let connect addr =
+    match Client.connect addr with
+    | Ok c -> c
+    | Error msg -> fail "%s" msg
+  in
+  let get_stats c =
+    match Client.stats c with
+    | Ok s -> s
+    | Error msg -> fail "stats: %s" msg
+  in
+  let run addr_opt config_name n requests clients timeout_ms scenario verify
+      malformed json =
+    let addr_s =
+      match
+        match addr_opt with
+        | Some a -> Some a
+        | None -> Hcrf_eval.Env.serve_addr ()
+      with
+      | Some a -> a
+      | None -> fail "no address (pass --addr or set HCRF_SERVE_ADDR)"
+    in
+    let addr = Wire.addr_of_string addr_s in
+    let config = config_of_string config_name in
+    let opts = Engine.default_options in
+    let loops = Array.of_list (Hcrf_workload.Suite.generate ~n ()) in
+    let n = Array.length loops in
+    if malformed then begin
+      (* a garbage frame must get this connection refused or closed —
+         and must not take the daemon down *)
+      let bad = connect addr in
+      (match Client.send_raw bad "this is not a frame at all........" with
+      | Ok (Wire.Refused _) | Error _ -> ()
+      | Ok _ -> fail "daemon accepted a garbage frame");
+      Client.close bad;
+      let again = connect addr in
+      (match Client.ping again with
+      | Ok () -> Fmt.pr "malformed: daemon survived a garbage frame@."
+      | Error msg -> fail "daemon did not survive a garbage frame: %s" msg);
+      Client.close again
+    end;
+    let c0 = connect addr in
+    (match Client.ping c0 with
+    | Ok () -> ()
+    | Error msg -> fail "ping: %s" msg);
+    let before = get_stats c0 in
+    (* first responses per loop: the identity baseline for the storm *)
+    let baseline = Array.make n "" in
+    let timeout_ms = if timeout_ms > 0 then Some timeout_ms else None in
+    let schedule_on client i =
+      match
+        Client.schedule client ?timeout_ms ~config ~opts ~scenario loops.(i)
+      with
+      | Ok (Wire.Scheduled entry) -> Marshal.to_string entry []
+      | Ok (Wire.Refused (k, msg)) ->
+        fail "loop %d refused (%s): %s" i (Wire.error_kind_name k) msg
+      | Ok _ -> fail "loop %d: unexpected reply" i
+      | Error msg -> fail "loop %d: %s" i msg
+    in
+    let wall f =
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Unix.gettimeofday () -. t0
+    in
+    let cold_wall =
+      wall (fun () ->
+          Array.iteri (fun i _ -> baseline.(i) <- schedule_on c0 i) loops)
+    in
+    let mid = get_stats c0 in
+    (* the storm: [clients] connections, [requests] total, round-robin
+       over the loops — every response must byte-match the baseline *)
+    let errors = Mutex.create () in
+    let first_error = ref None in
+    let storm_client k () =
+      let client = connect addr in
+      Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+      let r = ref k in
+      while !r < requests do
+        let i = !r mod n in
+        (try
+           let bytes = schedule_on client i in
+           if not (String.equal bytes baseline.(i)) then begin
+             Mutex.lock errors;
+             if !first_error = None then
+               first_error :=
+                 Some (Fmt.str "loop %d: storm response differs from cold" i);
+             Mutex.unlock errors
+           end
+         with e ->
+           Mutex.lock errors;
+           if !first_error = None then
+             first_error := Some (Printexc.to_string e);
+           Mutex.unlock errors);
+        r := !r + clients
+      done
+    in
+    let warm_wall =
+      wall (fun () ->
+          let threads =
+            List.init (max 1 clients) (fun k ->
+                Thread.create (storm_client k) ())
+          in
+          List.iter Thread.join threads)
+    in
+    (match !first_error with
+    | Some msg -> fail "%s" msg
+    | None -> ());
+    let after = get_stats c0 in
+    Client.close c0;
+    let d get = get after - get mid in
+    Fmt.pr "serve-bench: %d loops, %d requests, %d clients on %a@." n
+      requests clients Wire.pp_addr addr;
+    Fmt.pr "cold: computed=%d wall=%.3fs@."
+      (mid.Wire.computed - before.Wire.computed)
+      cold_wall;
+    Fmt.pr
+      "storm: computed=%d lru_hits=%d tier2_hits=%d coalesced=%d \
+       rejected=%d timeouts=%d wall=%.3fs@."
+      (d (fun s -> s.Wire.computed))
+      (d (fun s -> s.Wire.lru_hits))
+      (d (fun s -> s.Wire.tier2_hits))
+      (d (fun s -> s.Wire.coalesced))
+      (d (fun s -> s.Wire.rejected))
+      (d (fun s -> s.Wire.timeouts))
+      warm_wall;
+    Fmt.pr "stats: %a@." Wire.pp_serve_stats after;
+    if verify then begin
+      (* the daemon's answers against this process's own runner: same
+         compute path, independent run — identical modulo wall-clock *)
+      let scrub (p : Hcrf_eval.Metrics.loop_perf) =
+        { p with Hcrf_eval.Metrics.sched_seconds = 0. }
+      in
+      Array.iteri
+        (fun i l ->
+          let entry : Hcrf_cache.Entry.t =
+            Marshal.from_string baseline.(i) 0
+          in
+          let remote = Hcrf_eval.Runner.result_of_entry config l entry in
+          let local = Hcrf_eval.Runner.run_loop config l in
+          match (remote, local) with
+          | Some r, Some s ->
+            if
+              not
+                (String.equal
+                   (Marshal.to_string (scrub r.Hcrf_eval.Runner.perf) [])
+                   (Marshal.to_string (scrub s.Hcrf_eval.Runner.perf) []))
+            then fail "loop %d: daemon result differs from local runner" i
+          | None, None -> ()
+          | _ -> fail "loop %d: daemon and local disagree on feasibility" i)
+        loops;
+      Fmt.pr "verify: ok (%d loops identical to the local runner)@." n
+    end;
+    match json with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      Printf.fprintf oc
+        "{ \"schema\": \"hcrf-bench/1\", \"runs\": [\n\
+        \  { \"config\": %S, \"loops\": %d, \"jobs\": %d,\n\
+        \    \"cold_wall_s\": %.3f, \"warm_wall_s\": %.3f,\n\
+        \    \"phase_ns\": {  } }\n\
+         ] }\n"
+        config_name n clients cold_wall warm_wall;
+      close_out oc
+  in
+  Cmd.v
+    (Cmd.info "serve-bench"
+       ~doc:"Fire a request storm at a running hcrf_serve daemon")
+    Term.(
+      const run $ addr_arg $ config_arg $ n_arg $ requests_arg
+      $ clients_arg $ timeout_arg $ memory_arg $ verify_arg
+      $ malformed_arg $ json_arg)
+
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level (Some Logs.Warning);
@@ -514,4 +741,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ schedule_cmd; suite_cmd; hw_cmd; ports_cmd; duel_cmd; fuzz_cmd;
-            exact_cmd; trace_cmd ]))
+            exact_cmd; trace_cmd; serve_bench_cmd ]))

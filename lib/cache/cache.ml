@@ -16,26 +16,37 @@ let pp_stats ppf s =
   Fmt.pf ppf "disk-errors=%d disk-hits=%d hits=%d misses=%d stores=%d"
     s.disk_errors s.disk_hits s.hits s.misses s.stores
 
-type t = {
+(* One shard: its slice of the in-memory table, its own counters and
+   its own mutex.  Keys map to shards exactly as in the on-disk layout
+   ({!Store.shard_of_key}), so two lookups can only contend when they
+   would also touch the same store subdirectory — the single global
+   mutex this replaced serialized *every* lookup of a Par pool or a
+   serving daemon's connection handlers. *)
+type shard = {
   table : (Fingerprint.t, Entry.t) Hashtbl.t;
-  store : Store.t option;
   mutex : Mutex.t;
   mutable counters : stats;
 }
 
+type t = { shards_ : shard array; store : Store.t option }
+
 let create ?dir () =
   {
-    table = Hashtbl.create 256;
+    shards_ =
+      Array.init Store.shards (fun _ ->
+          { table = Hashtbl.create 32;
+            mutex = Mutex.create ();
+            counters = zero_stats });
     store = Option.bind dir Store.open_dir;
-    mutex = Mutex.create ();
-    counters = zero_stats;
   }
 
 let dir t = Option.map Store.dir t.store
 
-let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let shard t key = t.shards_.(Store.shard_of_key key)
+
+let locked sh f =
+  Mutex.lock sh.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sh.mutex) f
 
 module Tr = Hcrf_obs.Trace
 module Ev = Hcrf_obs.Event
@@ -44,19 +55,20 @@ let emit trace op =
   if Tr.enabled trace then Tr.emit trace (Ev.Cache op)
 
 let find ?(trace = Tr.off) ?(validate = fun (_ : Entry.t) -> true) t key =
+  let sh = shard t key in
   let result =
-    locked t (fun () ->
+    locked sh (fun () ->
       let miss ?(disk_error = false) () =
-        t.counters <-
-          { t.counters with
-            misses = t.counters.misses + 1;
+        sh.counters <-
+          { sh.counters with
+            misses = sh.counters.misses + 1;
             disk_errors =
-              (t.counters.disk_errors + if disk_error then 1 else 0) };
+              (sh.counters.disk_errors + if disk_error then 1 else 0) };
         None
       in
-      match Hashtbl.find_opt t.table key with
+      match Hashtbl.find_opt sh.table key with
       | Some e when validate e ->
-        t.counters <- { t.counters with hits = t.counters.hits + 1 };
+        sh.counters <- { sh.counters with hits = sh.counters.hits + 1 };
         Some e
       | Some _ ->
         (* present but rejected by [validate] (e.g. the entry's schedule
@@ -71,11 +83,11 @@ let find ?(trace = Tr.off) ?(validate = fun (_ : Entry.t) -> true) t key =
         in
         match disk with
         | `Hit e when validate e ->
-          Hashtbl.replace t.table key e;
-          t.counters <-
-            { t.counters with
-              hits = t.counters.hits + 1;
-              disk_hits = t.counters.disk_hits + 1 };
+          Hashtbl.replace sh.table key e;
+          sh.counters <-
+            { sh.counters with
+              hits = sh.counters.hits + 1;
+              disk_hits = sh.counters.disk_hits + 1 };
           Some e
         | `Hit _ -> miss ()
         | (`Miss | `Error) as r ->
@@ -88,18 +100,32 @@ let find ?(trace = Tr.off) ?(validate = fun (_ : Entry.t) -> true) t key =
 
 let add ?(trace = Tr.off) t key entry =
   emit trace Ev.Store;
-  locked t (fun () ->
-      Hashtbl.replace t.table key entry;
+  let sh = shard t key in
+  locked sh (fun () ->
+      Hashtbl.replace sh.table key entry;
       let wrote =
         match t.store with
         | None -> true
         | Some s -> Store.save s ~key entry
       in
-      t.counters <-
-        { t.counters with
-          stores = t.counters.stores + 1;
+      sh.counters <-
+        { sh.counters with
+          stores = sh.counters.stores + 1;
           disk_errors =
-            (t.counters.disk_errors + if wrote then 0 else 1) };
+            (sh.counters.disk_errors + if wrote then 0 else 1) };
       ())
 
-let stats t = locked t (fun () -> t.counters)
+(* Per-shard counters summed into one snapshot; integer sums commute,
+   so the totals are deterministic for any interleaving of workers. *)
+let stats t =
+  Array.fold_left
+    (fun acc sh ->
+      let c = locked sh (fun () -> sh.counters) in
+      {
+        hits = acc.hits + c.hits;
+        misses = acc.misses + c.misses;
+        stores = acc.stores + c.stores;
+        disk_hits = acc.disk_hits + c.disk_hits;
+        disk_errors = acc.disk_errors + c.disk_errors;
+      })
+    zero_stats t.shards_

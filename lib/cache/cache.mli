@@ -3,9 +3,12 @@
     {!Store}.
 
     The cache is safe to share between the domains of a {!Hcrf_eval.Par}
-    pool: every lookup, insertion and counter update is protected by a
-    single mutex (scheduling itself — the expensive part — runs outside
-    the lock).  Because keys canonically identify the full scheduling
+    pool and the threads of a serving daemon: the key space is sharded
+    by fingerprint prefix (mirroring the {!Store} directory layout) and
+    every shard has its own mutex, so lookups, insertions and counter
+    updates only contend when they race on the same shard (scheduling
+    itself — the expensive part — runs outside any lock).  Because keys
+    canonically identify the full scheduling
     input and replayed entries are bit-reproductions of the original
     outcome, a cache hit can never change any result: warm and cold runs
     produce byte-identical aggregates. *)

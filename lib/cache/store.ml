@@ -1,9 +1,28 @@
 type t = { dir : string }
 
-(* version 2: [Entry.Scheduled] gained [input_digest]; v1 payloads have
-   a different Marshal layout and must be rejected before unmarshalling *)
-let version = 2
+(* version 3: entries are sharded into [shards] subdirectories by the
+   leading hex nibble of the key, so concurrent writers (the serving
+   daemon's connection handlers, a Par pool) never contend on one
+   directory.  The *payload* layout is unchanged from version 2
+   ([Entry.Scheduled] with [input_digest]), so v2 files — written into
+   the flat, unsharded directory root — are still readable: [load]
+   falls back to the legacy flat path and accepts the v2 magic.  v1
+   payloads have a different Marshal layout and are still rejected
+   before unmarshalling. *)
+let version = 3
 let magic = Printf.sprintf "hcrf-cache %d\n" version
+let magic_v2 = "hcrf-cache 2\n"
+
+(* Shard count and the shard of a key (its leading hex nibble).  16 is
+   enough to make same-shard collisions of concurrent writers rare and
+   keeps the fan-out observable by eye in the cache directory. *)
+let shards = 16
+
+let shard_of_key key =
+  match (Fingerprint.to_hex key).[0] with
+  | '0' .. '9' as c -> Char.code c - Char.code '0'
+  | 'a' .. 'f' as c -> 10 + Char.code c - Char.code 'a'
+  | _ -> 0 (* to_hex is lower-case hex; unreachable *)
 
 let dir t = t.dir
 
@@ -15,10 +34,16 @@ let rec ensure_dir d =
     Sys.mkdir d 0o755
   end
 
+let shard_dir t i = Filename.concat t.dir (Printf.sprintf "%x" i)
+
 let open_dir d =
   match
     ensure_dir d;
-    if not (Sys.is_directory d) then failwith "not a directory"
+    if not (Sys.is_directory d) then failwith "not a directory";
+    (* create every shard up front: [save] must never race a mkdir *)
+    for i = 0 to shards - 1 do
+      ensure_dir (Filename.concat d (Printf.sprintf "%x" i))
+    done
   with
   | () -> Some { dir = d }
   | exception e ->
@@ -28,7 +53,14 @@ let open_dir d =
           d (Printexc.to_string e));
     None
 
-let path t ~key = Filename.concat t.dir (Fingerprint.to_hex key ^ ".hcrf")
+let basename key = Fingerprint.to_hex key ^ ".hcrf"
+
+let path t ~key =
+  Filename.concat (shard_dir t (shard_of_key key)) (basename key)
+
+(* Pre-v3 flat location of an entry, still consulted on a shard miss so
+   a v2 cache directory keeps its warm entries across the upgrade. *)
+let legacy_path t ~key = Filename.concat t.dir (basename key)
 
 let read_file p =
   let ic = open_in_bin p in
@@ -36,39 +68,47 @@ let read_file p =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+let load_file p ~key =
+  let stale reason =
+    Logs.warn (fun m ->
+        m "schedule cache: ignoring %s (%s); recomputing" p reason);
+    `Error
+  in
+  match read_file p with
+  | exception e -> stale (Printexc.to_string e)
+  | content ->
+    (* v3 and v2 share the payload layout; only the header differs *)
+    let mlen = String.length magic in
+    if String.length content < mlen + 16 then stale "truncated"
+    else if
+      not
+        (String.equal (String.sub content 0 mlen) magic
+        || String.equal (String.sub content 0 mlen) magic_v2)
+    then stale "bad magic or stale version"
+    else
+      let sum = String.sub content mlen 16 in
+      let payload =
+        String.sub content (mlen + 16) (String.length content - mlen - 16)
+      in
+      if not (String.equal sum (Digest.string payload)) then
+        stale "checksum mismatch"
+      else begin
+        (* the checksum matched, so the payload is exactly what a
+           same-layout writer produced: unmarshalling is safe *)
+        match (Marshal.from_string payload 0 : string * Entry.t) with
+        | exception e -> stale (Printexc.to_string e)
+        | stored_key, entry ->
+          if String.equal stored_key (Fingerprint.to_hex key) then
+            `Hit entry
+          else stale "key mismatch"
+      end
+
 let load t ~key =
   let p = path t ~key in
-  if not (Sys.file_exists p) then `Miss
+  if Sys.file_exists p then load_file p ~key
   else
-    let stale reason =
-      Logs.warn (fun m ->
-          m "schedule cache: ignoring %s (%s); recomputing" p reason);
-      `Error
-    in
-    match read_file p with
-    | exception e -> stale (Printexc.to_string e)
-    | content ->
-      let mlen = String.length magic in
-      if String.length content < mlen + 16 then stale "truncated"
-      else if not (String.equal (String.sub content 0 mlen) magic) then
-        stale "bad magic or stale version"
-      else
-        let sum = String.sub content mlen 16 in
-        let payload =
-          String.sub content (mlen + 16) (String.length content - mlen - 16)
-        in
-        if not (String.equal sum (Digest.string payload)) then
-          stale "checksum mismatch"
-        else begin
-          (* the checksum matched, so the payload is exactly what a
-             same-version writer produced: unmarshalling is safe *)
-          match (Marshal.from_string payload 0 : string * Entry.t) with
-          | exception e -> stale (Printexc.to_string e)
-          | stored_key, entry ->
-            if String.equal stored_key (Fingerprint.to_hex key) then
-              `Hit entry
-            else stale "key mismatch"
-        end
+    let legacy = legacy_path t ~key in
+    if Sys.file_exists legacy then load_file legacy ~key else `Miss
 
 let tmp_counter = Atomic.make 0
 

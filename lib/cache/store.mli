@@ -1,12 +1,21 @@
-(** On-disk persistence for cache entries: one file per entry under a
-    cache directory, named by the key's hex fingerprint.
+(** On-disk persistence for cache entries: one file per entry, named by
+    the key's hex fingerprint, sharded into {!shards} subdirectories by
+    the key's leading hex nibble (v3 layout).  Sharding spreads
+    concurrent writers over independent directories — and lets
+    {!Cache} guard each shard with its own mutex instead of one global
+    lock.
+
+    The layout is self-migrating: a v2 (flat, unsharded) cache
+    directory keeps working, because {!load} falls back to the legacy
+    flat path on a shard miss and the v2 payload layout is identical;
+    new writes always go to the shards.
 
     The file format is defensive: a versioned magic header followed by
     an MD5 checksum of the marshalled payload.  A truncated, corrupt,
     garbage or version-stale file fails the header or checksum test and
     is reported as a miss with a {!Logs} warning — never an exception,
     and in particular the unmarshaller is never run on bytes that were
-    not written by a matching version of this module.
+    not written by a matching layout of this module.
 
     Writes go through a temporary file in the same directory followed by
     an atomic rename, so concurrent processes sharing a cache directory
@@ -14,9 +23,16 @@
 
 type t
 
-(** Current on-disk format version (bumped whenever the entry schema
-    changes; older files are then skipped as stale). *)
+(** Current on-disk format version (bumped whenever the entry schema or
+    directory layout changes; payload-incompatible older files are then
+    skipped as stale). *)
 val version : int
+
+(** Number of shard subdirectories (16: one per leading hex nibble). *)
+val shards : int
+
+(** Shard index of a key, in [0, shards). *)
+val shard_of_key : Fingerprint.t -> int
 
 (** Open (creating it if needed, like [mkdir -p]) a cache directory.
     Returns [None] — with a warning — when the directory cannot be
@@ -26,8 +42,12 @@ val open_dir : string -> t option
 
 val dir : t -> string
 
-(** Path of the entry file for [key] (exposed for tests). *)
+(** Sharded path of the entry file for [key] (exposed for tests). *)
 val path : t -> key:Fingerprint.t -> string
+
+(** Pre-v3 flat path of [key]; reads fall back to it so unsharded
+    caches migrate transparently (exposed for tests). *)
+val legacy_path : t -> key:Fingerprint.t -> string
 
 (** [`Miss] on absence; [`Error] (with a warning) on a truncated,
     corrupt, garbage, version-stale or unreadable file. *)

@@ -9,14 +9,19 @@
     - [HCRF_CACHE=<dir>] schedule cache backed by [dir]
       ([HCRF_CACHE=""] for in-memory only);
     - [HCRF_TRACE=<file>] JSONL event trace written to [file], plus
-      in-process counters ([HCRF_TRACE=""] for counters only).
+      in-process counters ([HCRF_TRACE=""] for counters only);
+    - [HCRF_SERVE_ADDR=<addr>] default daemon address for [hcrf_serve]
+      and the serve-bench client (a unix socket path, or [host:port]);
+    - [HCRF_SERVE_LRU=<n>] capacity of the daemon's in-memory LRU tier.
 
     A typo'd value must not silently fall back (a full 1258-loop run
     because [HCRF_LOOPS=2O0] didn't parse is expensive), so every parser
     warns before using its default; {!warn_unknown} additionally flags
     [HCRF_*] names this version does not know at all. *)
 
-let known = [ "HCRF_CACHE"; "HCRF_JOBS"; "HCRF_LOOPS"; "HCRF_TRACE" ]
+let known =
+  [ "HCRF_CACHE"; "HCRF_JOBS"; "HCRF_LOOPS"; "HCRF_SERVE_ADDR";
+    "HCRF_SERVE_LRU"; "HCRF_TRACE" ]
 
 (* HCRF_LOOPS override; anything non-numeric or <= 0 warns loudly. *)
 let loops () =
@@ -51,6 +56,28 @@ let cache () =
   | None -> None
   | Some "" -> Some (Hcrf_cache.Cache.create ())
   | Some dir -> Some (Hcrf_cache.Cache.create ~dir ())
+
+(* Daemon address: honoured by hcrf_serve and the serve-bench client so
+   scripts can point a whole pipeline at one socket. *)
+let serve_addr () =
+  match Sys.getenv_opt "HCRF_SERVE_ADDR" with
+  | None | Some "" -> None
+  | Some addr -> Some addr
+
+let default_serve_lru = 256
+
+let serve_lru () =
+  match Sys.getenv_opt "HCRF_SERVE_LRU" with
+  | None -> default_serve_lru
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n > 0 -> n
+    | Some _ | None ->
+      Logs.warn (fun m ->
+          m "ignoring HCRF_SERVE_LRU=%S (expected a positive integer); \
+             using %d"
+            s default_serve_lru);
+      default_serve_lru)
 
 type trace_spec = Off | Counters_only | File of string
 

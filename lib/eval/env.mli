@@ -6,7 +6,10 @@
     - [HCRF_CACHE=<dir>] schedule cache backed by [dir]
       ([HCRF_CACHE=""] for in-memory only);
     - [HCRF_TRACE=<file>] JSONL event trace written to [file], plus
-      in-process counters ([HCRF_TRACE=""] for counters only).
+      in-process counters ([HCRF_TRACE=""] for counters only);
+    - [HCRF_SERVE_ADDR=<addr>] default daemon address for [hcrf_serve]
+      and the serve-bench client (a unix socket path, or [host:port]);
+    - [HCRF_SERVE_LRU=<n>] capacity of the daemon's in-memory LRU tier.
 
     Every parser warns (via {!Logs}) before falling back on a value it
     cannot use — a typo must never silently change what runs. *)
@@ -23,6 +26,16 @@ val jobs : unit -> int
 
 (** [HCRF_CACHE]; a fresh cache per call — call once per process. *)
 val cache : unit -> Hcrf_cache.Cache.t option
+
+(** [HCRF_SERVE_ADDR]; [None] when unset or empty. *)
+val serve_addr : unit -> string option
+
+(** Default capacity of the daemon's in-memory LRU tier. *)
+val default_serve_lru : int
+
+(** [HCRF_SERVE_LRU]; defaults to {!default_serve_lru} (warned when set
+    but unusable). *)
+val serve_lru : unit -> int
 
 type trace_spec = Off | Counters_only | File of string
 

@@ -161,54 +161,60 @@ let compute ~scenario ~opts ~trace (config : Hcrf_machine.Config.t)
     in
     Ok (outcome, stall_cycles, !retries)
 
+(* The uncached work packaged as a closure-free cache entry.  This is
+   the single compute path shared by [run_loop] and the serving daemon's
+   miss handler, so both produce (and persist) identical entries. *)
+let compute_entry ?(trace = Tr.off) ~scenario ~opts config (loop : Loop.t) =
+  match compute ~scenario ~opts ~trace config loop with
+  | Error ii -> Hcrf_cache.Entry.Failed ii
+  | Ok (outcome, stall_cycles, retries) ->
+    Hcrf_cache.Entry.of_outcome config outcome
+      ~input_digest:(Hcrf_cache.Entry.ddg_digest loop.Loop.ddg)
+      ~stall_cycles ~retries
+
+(* Replay an entry — fresh or cached, same code either way — into a
+   [loop_result]; [None] for [Failed] entries, with the same warning as
+   a live failure. *)
+let result_of_entry config (loop : Loop.t) = function
+  | Hcrf_cache.Entry.Failed ii ->
+    warn_no_schedule config loop ii;
+    None
+  | Hcrf_cache.Entry.Scheduled { outcome; stall_cycles; retries; _ } ->
+    Some
+      (result_of_parts loop
+         (Hcrf_cache.Entry.to_outcome config outcome)
+         ~stall_cycles ~retries)
+
+(* The key's WL fingerprint equates isomorphic loops, but stored
+   assignments are bound to concrete node ids: only replay entries whose
+   input graph had exactly this loop's ids. *)
+let entry_compatible (loop : Loop.t) =
+  let digest = Hcrf_cache.Entry.ddg_digest loop.Loop.ddg in
+  function
+  | Hcrf_cache.Entry.Failed _ -> true
+  | Hcrf_cache.Entry.Scheduled { input_digest; _ } ->
+    String.equal input_digest digest
+
 (* One loop's work under an already-started trace.  Does NOT commit the
    trace: callers commit in input order ([run_suite]) or right away
    ([run_loop]). *)
 let run_loop_traced ~(ctx : Ctx.t) ~trace config (loop : Loop.t) :
     loop_result option =
   let { Ctx.scenario; opts; cache; _ } = ctx in
-  let fresh () =
-    match compute ~scenario ~opts ~trace config loop with
-    | Error ii ->
-      warn_no_schedule config loop ii;
-      None
-    | Ok (outcome, stall_cycles, retries) ->
-      Some (result_of_parts loop outcome ~stall_cycles ~retries)
-  in
   match cache with
-  | None -> fresh ()
+  | None ->
+    result_of_entry config loop
+      (compute_entry ~trace ~scenario ~opts config loop)
   | Some c -> (
     let key = cache_key ~scenario ~opts config loop in
-    (* The key's WL fingerprint equates isomorphic loops, but stored
-       assignments are bound to concrete node ids: only replay entries
-       whose input graph had exactly this loop's ids. *)
-    let digest = Hcrf_cache.Entry.ddg_digest loop.Loop.ddg in
-    let id_compatible = function
-      | Hcrf_cache.Entry.Failed _ -> true
-      | Hcrf_cache.Entry.Scheduled { input_digest; _ } ->
-        String.equal input_digest digest
-    in
-    match Hcrf_cache.Cache.find ~trace ~validate:id_compatible c key with
-    | Some (Hcrf_cache.Entry.Failed ii) ->
-      warn_no_schedule config loop ii;
-      None
-    | Some (Hcrf_cache.Entry.Scheduled { outcome; stall_cycles; retries; _ })
-      ->
-      Some
-        (result_of_parts loop
-           (Hcrf_cache.Entry.to_outcome config outcome)
-           ~stall_cycles ~retries)
-    | None -> (
-      match compute ~scenario ~opts ~trace config loop with
-      | Error ii ->
-        Hcrf_cache.Cache.add ~trace c key (Hcrf_cache.Entry.Failed ii);
-        warn_no_schedule config loop ii;
-        None
-      | Ok (outcome, stall_cycles, retries) ->
-        Hcrf_cache.Cache.add ~trace c key
-          (Hcrf_cache.Entry.of_outcome config outcome ~input_digest:digest
-             ~stall_cycles ~retries);
-        Some (result_of_parts loop outcome ~stall_cycles ~retries)))
+    match
+      Hcrf_cache.Cache.find ~trace ~validate:(entry_compatible loop) c key
+    with
+    | Some entry -> result_of_entry config loop entry
+    | None ->
+      let entry = compute_entry ~trace ~scenario ~opts config loop in
+      Hcrf_cache.Cache.add ~trace c key entry;
+      result_of_entry config loop entry)
 
 (** Schedule one loop; [None] if the scheduler could not find a schedule
     (logged; does not happen for the shipped suites).  With a cache in

@@ -55,6 +55,31 @@ val cache_key :
   scenario:memory_scenario -> opts:Hcrf_sched.Engine.options ->
   Hcrf_machine.Config.t -> Hcrf_ir.Loop.t -> Hcrf_cache.Fingerprint.t
 
+(** The uncached work — schedule with escalating budget retries and,
+    under a real memory scenario, simulate the stalls — packaged as a
+    closure-free cache entry ({!Hcrf_cache.Entry.Failed} when every
+    retry failed).  This is the single compute path behind [run_loop]
+    and the serving daemon's miss handler, so both produce identical
+    entries for identical inputs. *)
+val compute_entry :
+  ?trace:Hcrf_obs.Trace.t -> scenario:memory_scenario ->
+  opts:Hcrf_sched.Engine.options -> Hcrf_machine.Config.t ->
+  Hcrf_ir.Loop.t -> Hcrf_cache.Entry.t
+
+(** Replay an entry (fresh or cached — same code either way) into a
+    [loop_result]; [None] for [Failed] entries, with the same warning a
+    live failure logs. *)
+val result_of_entry :
+  Hcrf_machine.Config.t -> Hcrf_ir.Loop.t -> Hcrf_cache.Entry.t ->
+  loop_result option
+
+(** Whether a stored entry may be replayed for [loop]: fingerprints
+    equate isomorphic loops, but stored assignments are bound to
+    concrete node ids, so only entries whose input graph digest matches
+    this loop's are compatible (pass as [validate] to
+    {!Hcrf_cache.Cache.find}). *)
+val entry_compatible : Hcrf_ir.Loop.t -> Hcrf_cache.Entry.t -> bool
+
 (** Schedule one loop (with escalating budget retries so aggregate
     metrics never silently drop loops); [None] only if every retry
     failed.  With a cache in [ctx], outcomes are memoized by

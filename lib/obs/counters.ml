@@ -35,7 +35,7 @@ let add t ev =
     bump t.timings ("phase." ^ Event.phase_name phase) ns
   | Event.II_try _ | Event.Place _ | Event.Eject _ | Event.Comm_insert _
   | Event.Regalloc_fail _ | Event.Budget_escalate _ | Event.Cache _
-  | Event.Fuzz _ ->
+  | Event.Fuzz _ | Event.Serve _ ->
     ()
 
 let add_all t evs = List.iter (add t) evs

@@ -9,6 +9,16 @@ type cache_op = Hit | Miss | Store
 type spill = Value | Invariant
 type phase = Mii | Order | Schedule | Regalloc | Memsim | Exact
 
+type serve_op =
+  | Request
+  | Lru_hit
+  | Lru_miss
+  | Disk_hit
+  | Computed
+  | Coalesced
+  | Reject
+  | Timeout
+
 type fuzz_verdict =
   | Pass
   | No_schedule
@@ -43,6 +53,8 @@ type t =
       (** one exact-certification run finished: certified II lower
           bound, II of the witness schedule found (-1 when none), and
           branch-and-bound steps spent *)
+  | Serve of serve_op
+      (** one step of the scheduling daemon's tiered answer path *)
 
 let comm_name = function
   | Store_r -> "store_r"
@@ -87,6 +99,27 @@ let phase_of_name = function
   | "exact" -> Some Exact
   | _ -> None
 
+let serve_op_name = function
+  | Request -> "request"
+  | Lru_hit -> "lru_hit"
+  | Lru_miss -> "lru_miss"
+  | Disk_hit -> "disk_hit"
+  | Computed -> "computed"
+  | Coalesced -> "coalesced"
+  | Reject -> "reject"
+  | Timeout -> "timeout"
+
+let serve_op_of_name = function
+  | "request" -> Some Request
+  | "lru_hit" -> Some Lru_hit
+  | "lru_miss" -> Some Lru_miss
+  | "disk_hit" -> Some Disk_hit
+  | "computed" -> Some Computed
+  | "coalesced" -> Some Coalesced
+  | "reject" -> Some Reject
+  | "timeout" -> Some Timeout
+  | _ -> None
+
 let fuzz_verdict_name = function
   | Pass -> "pass"
   | No_schedule -> "no_schedule"
@@ -123,6 +156,7 @@ let key = function
   | Fuzz v -> "fuzz." ^ fuzz_verdict_name v
   | Shrink _ -> "shrink"
   | Exact_search _ -> "exact"
+  | Serve op -> "serve." ^ serve_op_name op
 
 let pp ppf = function
   | II_try ii -> Fmt.pf ppf "ii_try ii=%d" ii
@@ -141,3 +175,4 @@ let pp ppf = function
   | Shrink { steps } -> Fmt.pf ppf "shrink steps=%d" steps
   | Exact_search { lb; witness_ii; steps } ->
     Fmt.pf ppf "exact_search lb=%d witness_ii=%d steps=%d" lb witness_ii steps
+  | Serve op -> Fmt.pf ppf "serve op=%s" (serve_op_name op)

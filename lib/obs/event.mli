@@ -9,6 +9,20 @@ type cache_op = Hit | Miss | Store
 type spill = Value | Invariant
 type phase = Mii | Order | Schedule | Regalloc | Memsim | Exact
 
+(** One step of the scheduling daemon's ([hcrf_serve]) tiered answer
+    path: request accepted, answered by the in-memory LRU / the on-disk
+    store / a fresh engine run, coalesced onto an in-flight computation,
+    rejected (malformed frame or bad request), or timed out. *)
+type serve_op =
+  | Request
+  | Lru_hit
+  | Lru_miss
+  | Disk_hit
+  | Computed
+  | Coalesced
+  | Reject
+  | Timeout
+
 (** Outcome taxonomy of one differential-fuzzing case ([hcrf_check]). *)
 type fuzz_verdict =
   | Pass
@@ -44,6 +58,8 @@ type t =
       (** one exact-certification run finished: certified II lower
           bound, II of the witness schedule found (-1 when none), and
           branch-and-bound steps spent *)
+  | Serve of serve_op
+      (** one step of the scheduling daemon's tiered answer path *)
 
 val comm_name : comm -> string
 val comm_of_name : string -> comm option
@@ -53,6 +69,8 @@ val spill_name : spill -> string
 val spill_of_name : string -> spill option
 val phase_name : phase -> string
 val phase_of_name : string -> phase option
+val serve_op_name : serve_op -> string
+val serve_op_of_name : string -> serve_op option
 val fuzz_verdict_name : fuzz_verdict -> string
 val fuzz_verdict_of_name : string -> fuzz_verdict option
 

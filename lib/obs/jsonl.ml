@@ -73,6 +73,7 @@ let payload (ev : Event.t) =
   | Event.Exact_search { lb; witness_ii; steps } ->
     ( "exact_search",
       [ ("lb", I lb); ("witness_ii", I witness_ii); ("steps", I steps) ] )
+  | Event.Serve op -> ("serve", [ ("op", S (Event.serve_op_name op)) ])
 
 let line_of_event ~label ev =
   let kind, fields = payload ev in
@@ -289,6 +290,10 @@ let event_of_line line : (string * Event.t, string) result =
         let* witness_ii = need_int "witness_ii" ev in
         let* steps = need_int "steps" ev in
         Ok (label, Event.Exact_search { lb; witness_ii; steps })
+      | "serve" ->
+        let* () = exact [ "op" ] in
+        let* op = need_enum "op" Event.serve_op_of_name ev in
+        Ok (label, Event.Serve op)
       | other -> Error (Fmt.str "unknown event kind %S" other)))
 
 let check_header line =

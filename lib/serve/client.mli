@@ -1,0 +1,26 @@
+(** Blocking client for the daemon's wire protocol: one connection,
+    one request/response at a time.  Used by the [serve-bench]
+    subcommand, the smoke script and the tests; errors come back as
+    [Error msg], never exceptions. *)
+
+type t
+
+val connect : ?max_frame:int -> Wire.addr -> (t, string) result
+val close : t -> unit
+
+(** One request/response roundtrip. *)
+val request : t -> Wire.request -> (Wire.response, string) result
+
+(** [Schedule] roundtrip for a loop. *)
+val schedule :
+  t -> ?timeout_ms:int -> config:Hcrf_machine.Config.t ->
+  opts:Hcrf_sched.Engine.options ->
+  scenario:Hcrf_eval.Runner.memory_scenario -> Hcrf_ir.Loop.t ->
+  (Wire.response, string) result
+
+val stats : t -> (Wire.serve_stats, string) result
+val ping : t -> (unit, string) result
+
+(** Write raw bytes (deliberately broken frames, for the robustness
+    tests) and read whatever single reply the server sends. *)
+val send_raw : t -> string -> (Wire.response, string) result

@@ -1,0 +1,42 @@
+(** The serving loop: a unix-domain/TCP listener in front of
+    {!Tiers}, one handler thread per connection.
+
+    Robustness contract:
+    - a malformed, truncated, oversized or checksum-failing frame gets
+      a [Refused] reply (when the connection can still carry one) and
+      closes only {e that} connection — the daemon survives;
+    - a handler thread never lets an exception escape (a dying client
+      mid-write is its own problem);
+    - {!request_stop} (or SIGTERM/SIGINT via
+      {!install_signal_handlers}) drains gracefully: the listener
+      closes immediately, connections finish the request they are
+      serving, idle connections are closed at the next poll tick, and
+      the worker pool is joined before {!run} returns.
+
+    The accept and read loops poll with a short [select] timeout
+    instead of blocking forever, so the stop flag is honoured within a
+    fraction of a second without signal/IO races. *)
+
+type t
+
+(** Bind and listen (for a unix socket, a stale socket file is
+    replaced).  Raises [Unix.Unix_error] when the address cannot be
+    bound. *)
+val create : ?max_frame:int -> addr:Wire.addr -> Tiers.t -> t
+
+val addr : t -> Wire.addr
+val tiers : t -> Tiers.t
+
+(** Flip the stop flag: {!run} drains and returns.  Safe from any
+    thread or signal handler. *)
+val request_stop : t -> unit
+
+(** SIGTERM/SIGINT request a stop; SIGPIPE is ignored (dead clients
+    surface as [EPIPE] in their own handler). *)
+val install_signal_handlers : t -> unit
+
+(** Serve until stopped, then drain; closes the listener.  Call once. *)
+val run : t -> unit
+
+(** [run] on a background thread (join it to wait for the drain). *)
+val spawn : t -> Thread.t

@@ -1,0 +1,119 @@
+type t = {
+  q : (unit -> unit) Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+  n_jobs : int;
+}
+
+let rec worker pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.q && not pool.closed do
+    Condition.wait pool.nonempty pool.mutex
+  done;
+  if Queue.is_empty pool.q then Mutex.unlock pool.mutex (* closed: drain done *)
+  else begin
+    let job = Queue.pop pool.q in
+    Mutex.unlock pool.mutex;
+    (try job () with _ -> () (* jobs report errors via their future *));
+    worker pool
+  end
+
+let create ~jobs =
+  let n_jobs = max 1 jobs in
+  let pool =
+    {
+      q = Queue.create ();
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+      workers = [];
+      n_jobs;
+    }
+  in
+  pool.workers <- List.init n_jobs (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let jobs t = t.n_jobs
+
+let run t job =
+  Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    false
+  end
+  else begin
+    Queue.push job t.q;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mutex;
+    true
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+(* ------------------------------------------------------------------ *)
+(* Futures *)
+
+type 'a state = Pending | Done of 'a | Raised of exn
+
+type 'a future = {
+  fmutex : Mutex.t;
+  fdone : Condition.t;
+  mutable state : 'a state;
+}
+
+let promise () =
+  { fmutex = Mutex.create (); fdone = Condition.create (); state = Pending }
+
+let fulfil fut r =
+  Mutex.lock fut.fmutex;
+  (match fut.state with
+  | Pending -> ()
+  | Done _ | Raised _ ->
+    Mutex.unlock fut.fmutex;
+    invalid_arg "Pool.fulfil: already fulfilled");
+  fut.state <- (match r with Ok v -> Done v | Error e -> Raised e);
+  Condition.broadcast fut.fdone;
+  Mutex.unlock fut.fmutex
+
+let await ?deadline fut =
+  match deadline with
+  | None ->
+    Mutex.lock fut.fmutex;
+    let rec wait () =
+      match fut.state with
+      | Pending ->
+        Condition.wait fut.fdone fut.fmutex;
+        wait ()
+      | Done v -> `Ok v
+      | Raised e -> `Exn e
+    in
+    let r = wait () in
+    Mutex.unlock fut.fmutex;
+    r
+  | Some dl ->
+    (* no timed condition wait in the stdlib: poll at a period far
+       below the granularity of scheduling work *)
+    let rec poll () =
+      Mutex.lock fut.fmutex;
+      let s = fut.state in
+      Mutex.unlock fut.fmutex;
+      match s with
+      | Done v -> `Ok v
+      | Raised e -> `Exn e
+      | Pending ->
+        if Unix.gettimeofday () >= dl then `Timeout
+        else begin
+          Thread.delay 0.002;
+          poll ()
+        end
+    in
+    poll ()

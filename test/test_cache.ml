@@ -301,10 +301,17 @@ let rec rm_rf path =
   end
   else Sys.remove path
 
+(* every entry file under [dir], shard subdirectories included *)
 let entry_files dir =
-  Sys.readdir dir |> Array.to_list
-  |> List.filter (fun f -> Filename.check_suffix f ".hcrf")
-  |> List.map (Filename.concat dir)
+  let rec walk d =
+    Sys.readdir d |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun f ->
+           let p = Filename.concat d f in
+           if Sys.is_directory p then walk p
+           else if Filename.check_suffix f ".hcrf" then [ p ]
+           else [])
+  in
+  walk dir
 
 let test_disk_roundtrip () =
   let dir = temp_dir () in
@@ -373,6 +380,111 @@ let test_disk_corruption_recovers () =
       ("garbage", "this is definitely not a cache entry\n");
       ("stale version", "hcrf-cache 0\n" ^ String.make 48 'x') ]
 
+(* v3 layout: every new write lands in the shard subdirectory named by
+   the leading hex nibble of its key. *)
+let test_store_sharded_layout () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let config = Hcrf_model.Presets.published "4C32" in
+  let ctx = Runner.Ctx.make ~cache:(Cache.create ~dir ()) () in
+  List.iteri
+    (fun i _ -> ignore (Runner.run_loop ~ctx config (nth_loop i)))
+    [ (); (); (); (); (); (); (); () ];
+  let files = entry_files dir in
+  check "several entries written" true (List.length files >= 8);
+  List.iter
+    (fun f ->
+      let shard = Filename.basename (Filename.dirname f) in
+      let nibble = String.sub (Filename.basename f) 0 1 in
+      Alcotest.(check string)
+        (Fmt.str "%s sits in its nibble's shard" (Filename.basename f))
+        nibble shard)
+    files
+
+(* v2->v3 migration: a flat (unsharded) v2 entry is still found — via
+   the legacy-path fallback — and served as a disk hit, while the next
+   *write* goes to the sharded layout. *)
+let test_store_v2_migration () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let l = nth_loop 3 in
+  let config = Hcrf_model.Presets.published "4C32" in
+  ignore
+    (Runner.run_loop
+       ~ctx:(Runner.Ctx.make ~cache:(Cache.create ~dir ()) ())
+       config l);
+  (* demote the entry to the pre-sharding layout: flat path, v2 magic
+     (same payload bytes; the checksum covers the payload only) *)
+  let sharded =
+    match entry_files dir with
+    | [ f ] -> f
+    | files -> Alcotest.failf "expected 1 entry, found %d" (List.length files)
+  in
+  let content =
+    let ic = open_in_bin sharded in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let v2 = "hcrf-cache 2\n" in
+  let demoted =
+    v2 ^ String.sub content (String.length v2)
+           (String.length content - String.length v2)
+  in
+  let flat = Filename.concat dir (Filename.basename sharded) in
+  let oc = open_out_bin flat in
+  output_string oc demoted;
+  close_out oc;
+  Sys.remove sharded;
+  (* the flat v2 entry is found and replayed, not recomputed *)
+  let c = Cache.create ~dir () in
+  let r = Runner.run_loop ~ctx:(Runner.Ctx.make ~cache:c ()) config l in
+  check "replayed" true (r <> None);
+  let s = Cache.stats c in
+  check_int "legacy entry is a disk hit" 1 s.Cache.disk_hits;
+  check_int "no recompute" 0 s.Cache.misses;
+  (* a fresh write of another loop goes to the sharded layout *)
+  ignore
+    (Runner.run_loop ~ctx:(Runner.Ctx.make ~cache:c ()) config (nth_loop 4));
+  check "new write is sharded" true
+    (List.exists
+       (fun f -> Filename.dirname f <> dir)
+       (entry_files dir))
+
+(* Corrupting an entry in one shard must only cost that shard's entry:
+   every other shard still serves disk hits. *)
+let test_corruption_per_shard () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let config = Hcrf_model.Presets.published "4C32" in
+  let loops = List.init 12 nth_loop in
+  let populate = Runner.Ctx.make ~cache:(Cache.create ~dir ()) () in
+  List.iter (fun l -> ignore (Runner.run_loop ~ctx:populate config l)) loops;
+  let files = entry_files dir in
+  let shard_of f = Filename.basename (Filename.dirname f) in
+  let occupied = List.sort_uniq String.compare (List.map shard_of files) in
+  check "entries scatter over several shards" true (List.length occupied >= 3);
+  (* corrupt exactly one entry per occupied shard *)
+  let corrupted =
+    List.map
+      (fun sh -> List.find (fun f -> shard_of f = sh) files)
+      occupied
+  in
+  List.iter
+    (fun f ->
+      let oc = open_out_bin f in
+      output_string oc "corrupted beyond the header";
+      close_out oc)
+    corrupted;
+  let c = Cache.create ~dir () in
+  List.iter (fun l -> ignore (Runner.run_loop ~ctx:(Runner.Ctx.make ~cache:c ()) config l)) loops;
+  let s = Cache.stats c in
+  check_int "each corrupted shard entry recomputes once"
+    (List.length corrupted) s.Cache.disk_errors;
+  check_int "every other entry still disk-hits"
+    (List.length files - List.length corrupted)
+    s.Cache.disk_hits
+
 let test_unusable_dir_degrades () =
   (* a path under a regular file can never become a directory *)
   let file = Filename.temp_file "hcrf-cache-test" ".blocker" in
@@ -403,5 +515,8 @@ let tests =
     QCheck_alcotest.to_alcotest prop_replay_validates;
     ("store: disk roundtrip", `Quick, test_disk_roundtrip);
     ("store: corruption recovers", `Quick, test_disk_corruption_recovers);
+    ("store: sharded v3 layout", `Quick, test_store_sharded_layout);
+    ("store: v2 flat entries migrate", `Quick, test_store_v2_migration);
+    ("store: corruption isolated per shard", `Slow, test_corruption_per_shard);
     ("store: unusable dir degrades", `Quick, test_unusable_dir_degrades);
   ]

@@ -19,4 +19,5 @@ let () =
       ("exact", Test_exact.tests);
       ("codegen", Test_codegen.tests);
       ("topology", Test_topology.tests);
+      ("serve", Test_serve.tests);
     ]

@@ -34,6 +34,9 @@ let all_events =
     Event.Fuzz Event.Optimality;
     Event.Shrink { steps = 3 };
     Event.Exact_search { lb = 2; witness_ii = 2; steps = 901 };
+    Event.Serve Event.Request;
+    Event.Serve Event.Lru_hit;
+    Event.Serve Event.Coalesced;
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -62,6 +65,9 @@ let test_counters_histogram () =
       ("phase.mii", 1);
       ("place", 2);
       ("regalloc.fail", 1);
+      ("serve.coalesced", 1);
+      ("serve.lru_hit", 1);
+      ("serve.request", 1);
       ("shrink", 1);
       ("shrink.steps", 3);
       ("spill.invariant", 1);
@@ -88,7 +94,8 @@ let test_counters_histogram () =
     "budget.escalate=1 cache.hit=1 cache.miss=1 cache.store=1 comm.load_r=1 \
      comm.move=1 comm.store_r=1 eject=1 exact=1 exact.steps=901 \
      fuzz.optimality=1 fuzz.pass=1 ii_try=1 phase.exact=1 phase.mii=1 \
-     place=2 regalloc.fail=1 shrink=1 shrink.steps=3 spill.invariant=1 \
+     place=2 regalloc.fail=1 serve.coalesced=1 serve.lru_hit=1 \
+     serve.request=1 shrink=1 shrink.steps=3 spill.invariant=1 \
      spill.invariant.nodes=1 spill.value=1 spill.value.nodes=2"
     (Fmt.str "%a" Counters.pp c)
 
@@ -117,6 +124,9 @@ let golden_lines =
     {|{"loop":"k1","ev":"fuzz","verdict":"optimality"}|};
     {|{"loop":"k1","ev":"shrink","steps":3}|};
     {|{"loop":"k1","ev":"exact_search","lb":2,"witness_ii":2,"steps":901}|};
+    {|{"loop":"k1","ev":"serve","op":"request"}|};
+    {|{"loop":"k1","ev":"serve","op":"lru_hit"}|};
+    {|{"loop":"k1","ev":"serve","op":"coalesced"}|};
   ]
 
 let read_lines path =
@@ -190,6 +200,8 @@ let test_jsonl_rejects () =
       ( "exact_search extra field",
         {|{"loop":"x","ev":"exact_search","lb":2,"witness_ii":2,"steps":9,"sigmas":1}|}
       );
+      ("bad serve op", {|{"loop":"x","ev":"serve","op":"warm"}|});
+      ("serve extra field", {|{"loop":"x","ev":"serve","op":"request","n":1}|});
     ]
   in
   List.iter
