@@ -7,12 +7,15 @@
      hcrf_explore duel --config 1C32S64 -n 100
      hcrf_explore suite -n 50 --trace run.jsonl
      hcrf_explore trace run.jsonl
+     hcrf_explore incr --kernels 120 --edits 3 --verify
 
    Every scheduling subcommand takes the same evaluation knobs:
-   --jobs/-j, --cache DIR / --no-cache, --trace FILE / --no-trace.
-   They assemble one [Runner.Ctx] shared by all drivers; the
-   environment (HCRF_JOBS, HCRF_CACHE, HCRF_TRACE) supplies defaults
-   exactly as in bench/main.exe. *)
+   --jobs/-j, --cache DIR / --no-cache, --trace FILE / --no-trace,
+   --memory SCENARIO, --incr / --incr-dir DIR / --no-incr.  One shared
+   Cmdliner term assembles them into the single [Runner.Ctx] every
+   driver consumes — a new subcommand cannot drift from the others —
+   and the environment (HCRF_JOBS, HCRF_CACHE, HCRF_TRACE, HCRF_INCR)
+   supplies defaults exactly as in bench/main.exe. *)
 
 open Cmdliner
 open Hcrf_sched
@@ -95,15 +98,69 @@ let tracer_term =
   in
   Term.(const make $ trace_file $ no_trace)
 
-(* The one evaluation context shared by every scheduling subcommand. *)
+(* Incremental stage memo: --incr forces an in-memory memo, --incr-dir
+   a persistent one, --no-incr disables it; otherwise HCRF_INCR is
+   honoured. *)
+let memo_term =
+  let incr_flag =
+    let doc =
+      "Enable the in-memory incremental stage memo (overrides \
+       HCRF_INCR)."
+    in
+    Arg.(value & flag & info [ "incr" ] ~doc)
+  in
+  let incr_dir =
+    let doc =
+      "Back the incremental stage memo with $(docv) (persisted as \
+       $(docv)/memo.v1; overrides HCRF_INCR)."
+    in
+    Arg.(value & opt (some string) None & info [ "incr-dir" ] ~doc ~docv:"DIR")
+  in
+  let no_incr =
+    let doc = "Disable the incremental stage memo even if HCRF_INCR is set." in
+    Arg.(value & flag & info [ "no-incr" ] ~doc)
+  in
+  let make on dir no =
+    let open Hcrf_eval.Env in
+    if no then None
+    else
+      match dir with
+      | Some d -> memo_of_spec (Incr_dir d)
+      | None -> if on then memo_of_spec Incr_memory else memo ()
+  in
+  Term.(const make $ incr_flag $ incr_dir $ no_incr)
+
+let memory_conv =
+  Arg.enum
+    [
+      ("ideal", Hcrf_eval.Runner.Ideal);
+      ("real", Hcrf_eval.Runner.Real { prefetch = false });
+      ("prefetch", Hcrf_eval.Runner.Real { prefetch = true });
+    ]
+
+let memory_arg =
+  let doc =
+    Fmt.str "Memory scenario, $(docv) is %s."
+      (Arg.doc_alts_enum [ ("ideal", ()); ("real", ()); ("prefetch", ()) ])
+  in
+  Arg.(
+    value
+    & opt memory_conv Hcrf_eval.Runner.Ideal
+    & info [ "m"; "memory" ] ~doc ~docv:"SCENARIO")
+
+(* The one evaluation context shared by every scheduling subcommand:
+   [Runner.Ctx.make] is the single construction path, so adding a knob
+   here adds it to every subcommand at once. *)
 let ctx_term =
-  let make jobs cache tracer =
+  let make scenario jobs cache memo tracer =
     let jobs =
       match jobs with Some j -> max 1 j | None -> Hcrf_eval.Env.jobs ()
     in
-    Hcrf_eval.Runner.Ctx.make ?cache ~jobs ~tracer ()
+    Hcrf_eval.Runner.Ctx.make ~scenario ?cache ?memo ~jobs ~tracer ()
   in
-  Term.(const make $ jobs_arg $ cache_term $ tracer_term)
+  Term.(
+    const make $ memory_arg $ jobs_arg $ cache_term $ memo_term
+    $ tracer_term)
 
 (* Sorted event totals at the end of a traced run, then flush/close any
    JSONL sink.  Prints nothing under the null tracer. *)
@@ -117,14 +174,6 @@ let finish_trace tracer =
    dying with an uncaught Failure backtrace. *)
 let kernel_conv =
   Arg.enum (List.map (fun (name, _) -> (name, name)) Hcrf_workload.Kernels.all)
-
-let memory_conv =
-  Arg.enum
-    [
-      ("ideal", Hcrf_eval.Runner.Ideal);
-      ("real", Hcrf_eval.Runner.Real { prefetch = false });
-      ("prefetch", Hcrf_eval.Runner.Real { prefetch = true });
-    ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -172,19 +221,7 @@ let schedule_cmd =
     Term.(const run $ kernel_arg $ config_arg $ dump_arg $ ctx_term)
 
 let suite_cmd =
-  let memory_arg =
-    let doc =
-      Fmt.str "Memory scenario, $(docv) is %s."
-        (Arg.doc_alts_enum
-           [ ("ideal", ()); ("real", ()); ("prefetch", ()) ])
-    in
-    Arg.(
-      value
-      & opt memory_conv Hcrf_eval.Runner.Ideal
-      & info [ "m"; "memory" ] ~doc ~docv:"SCENARIO")
-  in
-  let run config_name n scenario (ctx : Hcrf_eval.Runner.Ctx.t) =
-    let ctx = { ctx with Hcrf_eval.Runner.Ctx.scenario } in
+  let run config_name n (ctx : Hcrf_eval.Runner.Ctx.t) =
     let config = config_of_string config_name in
     let loops = Hcrf_workload.Suite.generate ~n () in
     let results = Hcrf_eval.Runner.run_suite ~ctx config loops in
@@ -205,7 +242,7 @@ let suite_cmd =
   Cmd.v
     (Cmd.info "suite"
        ~doc:"Schedule the synthetic workbench on one configuration")
-    Term.(const run $ config_arg $ n_arg $ memory_arg $ ctx_term)
+    Term.(const run $ config_arg $ n_arg $ ctx_term)
 
 let hw_cmd =
   let all_arg =
@@ -548,12 +585,6 @@ let serve_bench_cmd =
     let doc = "Write an hcrf-bench/1 JSON report to $(docv)." in
     Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
   in
-  let memory_arg =
-    Arg.(
-      value
-      & opt memory_conv Hcrf_eval.Runner.Ideal
-      & info [ "m"; "memory" ] ~doc:"Memory scenario." ~docv:"SCENARIO")
-  in
   let fail fmt = Fmt.kstr (fun m -> Fmt.epr "serve-bench: %s@." m; exit 1) fmt in
   let connect addr =
     match Client.connect addr with
@@ -565,8 +596,9 @@ let serve_bench_cmd =
     | Ok s -> s
     | Error msg -> fail "stats: %s" msg
   in
-  let run addr_opt config_name n requests clients timeout_ms scenario verify
-      malformed json =
+  let run addr_opt config_name n requests clients timeout_ms verify
+      malformed json (ctx : Hcrf_eval.Runner.Ctx.t) =
+    let scenario = ctx.Hcrf_eval.Runner.Ctx.scenario in
     let addr_s =
       match
         match addr_opt with
@@ -578,7 +610,7 @@ let serve_bench_cmd =
     in
     let addr = Wire.addr_of_string addr_s in
     let config = config_of_string config_name in
-    let opts = Engine.default_options in
+    let opts = ctx.Hcrf_eval.Runner.Ctx.opts in
     let loops = Array.of_list (Hcrf_workload.Suite.generate ~n ()) in
     let n = Array.length loops in
     if malformed then begin
@@ -692,7 +724,7 @@ let serve_bench_cmd =
             Marshal.from_string baseline.(i) 0
           in
           let remote = Hcrf_eval.Runner.result_of_entry config l entry in
-          let local = Hcrf_eval.Runner.run_loop config l in
+          let local = Hcrf_eval.Runner.run_loop ~ctx config l in
           match (remote, local) with
           | Some r, Some s ->
             if
@@ -724,8 +756,137 @@ let serve_bench_cmd =
        ~doc:"Fire a request storm at a running hcrf_serve daemon")
     Term.(
       const run $ addr_arg $ config_arg $ n_arg $ requests_arg
-      $ clients_arg $ timeout_arg $ memory_arg $ verify_arg
-      $ malformed_arg $ json_arg)
+      $ clients_arg $ timeout_arg $ verify_arg $ malformed_arg $ json_arg
+      $ ctx_term)
+
+let incr_cmd =
+  (* a scripted edit session against the memoized pipeline: evaluate a
+     generated frontend program cold, then apply [--edits] single-kernel
+     perturbations and report, per edit, exactly what recomputed.  All
+     non-"timing:" lines are deterministic (counts and names only), so
+     the smoke script can compare jobs=1 against jobs=4 byte-for-byte;
+     --verify re-evaluates the final program with a fresh cold context
+     and byte-compares the per-kernel metrics (sched_seconds scrubbed:
+     independently measured wall-clock). *)
+  let kernels_arg =
+    let doc = "Number of generated frontend kernels in the program." in
+    Arg.(value & opt int 24 & info [ "kernels" ] ~doc ~docv:"N")
+  in
+  let edits_arg =
+    let doc = "Number of scripted single-kernel edits to apply." in
+    Arg.(value & opt int 3 & info [ "edits" ] ~doc ~docv:"N")
+  in
+  let verify_arg =
+    let doc =
+      "Byte-compare the final incremental metrics against a cold \
+       evaluation of the same program."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Write an hcrf-bench/1 JSON report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  let fail fmt = Fmt.kstr (fun m -> Fmt.epr "incr: %s@." m; exit 1) fmt in
+  let scrub perfs =
+    List.map
+      (Option.map (fun (p : Hcrf_eval.Metrics.loop_perf) ->
+           { p with Hcrf_eval.Metrics.sched_seconds = 0. }))
+      perfs
+  in
+  let run config_name kernels edits verify json
+      (ctx : Hcrf_eval.Runner.Ctx.t) =
+    let config = config_of_string config_name in
+    let kernels = max 1 kernels in
+    (* the stage memo is the whole point here: default one on unless
+       --no-incr (or HCRF_INCR) already decided *)
+    let ctx =
+      match ctx.Hcrf_eval.Runner.Ctx.memo with
+      | Some _ -> ctx
+      | None ->
+        { ctx with
+          Hcrf_eval.Runner.Ctx.memo = Some (Hcrf_eval.Memo.create ()) }
+    in
+    let pipe = Hcrf_incr.Pipeline.create ~ctx config in
+    let report tag (stats : Hcrf_incr.Pipeline.eval_stats)
+        (a : Hcrf_eval.Metrics.aggregate) =
+      Fmt.pr "%s: %a@." tag Hcrf_incr.Pipeline.pp_eval_stats stats;
+      (match stats.Hcrf_incr.Pipeline.sched.Hcrf_eval.Runner.dirty with
+      | [] -> ()
+      | d -> Fmt.pr "  dirty:%a@." Fmt.(list ~sep:nop (fmt " %s")) d);
+      Fmt.pr "result: scheduled=%d sum_ii=%d pct_at_mii=%.1f@."
+        a.Hcrf_eval.Metrics.loops a.Hcrf_eval.Metrics.sum_ii
+        a.Hcrf_eval.Metrics.pct_at_mii;
+      Fmt.pr "timing: %s wall=%.3fs@." tag
+        stats.Hcrf_incr.Pipeline.wall_s
+    in
+    Fmt.pr "incr: config=%s kernels=%d edits=%d jobs=%d@."
+      config.Hcrf_machine.Config.name kernels edits
+      ctx.Hcrf_eval.Runner.Ctx.jobs;
+    let prog = ref (Hcrf_incr.Progs.program ~n:kernels) in
+    let perfs0, agg0, cold_stats = Hcrf_incr.Pipeline.eval pipe !prog in
+    report "cold" cold_stats agg0;
+    let last_perfs = ref perfs0 and warm_wall = ref 0. in
+    for round = 1 to edits do
+      (* deterministic spread over the kernels; distinct per round for
+         any program of a few kernels or more *)
+      let kernel = round * 7 mod kernels in
+      prog := Hcrf_incr.Progs.edit ~round ~kernel !prog;
+      let perfs, agg, stats = Hcrf_incr.Pipeline.eval pipe !prog in
+      report (Fmt.str "edit %d" round) stats agg;
+      last_perfs := perfs;
+      warm_wall := stats.Hcrf_incr.Pipeline.wall_s
+    done;
+    Option.iter
+      (fun m ->
+        Fmt.pr "memo: entries=%d%a@." (Hcrf_eval.Memo.length m)
+          Fmt.(
+            list ~sep:nop (fun ppf (k, v) -> pf ppf " %s=%d" k v))
+          (Hcrf_eval.Memo.stage_stats m);
+        ignore (Hcrf_eval.Memo.save m))
+      ctx.Hcrf_eval.Runner.Ctx.memo;
+    if verify then begin
+      (* same program, fresh context: no memo, no cache, nothing warm *)
+      let cold_ctx =
+        Hcrf_eval.Runner.Ctx.make
+          ~scenario:ctx.Hcrf_eval.Runner.Ctx.scenario
+          ~opts:ctx.Hcrf_eval.Runner.Ctx.opts
+          ~jobs:ctx.Hcrf_eval.Runner.Ctx.jobs ()
+      in
+      let cold = Hcrf_incr.Pipeline.create ~ctx:cold_ctx config in
+      let cold_perfs, _, _ = Hcrf_incr.Pipeline.eval cold !prog in
+      if
+        not
+          (String.equal
+             (Marshal.to_string (scrub !last_perfs) [])
+             (Marshal.to_string (scrub cold_perfs) []))
+      then fail "incremental metrics differ from a cold evaluation";
+      Fmt.pr "verify: ok (%d kernels byte-identical to a cold evaluation)@."
+        kernels
+    end;
+    finish_trace ctx.Hcrf_eval.Runner.Ctx.tracer;
+    match json with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      Printf.fprintf oc
+        "{ \"schema\": \"hcrf-bench/1\", \"runs\": [\n\
+        \  { \"config\": %S, \"loops\": %d, \"jobs\": %d,\n\
+        \    \"cold_wall_s\": %.3f, \"warm_wall_s\": %.3f,\n\
+        \    \"phase_ns\": {  } }\n\
+         ] }\n"
+        config_name kernels ctx.Hcrf_eval.Runner.Ctx.jobs
+        cold_stats.Hcrf_incr.Pipeline.wall_s !warm_wall;
+      close_out oc
+  in
+  Cmd.v
+    (Cmd.info "incr"
+       ~doc:
+         "Apply a scripted edit sequence to a frontend program and \
+          report what the memoized pipeline recomputes")
+    Term.(
+      const run $ config_arg $ kernels_arg $ edits_arg $ verify_arg
+      $ json_arg $ ctx_term)
 
 let () =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -741,4 +902,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ schedule_cmd; suite_cmd; hw_cmd; ports_cmd; duel_cmd; fuzz_cmd;
-            exact_cmd; trace_cmd; serve_bench_cmd ]))
+            exact_cmd; trace_cmd; serve_bench_cmd; incr_cmd ]))

@@ -1,0 +1,156 @@
+(** The stage memo of the incremental evaluation pipeline: one table,
+    keyed by (stage, input digest), holding closure-free stage results.
+    See the interface for the contract. *)
+
+type loop_snapshot = {
+  ls_repr : Hcrf_ir.Ddg.repr;
+  ls_trip_count : int;
+  ls_entries : int;
+  ls_streams : Hcrf_ir.Loop.stream list;
+}
+
+type value =
+  | Loop_v of loop_snapshot
+  | Fp_v of Hcrf_cache.Fingerprint.t
+  | Entry_v of Hcrf_cache.Entry.t
+  | Perf_v of Metrics.loop_perf option
+
+(* A live [Ddg.t] may carry a watcher closure (set by the engine), so a
+   memoized loop is stored as its [repr]; [of_repr] preserves ids and
+   adjacency order, so the round trip is behaviourally identical. *)
+let snapshot_of_loop (l : Hcrf_ir.Loop.t) =
+  {
+    ls_repr = Hcrf_ir.Ddg.to_repr l.Hcrf_ir.Loop.ddg;
+    ls_trip_count = l.Hcrf_ir.Loop.trip_count;
+    ls_entries = l.Hcrf_ir.Loop.entries;
+    ls_streams = l.Hcrf_ir.Loop.streams;
+  }
+
+let loop_of_snapshot s =
+  Hcrf_ir.Loop.make ~trip_count:s.ls_trip_count ~entries:s.ls_entries
+    ~streams:s.ls_streams
+    (Hcrf_ir.Ddg.of_repr s.ls_repr)
+
+type t = {
+  dir : string option;
+  table : (string, value) Hashtbl.t;
+  lookups : (string, int) Hashtbl.t;  (* "<stage>.hits" / "<stage>.misses" *)
+  mutex : Mutex.t;
+}
+
+let version = 1
+let magic = Printf.sprintf "hcrf-memo %d\n" version
+let file_of_dir dir = Filename.concat dir (Printf.sprintf "memo.v%d" version)
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Same discipline as the cache store: versioned magic, then an MD5 of
+   the payload, then the marshalled bindings — anything off is
+   discarded with a warning, never unmarshalled. *)
+let load_bindings dir =
+  let p = file_of_dir dir in
+  if not (Sys.file_exists p) then []
+  else
+    let stale reason =
+      Logs.warn (fun m -> m "stage memo: ignoring %s (%s)" p reason);
+      []
+    in
+    match read_file p with
+    | exception e -> stale (Printexc.to_string e)
+    | content ->
+      let mlen = String.length magic in
+      if String.length content < mlen + 16 then stale "truncated"
+      else if not (String.equal (String.sub content 0 mlen) magic) then
+        stale "bad magic or stale version"
+      else
+        let sum = String.sub content mlen 16 in
+        let payload =
+          String.sub content (mlen + 16) (String.length content - mlen - 16)
+        in
+        if not (String.equal sum (Digest.string payload)) then
+          stale "checksum mismatch"
+        else begin
+          match (Marshal.from_string payload 0 : (string * value) array) with
+          | exception e -> stale (Printexc.to_string e)
+          | bindings -> Array.to_list bindings
+        end
+
+let create ?dir () =
+  let table = Hashtbl.create 128 in
+  Option.iter
+    (fun d -> List.iter (fun (k, v) -> Hashtbl.replace table k v)
+        (load_bindings d))
+    dir;
+  { dir; table; lookups = Hashtbl.create 8; mutex = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let full_key ~stage key = Hcrf_obs.Event.incr_stage_name stage ^ ":" ^ key
+
+let find t ~stage key =
+  locked t (fun () ->
+      let r = Hashtbl.find_opt t.table (full_key ~stage key) in
+      let outcome = if Option.is_some r then ".hits" else ".misses" in
+      bump t.lookups (Hcrf_obs.Event.incr_stage_name stage ^ outcome);
+      r)
+
+let add t ~stage key value =
+  locked t (fun () -> Hashtbl.replace t.table (full_key ~stage key) value)
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
+
+let sorted tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let stage_stats t = locked t (fun () -> sorted t.lookups)
+
+let total t suffix =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun k v acc ->
+          if Filename.check_suffix k suffix then acc + v else acc)
+        t.lookups 0)
+
+let hits t = total t ".hits"
+let misses t = total t ".misses"
+
+let save t =
+  match t.dir with
+  | None -> true
+  | Some dir ->
+    let bindings =
+      locked t (fun () ->
+          Array.of_list
+            (List.sort compare
+               (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table [])))
+    in
+    let p = file_of_dir dir in
+    let tmp = Printf.sprintf "%s.tmp.%d" p (Unix.getpid ()) in
+    let payload = Marshal.to_string bindings [] in
+    (match
+       let oc = open_out_bin tmp in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () ->
+           output_string oc magic;
+           output_string oc (Digest.string payload);
+           output_string oc payload);
+       Sys.rename tmp p
+     with
+    | () -> true
+    | exception e ->
+      (if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ());
+      Logs.warn (fun m ->
+          m "stage memo: cannot write %s (%s); memo kept in memory only" p
+            (Printexc.to_string e));
+      false)

@@ -1,0 +1,64 @@
+(** The stage memo of the incremental evaluation pipeline.
+
+    One table memoizes every stage of the program → loops → schedules →
+    metrics pipeline ({!Runner.run_pipeline}, [Hcrf_incr.Pipeline]):
+    entries are keyed by (stage, input digest) and hold the stage's
+    closure-free result, so an edit recomputes only the stages whose
+    upstream digest actually changed — everything else replays from
+    here, byte-identical to a cold run.
+
+    Values must stay marshal-safe (a memo can be persisted to disk):
+    loops are snapshotted as {!Hcrf_ir.Ddg.repr} because a live
+    [Ddg.t] may carry a watcher closure.
+
+    All operations are thread-safe (one internal mutex), so the serving
+    daemon's connection handlers and a [Par] pool may share one memo. *)
+
+type loop_snapshot = {
+  ls_repr : Hcrf_ir.Ddg.repr;
+  ls_trip_count : int;
+  ls_entries : int;
+  ls_streams : Hcrf_ir.Loop.stream list;
+}
+
+(** One memoized stage result. *)
+type value =
+  | Loop_v of loop_snapshot  (** frontend: compiled kernel *)
+  | Fp_v of Hcrf_cache.Fingerprint.t  (** extract: WL loop fingerprint *)
+  | Entry_v of Hcrf_cache.Entry.t  (** sched: schedule entry *)
+  | Perf_v of Metrics.loop_perf option
+      (** metric: derived metrics; [None] replays a scheduling failure
+          without re-logging it *)
+
+val snapshot_of_loop : Hcrf_ir.Loop.t -> loop_snapshot
+val loop_of_snapshot : loop_snapshot -> Hcrf_ir.Loop.t
+
+type t
+
+(** An empty memo; with [dir], load a previously {!save}d table from
+    [dir/memo.v1] (a corrupt or stale file is discarded with a
+    warning). *)
+val create : ?dir:string -> unit -> t
+
+(** Lookup under a stage namespace ([key]s of different stages never
+    collide); bumps that stage's hit or miss counter. *)
+val find : t -> stage:Hcrf_obs.Event.incr_stage -> string -> value option
+
+val add : t -> stage:Hcrf_obs.Event.incr_stage -> string -> value -> unit
+
+(** Number of memoized results. *)
+val length : t -> int
+
+(** Per-stage lookup counters since creation, sorted by key
+    (["extract.hits"], ["extract.misses"], ["frontend.hits"], ...);
+    stages that were never looked up are omitted. *)
+val stage_stats : t -> (string * int) list
+
+(** Total lookup hits / misses across all stages. *)
+val hits : t -> int
+
+val misses : t -> int
+
+(** Persist the table to [dir/memo.v1] (atomic rename); a no-op without
+    [dir].  Returns [false] (warned) when the write failed. *)
+val save : t -> bool

@@ -13,13 +13,14 @@ type memory_scenario =
           prefetching (§6.2) *)
 
 (** Everything one evaluation run needs, in one record.  Built once,
-    passed to every [run_loop]/[run_suite] call — instead of threading
-    four optional arguments through every driver. *)
+    passed to every [run_loop]/[run_suite]/[run_pipeline] call — instead
+    of threading five optional arguments through every driver. *)
 module Ctx = struct
   type t = {
     scenario : memory_scenario;
     opts : Engine.options;
     cache : Hcrf_cache.Cache.t option;
+    memo : Memo.t option;
     jobs : int;
     tracer : Hcrf_obs.Tracer.t;
   }
@@ -29,13 +30,14 @@ module Ctx = struct
       scenario = Ideal;
       opts = Engine.default_options;
       cache = None;
+      memo = None;
       jobs = 1;
       tracer = Hcrf_obs.Tracer.null;
     }
 
   let make ?(scenario = Ideal) ?(opts = Engine.default_options) ?cache
-      ?(jobs = 1) ?(tracer = Hcrf_obs.Tracer.null) () =
-    { scenario; opts; cache; jobs; tracer }
+      ?memo ?(jobs = 1) ?(tracer = Hcrf_obs.Tracer.null) () =
+    { scenario; opts; cache; memo; jobs; tracer }
 end
 
 type loop_result = {
@@ -92,13 +94,17 @@ let scenario_tag = function
     always replaces it with the override derived from the scenario and
     loop, both of which the key covers.  The tracer is not part of the
     key either — tracing must never change what is computed. *)
-let cache_key ~scenario ~opts (config : Hcrf_machine.Config.t)
-    (loop : Loop.t) =
+let cache_key_of_fp ~scenario ~opts (config : Hcrf_machine.Config.t)
+    ~loop_fp =
   Hcrf_cache.Fingerprint.combine
     [ Hcrf_cache.Fingerprint.of_config config;
-      Hcrf_cache.Fingerprint.of_loop loop;
+      loop_fp;
       Hcrf_cache.Fingerprint.of_options opts;
       Hcrf_cache.Fingerprint.of_string (scenario_tag scenario) ]
+
+let cache_key ~scenario ~opts config (loop : Loop.t) =
+  cache_key_of_fp ~scenario ~opts config
+    ~loop_fp:(Hcrf_cache.Fingerprint.of_loop loop)
 
 let warn_no_schedule (config : Hcrf_machine.Config.t) loop ii =
   Logs.warn (fun m ->
@@ -272,12 +278,218 @@ let aggregate config results =
   Metrics.aggregate config (List.map (fun r -> r.perf) results)
 
 (* ------------------------------------------------------------------ *)
-(* Deprecated pre-Ctx entry points                                     *)
+(* Incremental pipeline evaluation                                     *)
 
-let run_loop_legacy ?(scenario = Ideal) ?(opts = Engine.default_options)
-    ?cache config loop =
-  run_loop ~ctx:(Ctx.make ~scenario ~opts ?cache ()) config loop
+type pipeline_stats = {
+  total : int;
+  memo_hits : int;
+  cache_hits : int;
+  computed : int;
+  coalesced : int;
+  metric_hits : int;
+  dirty : string list;
+}
 
-let run_suite_legacy ?(scenario = Ideal) ?(opts = Engine.default_options)
-    ?cache ?(jobs = 1) config loops =
-  run_suite ~ctx:(Ctx.make ~scenario ~opts ?cache ~jobs ()) config loops
+let zero_pipeline_stats =
+  {
+    total = 0;
+    memo_hits = 0;
+    cache_hits = 0;
+    computed = 0;
+    coalesced = 0;
+    metric_hits = 0;
+    dirty = [];
+  }
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* Emit one stage-memo event with the time spent since [t0]. *)
+let emit_incr trace stage op t0 =
+  if Tr.enabled trace then
+    Tr.emit trace (Ev.Incr { stage; op; ns = now_ns () - t0 })
+
+(* How the schedule stage of one loop will be (or was) answered. *)
+type sched_src =
+  | From_entry of Hcrf_cache.Entry.t  (* memo or shared-cache hit *)
+  | Compute  (* this loop owns the engine run for its key *)
+  | Join of int  (* same key as the owner at this index *)
+
+(* Evaluate a suite as the staged pipeline: per loop, the *extract*
+   stage memoizes the WL fingerprint (keyed by a cheap id-sensitive
+   structural digest), the *sched* stage memoizes the schedule entry
+   (keyed by the full cache key), and the *metric* stage memoizes the
+   derived [loop_perf] (keyed by cache key + loop name, the one input
+   the WL fingerprint deliberately excludes).
+
+   Stage classification runs serially in input order — which loop hits,
+   misses, joins an in-flight duplicate or owns a computation is decided
+   before any parallelism, so stage counters and stats are identical at
+   any job count.  Only the dirty owners are then fanned out on the
+   [Par] pool; results replay through [result_of_entry]/the metric memo,
+   byte-identical to a cold run (up to re-measured [sched_seconds]). *)
+let run_pipeline ?(ctx = Ctx.default) config loops =
+  let { Ctx.scenario; opts; cache; memo; _ } = ctx in
+  let n = List.length loops in
+  let loops_a = Array.of_list loops in
+  let traces =
+    Array.map
+      (fun loop -> Hcrf_obs.Tracer.start ctx.Ctx.tracer ~label:(Loop.name loop))
+      loops_a
+  in
+  let stats = ref { zero_pipeline_stats with total = n } in
+  (* pass 1 (serial, input order): extract + sched classification *)
+  let keys = Array.make n (Hcrf_cache.Fingerprint.of_string "") in
+  let srcs = Array.make n Compute in
+  let owners : (string, int) Hashtbl.t = Hashtbl.create (max 16 n) in
+  Array.iteri
+    (fun i loop ->
+      let trace = traces.(i) in
+      let loop_fp =
+        match memo with
+        | None -> Hcrf_cache.Fingerprint.of_loop loop
+        | Some m -> (
+          let t0 = now_ns () in
+          let skey = Digest.string (Marshal.to_string (Memo.snapshot_of_loop loop) []) in
+          match Memo.find m ~stage:Ev.Extract skey with
+          | Some (Memo.Fp_v fp) ->
+            emit_incr trace Ev.Extract Ev.Stage_hit t0;
+            fp
+          | Some _ | None ->
+            emit_incr trace Ev.Extract Ev.Stage_miss t0;
+            let t1 = now_ns () in
+            let fp = Hcrf_cache.Fingerprint.of_loop loop in
+            Memo.add m ~stage:Ev.Extract skey (Memo.Fp_v fp);
+            emit_incr trace Ev.Extract Ev.Stage_recompute t1;
+            fp)
+      in
+      let key = cache_key_of_fp ~scenario ~opts config ~loop_fp in
+      keys.(i) <- key;
+      let khex = Hcrf_cache.Fingerprint.to_hex key in
+      let memo_entry =
+        match memo with
+        | None -> None
+        | Some m -> (
+          let t0 = now_ns () in
+          match Memo.find m ~stage:Ev.Sched khex with
+          | Some (Memo.Entry_v e) when entry_compatible loop e ->
+            emit_incr trace Ev.Sched Ev.Stage_hit t0;
+            Some e
+          | Some _ | None ->
+            emit_incr trace Ev.Sched Ev.Stage_miss t0;
+            None)
+      in
+      srcs.(i) <-
+        (match memo_entry with
+        | Some e ->
+          stats := { !stats with memo_hits = !stats.memo_hits + 1 };
+          From_entry e
+        | None -> (
+          let cached =
+            Option.bind cache (fun c ->
+                Hcrf_cache.Cache.find ~trace
+                  ~validate:(entry_compatible loop) c key)
+          in
+          match cached with
+          | Some e ->
+            stats := { !stats with cache_hits = !stats.cache_hits + 1 };
+            From_entry e
+          | None -> (
+            match Hashtbl.find_opt owners khex with
+            | Some owner ->
+              stats := { !stats with coalesced = !stats.coalesced + 1 };
+              Join owner
+            | None ->
+              Hashtbl.add owners khex i;
+              stats :=
+                { !stats with
+                  computed = !stats.computed + 1;
+                  dirty = Loop.name loop :: !stats.dirty };
+              Compute))))
+    loops_a;
+  stats := { !stats with dirty = List.rev !stats.dirty };
+  (* pass 2 (parallel): engine runs for the dirty owners only *)
+  let owner_idx =
+    List.filter
+      (fun i -> match srcs.(i) with Compute -> true | _ -> false)
+      (List.init n Fun.id)
+  in
+  let fresh : (int * Hcrf_cache.Entry.t) list =
+    Par.map ~jobs:ctx.Ctx.jobs
+      (fun i ->
+        let trace = traces.(i) in
+        let t0 = now_ns () in
+        let entry =
+          compute_entry ~trace ~scenario ~opts config loops_a.(i)
+        in
+        emit_incr trace Ev.Sched Ev.Stage_recompute t0;
+        (i, entry))
+      owner_idx
+  in
+  let entries = Array.make n None in
+  Array.iteri
+    (fun i src ->
+      match src with From_entry e -> entries.(i) <- Some e | _ -> ())
+    srcs;
+  List.iter (fun (i, e) -> entries.(i) <- Some e) fresh;
+  List.iter
+    (fun i ->
+      match srcs.(i) with
+      | Join owner -> entries.(i) <- entries.(owner)
+      | _ -> ())
+    (List.init n Fun.id);
+  (* pass 3 (serial, input order): store fresh entries, derive metrics
+     through the metric memo, commit traces *)
+  let results =
+    List.init n (fun i ->
+        let loop = loops_a.(i) in
+        let trace = traces.(i) in
+        let entry = Option.get entries.(i) in
+        (match srcs.(i) with
+        | Compute ->
+          Option.iter
+            (fun c -> Hcrf_cache.Cache.add ~trace c keys.(i) entry)
+            cache;
+          Option.iter
+            (fun m ->
+              Memo.add m ~stage:Ev.Sched
+                (Hcrf_cache.Fingerprint.to_hex keys.(i))
+                (Memo.Entry_v entry))
+            memo
+        | From_entry _ | Join _ -> ());
+        let perf =
+          match memo with
+          | None -> Option.map (fun r -> r.perf) (result_of_entry config loop entry)
+          | Some m -> (
+            let mkey =
+              Hcrf_cache.Fingerprint.to_hex
+                (Hcrf_cache.Fingerprint.combine
+                   [ keys.(i);
+                     Hcrf_cache.Fingerprint.of_string (Loop.name loop) ])
+            in
+            let t0 = now_ns () in
+            match Memo.find m ~stage:Ev.Metric mkey with
+            | Some (Memo.Perf_v p) ->
+              emit_incr trace Ev.Metric Ev.Stage_hit t0;
+              stats := { !stats with metric_hits = !stats.metric_hits + 1 };
+              p
+            | Some _ | None ->
+              emit_incr trace Ev.Metric Ev.Stage_miss t0;
+              let t1 = now_ns () in
+              let p =
+                Option.map (fun r -> r.perf)
+                  (result_of_entry config loop entry)
+              in
+              Memo.add m ~stage:Ev.Metric mkey (Memo.Perf_v p);
+              emit_incr trace Ev.Metric Ev.Stage_recompute t1;
+              p)
+        in
+        Hcrf_obs.Tracer.commit ctx.Ctx.tracer trace;
+        perf)
+  in
+  (results, !stats)
+
+let pp_pipeline_stats ppf s =
+  Fmt.pf ppf
+    "loops=%d memo_hits=%d cache_hits=%d recomputed=%d coalesced=%d \
+     metric_hits=%d"
+    s.total s.memo_hits s.cache_hits s.computed s.coalesced s.metric_hits

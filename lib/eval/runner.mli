@@ -8,27 +8,27 @@ type memory_scenario =
           prefetching (§6.2) *)
 
 (** Everything one evaluation run needs, in one record: memory scenario,
-    engine options, schedule cache, worker count and tracer.  Build one
-    with {!Ctx.make} (or start from {!Ctx.default}) and pass it to every
-    runner call — the pre-Ctx per-call optional arguments survive only
-    as the deprecated [_legacy] entry points below. *)
+    engine options, schedule cache, incremental stage memo, worker count
+    and tracer.  {!Ctx.make} is the single construction path: build one
+    (or start from {!Ctx.default}) and pass it to every runner call. *)
 module Ctx : sig
   type t = {
     scenario : memory_scenario;
     opts : Hcrf_sched.Engine.options;
     cache : Hcrf_cache.Cache.t option;
+    memo : Memo.t option;
     jobs : int;
     tracer : Hcrf_obs.Tracer.t;
   }
 
-  (** Ideal memory, default engine options, no cache, serial, no
-      tracing. *)
+  (** Ideal memory, default engine options, no cache, no stage memo,
+      serial, no tracing. *)
   val default : t
 
   (** Each argument defaults to the {!default} field. *)
   val make :
     ?scenario:memory_scenario -> ?opts:Hcrf_sched.Engine.options ->
-    ?cache:Hcrf_cache.Cache.t -> ?jobs:int ->
+    ?cache:Hcrf_cache.Cache.t -> ?memo:Memo.t -> ?jobs:int ->
     ?tracer:Hcrf_obs.Tracer.t -> unit -> t
 end
 
@@ -109,17 +109,33 @@ val par_map :
 val aggregate :
   Hcrf_machine.Config.t -> loop_result list -> Metrics.aggregate
 
-(** Pre-Ctx entry points, kept byte-for-byte equivalent to building the
-    corresponding {!Ctx.t} — new code should pass [?ctx]. *)
+(** How one {!run_pipeline} call answered its schedule stages.  All
+    fields depend only on classification decisions taken serially in
+    input order, so they are identical at any job count. *)
+type pipeline_stats = {
+  total : int;  (** loops evaluated *)
+  memo_hits : int;  (** schedule stages answered by the stage memo *)
+  cache_hits : int;  (** answered by the shared schedule cache *)
+  computed : int;  (** dirty: the engine actually re-ran *)
+  coalesced : int;  (** duplicates joined onto an in-flight owner *)
+  metric_hits : int;  (** metric stages replayed from the memo *)
+  dirty : string list;
+      (** names of the loops that re-ran the engine, in input order *)
+}
 
-val run_loop_legacy :
-  ?scenario:memory_scenario -> ?opts:Hcrf_sched.Engine.options ->
-  ?cache:Hcrf_cache.Cache.t -> Hcrf_machine.Config.t -> Hcrf_ir.Loop.t ->
-  loop_result option
-[@@deprecated "use run_loop ?ctx (Runner.Ctx.make)"]
+val zero_pipeline_stats : pipeline_stats
+val pp_pipeline_stats : Format.formatter -> pipeline_stats -> unit
 
-val run_suite_legacy :
-  ?scenario:memory_scenario -> ?opts:Hcrf_sched.Engine.options ->
-  ?cache:Hcrf_cache.Cache.t -> ?jobs:int -> Hcrf_machine.Config.t ->
-  Hcrf_ir.Loop.t list -> loop_result list
-[@@deprecated "use run_suite ?ctx (Runner.Ctx.make)"]
+(** Evaluate a suite as the staged incremental pipeline (extract →
+    schedule → metrics), memoizing each stage in [ctx.memo]: after an
+    edit only the loops whose upstream digest changed re-run the engine;
+    everything else replays from the memo (or the shared cache),
+    byte-identical to a cold run up to re-measured [sched_seconds].
+    Per-loop results come back in input order ([None] where every
+    scheduling retry failed); stage classification is serial in input
+    order, so stats, stage counters and trace files are independent of
+    [ctx.jobs].  Without a memo this degrades to cached suite
+    evaluation (plus duplicate-key coalescing). *)
+val run_pipeline :
+  ?ctx:Ctx.t -> Hcrf_machine.Config.t -> Hcrf_ir.Loop.t list ->
+  Metrics.loop_perf option list * pipeline_stats

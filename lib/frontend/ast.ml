@@ -83,3 +83,8 @@ let pp ppf t =
     t.entries
     Fmt.(list ~sep:cut (fun ppf s -> Fmt.pf ppf "  %a" pp_stmt s))
     t.body
+
+(* An AST is pure data (no closures, no sharing that matters), so a
+   digest of its marshalled form is canonical: equal kernels digest
+   equal, and any edit — body, name, trip or entry count — changes it. *)
+let digest (t : t) = Digest.string (Marshal.to_string t [])

@@ -51,6 +51,11 @@ val store : ?off:int -> string -> expr -> stmt
 val if_ : expr -> stmt list -> stmt list -> stmt
 val make : ?trip_count:int -> ?entries:int -> name:string -> stmt list -> t
 
+(** Canonical per-kernel content digest: covers name, body, trip and
+    entry counts — any edit to any of them changes it.  The frontend
+    stage of the incremental pipeline is keyed on this. *)
+val digest : t -> string
+
 val pp_expr : Format.formatter -> expr -> unit
 val pp_stmt : Format.formatter -> stmt -> unit
 val pp : Format.formatter -> t -> unit

@@ -33,6 +33,10 @@ let add t ev =
   | Event.Exact_search { steps; _ } -> bump t.counts "exact.steps" steps
   | Event.Phase { phase; ns } ->
     bump t.timings ("phase." ^ Event.phase_name phase) ns
+  | Event.Incr { stage; op; ns } ->
+    bump t.timings
+      ("incr." ^ Event.incr_stage_name stage ^ "." ^ Event.incr_op_name op)
+      ns
   | Event.II_try _ | Event.Place _ | Event.Eject _ | Event.Comm_insert _
   | Event.Regalloc_fail _ | Event.Budget_escalate _ | Event.Cache _
   | Event.Fuzz _ | Event.Serve _ ->

@@ -8,6 +8,8 @@ type comm = Store_r | Load_r | Move
 type cache_op = Hit | Miss | Store
 type spill = Value | Invariant
 type phase = Mii | Order | Schedule | Regalloc | Memsim | Exact
+type incr_stage = Frontend | Extract | Sched | Metric
+type incr_op = Stage_hit | Stage_miss | Stage_recompute
 
 type serve_op =
   | Request
@@ -55,6 +57,10 @@ type t =
           branch-and-bound steps spent *)
   | Serve of serve_op
       (** one step of the scheduling daemon's tiered answer path *)
+  | Incr of { stage : incr_stage; op : incr_op; ns : int }
+      (** one stage-memo step of the incremental pipeline, with the
+          time spent in the lookup or recomputation, in integer
+          nanoseconds *)
 
 let comm_name = function
   | Store_r -> "store_r"
@@ -97,6 +103,30 @@ let phase_of_name = function
   | "regalloc" -> Some Regalloc
   | "memsim" -> Some Memsim
   | "exact" -> Some Exact
+  | _ -> None
+
+let incr_stage_name = function
+  | Frontend -> "frontend"
+  | Extract -> "extract"
+  | Sched -> "sched"
+  | Metric -> "metric"
+
+let incr_stage_of_name = function
+  | "frontend" -> Some Frontend
+  | "extract" -> Some Extract
+  | "sched" -> Some Sched
+  | "metric" -> Some Metric
+  | _ -> None
+
+let incr_op_name = function
+  | Stage_hit -> "hit"
+  | Stage_miss -> "miss"
+  | Stage_recompute -> "recompute"
+
+let incr_op_of_name = function
+  | "hit" -> Some Stage_hit
+  | "miss" -> Some Stage_miss
+  | "recompute" -> Some Stage_recompute
   | _ -> None
 
 let serve_op_name = function
@@ -157,6 +187,8 @@ let key = function
   | Shrink _ -> "shrink"
   | Exact_search _ -> "exact"
   | Serve op -> "serve." ^ serve_op_name op
+  | Incr { stage; op; _ } ->
+    "incr." ^ incr_stage_name stage ^ "." ^ incr_op_name op
 
 let pp ppf = function
   | II_try ii -> Fmt.pf ppf "ii_try ii=%d" ii
@@ -176,3 +208,6 @@ let pp ppf = function
   | Exact_search { lb; witness_ii; steps } ->
     Fmt.pf ppf "exact_search lb=%d witness_ii=%d steps=%d" lb witness_ii steps
   | Serve op -> Fmt.pf ppf "serve op=%s" (serve_op_name op)
+  | Incr { stage; op; ns } ->
+    Fmt.pf ppf "incr stage=%s op=%s ns=%d" (incr_stage_name stage)
+      (incr_op_name op) ns

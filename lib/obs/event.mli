@@ -9,6 +9,18 @@ type cache_op = Hit | Miss | Store
 type spill = Value | Invariant
 type phase = Mii | Order | Schedule | Regalloc | Memsim | Exact
 
+(** One stage of the incremental evaluation pipeline
+    ([Hcrf_eval.Runner.run_pipeline] / [Hcrf_incr.Pipeline]): frontend
+    kernel compilation, loop extraction / [Ddg.repr] construction,
+    scheduling, metric derivation. *)
+type incr_stage = Frontend | Extract | Sched | Metric
+
+(** One stage-memo step: the lookup hit, the lookup missed, or the
+    stage function actually re-ran.  A miss that is then answered by
+    another tier (e.g. a schedule-stage miss served from the shared
+    schedule cache) emits [Stage_miss] without a [Stage_recompute]. *)
+type incr_op = Stage_hit | Stage_miss | Stage_recompute
+
 (** One step of the scheduling daemon's ([hcrf_serve]) tiered answer
     path: request accepted, answered by the in-memory LRU / the on-disk
     store / a fresh engine run, coalesced onto an in-flight computation,
@@ -60,6 +72,10 @@ type t =
           branch-and-bound steps spent *)
   | Serve of serve_op
       (** one step of the scheduling daemon's tiered answer path *)
+  | Incr of { stage : incr_stage; op : incr_op; ns : int }
+      (** one stage-memo step of the incremental pipeline, with the
+          time spent in the lookup or recomputation, in integer
+          nanoseconds *)
 
 val comm_name : comm -> string
 val comm_of_name : string -> comm option
@@ -69,6 +85,10 @@ val spill_name : spill -> string
 val spill_of_name : string -> spill option
 val phase_name : phase -> string
 val phase_of_name : string -> phase option
+val incr_stage_name : incr_stage -> string
+val incr_stage_of_name : string -> incr_stage option
+val incr_op_name : incr_op -> string
+val incr_op_of_name : string -> incr_op option
 val serve_op_name : serve_op -> string
 val serve_op_of_name : string -> serve_op option
 val fuzz_verdict_name : fuzz_verdict -> string

@@ -74,6 +74,13 @@ let payload (ev : Event.t) =
     ( "exact_search",
       [ ("lb", I lb); ("witness_ii", I witness_ii); ("steps", I steps) ] )
   | Event.Serve op -> ("serve", [ ("op", S (Event.serve_op_name op)) ])
+  | Event.Incr { stage; op; ns } ->
+    ( "incr",
+      [
+        ("stage", S (Event.incr_stage_name stage));
+        ("op", S (Event.incr_op_name op));
+        ("ns", I ns);
+      ] )
 
 let line_of_event ~label ev =
   let kind, fields = payload ev in
@@ -294,6 +301,12 @@ let event_of_line line : (string * Event.t, string) result =
         let* () = exact [ "op" ] in
         let* op = need_enum "op" Event.serve_op_of_name ev in
         Ok (label, Event.Serve op)
+      | "incr" ->
+        let* () = exact [ "stage"; "op"; "ns" ] in
+        let* stage = need_enum "stage" Event.incr_stage_of_name ev in
+        let* op = need_enum "op" Event.incr_op_of_name ev in
+        let* ns = need_int "ns" ev in
+        Ok (label, Event.Incr { stage; op; ns })
       | other -> Error (Fmt.str "unknown event kind %S" other)))
 
 let check_header line =

@@ -12,6 +12,8 @@ module Tracer = Hcrf_obs.Tracer
 type counters = {
   mutable requests : int;
   mutable lru_hits : int;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
   mutable tier2_hits : int;
   mutable computed : int;
   mutable coalesced : int;
@@ -21,6 +23,7 @@ type counters = {
 
 type t = {
   lru : (Fingerprint.t, Entry.t) Lru.t;
+  memo : Hcrf_eval.Memo.t option;
   cache : Cache.t;
   pool : Pool.t;
   inflight : (Fingerprint.t, Entry.t Pool.future) Hashtbl.t;
@@ -33,7 +36,7 @@ type t = {
   c : counters;
 }
 
-let create ?dir ?lru_capacity ?jobs ?(tracer = Tracer.null) () =
+let create ?dir ?memo ?lru_capacity ?jobs ?(tracer = Tracer.null) () =
   let lru_capacity =
     match lru_capacity with
     | Some n -> n
@@ -44,6 +47,7 @@ let create ?dir ?lru_capacity ?jobs ?(tracer = Tracer.null) () =
   in
   {
     lru = Lru.create ~capacity:lru_capacity;
+    memo;
     cache = Cache.create ?dir ();
     pool = Pool.create ~jobs;
     inflight = Hashtbl.create 64;
@@ -54,6 +58,8 @@ let create ?dir ?lru_capacity ?jobs ?(tracer = Tracer.null) () =
       {
         requests = 0;
         lru_hits = 0;
+        memo_hits = 0;
+        memo_misses = 0;
         tier2_hits = 0;
         computed = 0;
         coalesced = 0;
@@ -61,6 +67,8 @@ let create ?dir ?lru_capacity ?jobs ?(tracer = Tracer.null) () =
         timeouts = 0;
       };
   }
+
+let memo t = t.memo
 
 let cache t = t.cache
 
@@ -82,6 +90,13 @@ let compute_task t ~key ~scenario ~opts ~config ~loop fut () =
       let tr = Tracer.start t.tracer ~label:(Loop.name loop) in
       let entry = Runner.compute_entry ~trace:tr ~scenario ~opts config loop in
       Cache.add ~trace:tr t.cache key entry;
+      (* warm the stage memo too, so a post-edit replay of the same
+         request is a memo hit even after the LRU evicted it *)
+      Option.iter
+        (fun m ->
+          Hcrf_eval.Memo.add m ~stage:Ev.Sched (Fingerprint.to_hex key)
+            (Hcrf_eval.Memo.Entry_v entry))
+        t.memo;
       commit_trace t tr;
       entry
     with
@@ -134,6 +149,40 @@ let schedule t (r : Wire.schedule_request) : Wire.response =
         hit entry
       | Some _ | None -> (
         emit trace Ev.Lru_miss;
+        (* the stage memo sits between the LRU and the shared cache: a
+           warm daemon answers post-edit replays from it without
+           touching the cache shards *)
+        let memo_entry =
+          match t.memo with
+          | None -> None
+          | Some m -> (
+            let t0 = int_of_float (Unix.gettimeofday () *. 1e9) in
+            let ns () =
+              int_of_float (Unix.gettimeofday () *. 1e9) - t0
+            in
+            match
+              Hcrf_eval.Memo.find m ~stage:Ev.Sched (Fingerprint.to_hex key)
+            with
+            | Some (Hcrf_eval.Memo.Entry_v e) when compatible e ->
+              if Tr.enabled trace then
+                Tr.emit trace
+                  (Ev.Incr
+                     { stage = Ev.Sched; op = Ev.Stage_hit; ns = ns () });
+              bump t (fun c -> c.memo_hits <- c.memo_hits + 1);
+              Some e
+            | Some _ | None ->
+              if Tr.enabled trace then
+                Tr.emit trace
+                  (Ev.Incr
+                     { stage = Ev.Sched; op = Ev.Stage_miss; ns = ns () });
+              bump t (fun c -> c.memo_misses <- c.memo_misses + 1);
+              None)
+        in
+        match memo_entry with
+        | Some entry ->
+          Lru.add t.lru key entry;
+          hit entry
+        | None -> (
         match Cache.find ~trace ~validate:compatible t.cache key with
         | Some entry ->
           emit trace Ev.Disk_hit;
@@ -179,7 +228,7 @@ let schedule t (r : Wire.schedule_request) : Wire.response =
               ( Wire.Timed_out,
                 Fmt.str "deadline of %d ms expired" r.Wire.sr_timeout_ms )
           | `Exn e ->
-            refuse t ~trace ~kind:Wire.Internal (Printexc.to_string e)))))
+            refuse t ~trace ~kind:Wire.Internal (Printexc.to_string e))))))
 
 let reject t ~kind msg =
   let trace = Tracer.start t.tracer ~label:"serve" in
@@ -195,6 +244,8 @@ let stats t : Wire.serve_stats =
         lru_length = ls.Lru.length;
         lru_capacity = ls.Lru.capacity;
         tier2_hits = t.c.tier2_hits;
+        memo_hits = t.c.memo_hits;
+        memo_misses = t.c.memo_misses;
         computed = t.c.computed;
         coalesced = t.c.coalesced;
         rejected = t.c.rejected;

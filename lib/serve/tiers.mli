@@ -26,15 +26,21 @@
 type t
 
 (** [create ()] builds the tiers: [dir] backs tier 2 with the sharded
-    on-disk store, [lru_capacity] bounds tier 1 (default
+    on-disk store, [memo] inserts the incremental stage memo between
+    the LRU and the cache (fresh computations are stored into it too,
+    so a warm daemon answers post-edit replays from the memo),
+    [lru_capacity] bounds tier 1 (default
     {!Hcrf_eval.Env.default_serve_lru}), [jobs] sizes the domain pool
     (default {!Hcrf_eval.Par.default_jobs}), [tracer] receives
     per-request and per-computation traces. *)
 val create :
-  ?dir:string -> ?lru_capacity:int -> ?jobs:int ->
+  ?dir:string -> ?memo:Hcrf_eval.Memo.t -> ?lru_capacity:int -> ?jobs:int ->
   ?tracer:Hcrf_obs.Tracer.t -> unit -> t
 
 val cache : t -> Hcrf_cache.Cache.t
+
+(** The stage memo the tiers consult, when one was configured. *)
+val memo : t -> Hcrf_eval.Memo.t option
 
 (** Answer one schedule request ([Scheduled] or [Refused]). *)
 val schedule : t -> Wire.schedule_request -> Wire.response

@@ -79,6 +79,8 @@ type serve_stats = {
   lru_length : int;
   lru_capacity : int;
   tier2_hits : int;    (** answered from the shared cache (memory/disk) *)
+  memo_hits : int;     (** answered from the incremental stage memo *)
+  memo_misses : int;   (** stage-memo lookups that missed (0 without a memo) *)
   computed : int;      (** engine computations started *)
   coalesced : int;     (** requests that joined an in-flight computation *)
   rejected : int;      (** malformed frames/requests refused *)

@@ -1,0 +1,206 @@
+(* Tests for the incremental pipeline (lib/incr + Runner.run_pipeline +
+   Memo): the dirty-cone property (one edited kernel recomputes exactly
+   its own four stages, everything else replays), byte-identity of
+   incremental and cold evaluation at several job counts, the no-edit
+   fixpoint, and stage-memo persistence (round-trip and corruption). *)
+
+open Hcrf_eval
+module Pipeline = Hcrf_incr.Pipeline
+module Progs = Hcrf_incr.Progs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let config = Hcrf_model.Presets.published "4C32"
+
+let scrub perfs =
+  List.map
+    (Option.map (fun (p : Metrics.loop_perf) ->
+         { p with Metrics.sched_seconds = 0. }))
+    perfs
+
+let bytes_of perfs = Marshal.to_string (scrub perfs) []
+
+(* a pipeline with a fresh in-memory memo *)
+let fresh_pipe ?(jobs = 1) () =
+  let ctx = Runner.Ctx.make ~memo:(Memo.create ()) ~jobs () in
+  Pipeline.create ~ctx config
+
+(* cold evaluation of [prog]: fresh context, no memo, no cache *)
+let cold_eval ?(jobs = 1) prog =
+  let pipe = Pipeline.create ~ctx:(Runner.Ctx.make ~jobs ()) config in
+  let perfs, _, _ = Pipeline.eval pipe prog in
+  perfs
+
+(* ------------------------------------------------------------------ *)
+(* The dirty-cone property *)
+
+let prop_dirty_cone =
+  QCheck.Test.make ~name:"one edit dirties exactly its own cone" ~count:25
+    QCheck.(pair (int_range 2 9) (pair (int_range 0 30) (int_range 1 4)))
+    (fun (n, (kernel, round)) ->
+      let kernel = kernel mod n in
+      let pipe = fresh_pipe () in
+      let prog = Progs.program ~n in
+      let _ = Pipeline.eval pipe prog in
+      let prog' = Progs.edit ~round ~kernel prog in
+      let perfs, _, stats = Pipeline.eval pipe prog' in
+      let s = stats.Pipeline.sched in
+      (* the edited kernel recomputes frontend, extract, sched and
+         metric; every other kernel replays all four stages *)
+      stats.Pipeline.frontend_recomputed = 1
+      && stats.Pipeline.frontend_hits = n - 1
+      && s.Runner.computed = 1
+      && s.Runner.memo_hits = n - 1
+      && s.Runner.metric_hits = n - 1
+      && s.Runner.dirty = [ (List.nth prog' kernel).Hcrf_frontend.Ast.name ]
+      (* and the replayed results are byte-identical to a cold run *)
+      && String.equal (bytes_of perfs) (bytes_of (cold_eval prog')))
+
+(* an edit under a different engine configuration dirties the schedule
+   stage of every kernel but replays every frontend/extract stage: the
+   WL fingerprint is config-independent, the schedule key is not *)
+let test_config_change_cone () =
+  let n = 6 in
+  let prog = Progs.program ~n in
+  let memo = Memo.create () in
+  let eval_with config jobs =
+    let ctx = Runner.Ctx.make ~memo ~jobs () in
+    let pipe = Pipeline.create ~ctx config in
+    let _, _, stats = Pipeline.eval pipe prog in
+    stats
+  in
+  let _ = eval_with config 1 in
+  let stats = eval_with (Hcrf_model.Presets.published "S64") 1 in
+  check_int "frontend replays across configs" n stats.Pipeline.frontend_hits;
+  check_int "every schedule recomputes" n
+    stats.Pipeline.sched.Runner.computed;
+  check_int "no metric hit across configs" 0
+    stats.Pipeline.sched.Runner.metric_hits
+
+(* ------------------------------------------------------------------ *)
+(* Golden edit script: incremental == cold, at jobs 1 and 4 *)
+
+let run_session ~jobs =
+  let pipe = fresh_pipe ~jobs () in
+  let prog = ref (Progs.program ~n:12) in
+  let _, _, cold = Pipeline.eval pipe !prog in
+  let per_edit = ref [] in
+  for round = 1 to 3 do
+    prog := Progs.edit ~round ~kernel:(round * 7 mod 12) !prog;
+    let perfs, _, stats = Pipeline.eval pipe !prog in
+    per_edit := (perfs, stats) :: !per_edit
+  done;
+  (!prog, cold, List.rev !per_edit)
+
+let strip_wall (s : Pipeline.eval_stats) = { s with Pipeline.wall_s = 0. }
+
+let test_golden_session () =
+  let prog1, cold1, edits1 = run_session ~jobs:1 in
+  let prog4, cold4, edits4 = run_session ~jobs:4 in
+  check "programs agree" true (prog1 = prog4);
+  check "cold stats identical at jobs 1 and 4" true
+    (strip_wall cold1 = strip_wall cold4);
+  List.iter2
+    (fun (p1, s1) (p4, s4) ->
+      check "per-edit stats identical at jobs 1 and 4" true
+        (strip_wall s1 = strip_wall s4);
+      check "per-edit perfs byte-identical at jobs 1 and 4" true
+        (String.equal (bytes_of p1) (bytes_of p4)))
+    edits1 edits4;
+  List.iteri
+    (fun i ((_, s) : Metrics.loop_perf option list * Pipeline.eval_stats) ->
+      check_int
+        (Fmt.str "edit %d recomputes exactly one schedule" (i + 1))
+        1 s.Pipeline.sched.Runner.computed)
+    edits1;
+  (* the final incremental metrics are byte-identical to a cold
+     evaluation of the final program, serial and parallel alike *)
+  let final1, _ = List.nth edits1 2 and final4, _ = List.nth edits4 2 in
+  let cold_bytes = bytes_of (cold_eval ~jobs:1 prog1) in
+  check "incremental bytes = cold bytes (jobs 1)" true
+    (String.equal (bytes_of final1) cold_bytes);
+  check "incremental bytes = cold bytes (jobs 4)" true
+    (String.equal (bytes_of final4) cold_bytes)
+
+let test_no_edit_fixpoint () =
+  let pipe = fresh_pipe () in
+  let prog = Progs.program ~n:8 in
+  let perfs0, _, _ = Pipeline.eval pipe prog in
+  let perfs1, _, stats = Pipeline.eval pipe prog in
+  check_int "nothing recompiles" 0 stats.Pipeline.frontend_recomputed;
+  check_int "nothing reschedules" 0 stats.Pipeline.sched.Runner.computed;
+  check "no dirty loops" true (stats.Pipeline.sched.Runner.dirty = []);
+  check_int "every metric replays" 8 stats.Pipeline.sched.Runner.metric_hits;
+  check "replayed perfs byte-identical" true
+    (String.equal (bytes_of perfs0) (bytes_of perfs1))
+
+(* ------------------------------------------------------------------ *)
+(* Persistence *)
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "hcrf-incr-test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let test_memo_persistence () =
+  with_tmp_dir @@ fun dir ->
+  let prog = Progs.program ~n:5 in
+  let saved =
+    let memo = Memo.create ~dir () in
+    let ctx = Runner.Ctx.make ~memo () in
+    let _ = Pipeline.eval (Pipeline.create ~ctx config) prog in
+    check "save succeeds" true (Memo.save memo);
+    Memo.length memo
+  in
+  check "something was memoized" true (saved > 0);
+  (* a second process: reload the memo and replay everything *)
+  let memo = Memo.create ~dir () in
+  check_int "reloaded table has every entry" saved (Memo.length memo);
+  let ctx = Runner.Ctx.make ~memo () in
+  let perfs, _, stats = Pipeline.eval (Pipeline.create ~ctx config) prog in
+  check_int "warm start recompiles nothing" 0
+    stats.Pipeline.frontend_recomputed;
+  check_int "warm start reschedules nothing" 0
+    stats.Pipeline.sched.Runner.computed;
+  check "warm-start perfs = cold perfs" true
+    (String.equal (bytes_of perfs) (bytes_of (cold_eval prog)))
+
+let test_memo_corruption () =
+  with_tmp_dir @@ fun dir ->
+  let memo = Memo.create ~dir () in
+  Memo.add memo ~stage:Hcrf_obs.Event.Sched "k"
+    (Memo.Perf_v None);
+  check "save succeeds" true (Memo.save memo);
+  let path = Filename.concat dir "memo.v1" in
+  let oc = open_out path in
+  output_string oc "hcrf-memo 1\ngarbage follows the magic";
+  close_out oc;
+  let reloaded = Memo.create ~dir () in
+  check_int "corrupt file discarded, empty memo" 0 (Memo.length reloaded);
+  (* and truncating below the magic must not raise either *)
+  let oc = open_out path in
+  output_string oc "x";
+  close_out oc;
+  check_int "truncated file discarded" 0 (Memo.length (Memo.create ~dir ()))
+
+(* ------------------------------------------------------------------ *)
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_dirty_cone;
+    ("config change dirties schedules only", `Quick, test_config_change_cone);
+    ("golden 3-edit session, jobs 1 = jobs 4 = cold", `Slow,
+     test_golden_session);
+    ("no-edit evaluation is a fixpoint", `Quick, test_no_edit_fixpoint);
+    ("memo persistence round-trip", `Quick, test_memo_persistence);
+    ("memo corruption discarded with a warning", `Quick,
+     test_memo_corruption);
+  ]

@@ -20,4 +20,5 @@ let () =
       ("codegen", Test_codegen.tests);
       ("topology", Test_topology.tests);
       ("serve", Test_serve.tests);
+      ("incr", Test_incr.tests);
     ]

@@ -1,8 +1,8 @@
 (* Tests for the hcrf_obs tracing subsystem: counter semantics, the
    versioned JSONL schema (emission and strict validation), determinism
    of the Counters sink across job counts and cache states, purity of
-   the null sink, byte-equivalence of the deprecated pre-Ctx wrappers,
-   and the HCRF_* environment parser. *)
+   the null sink, byte-equivalence of the staged pipeline against plain
+   suite evaluation, and the HCRF_* environment parser. *)
 
 open Hcrf_eval
 open Hcrf_obs
@@ -37,6 +37,9 @@ let all_events =
     Event.Serve Event.Request;
     Event.Serve Event.Lru_hit;
     Event.Serve Event.Coalesced;
+    Event.Incr { stage = Event.Sched; op = Event.Stage_hit; ns = 210 };
+    Event.Incr { stage = Event.Extract; op = Event.Stage_miss; ns = 9 };
+    Event.Incr { stage = Event.Frontend; op = Event.Stage_recompute; ns = 42 };
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -61,6 +64,9 @@ let test_counters_histogram () =
       ("fuzz.optimality", 1);
       ("fuzz.pass", 1);
       ("ii_try", 1);
+      ("incr.extract.miss", 1);
+      ("incr.frontend.recompute", 1);
+      ("incr.sched.hit", 1);
       ("phase.exact", 1);
       ("phase.mii", 1);
       ("place", 2);
@@ -79,8 +85,14 @@ let test_counters_histogram () =
   (* derived .nodes/.steps magnitudes are not events *)
   check_int "total events" (List.length all_events) (Counters.total_events c);
   Alcotest.(check (list (pair string int)))
-    "phase wall-clock lands in timings, not counts"
-    [ ("phase.exact", 55); ("phase.mii", 1234) ]
+    "phase and stage wall-clock lands in timings, not counts"
+    [
+      ("incr.extract.miss", 9);
+      ("incr.frontend.recompute", 42);
+      ("incr.sched.hit", 210);
+      ("phase.exact", 55);
+      ("phase.mii", 1234);
+    ]
     (Counters.timings c);
   let c' = Counters.create () in
   Counters.add_all c' all_events;
@@ -93,7 +105,8 @@ let test_counters_histogram () =
     "pp is sorted key=value"
     "budget.escalate=1 cache.hit=1 cache.miss=1 cache.store=1 comm.load_r=1 \
      comm.move=1 comm.store_r=1 eject=1 exact=1 exact.steps=901 \
-     fuzz.optimality=1 fuzz.pass=1 ii_try=1 phase.exact=1 phase.mii=1 \
+     fuzz.optimality=1 fuzz.pass=1 ii_try=1 incr.extract.miss=1 \
+     incr.frontend.recompute=1 incr.sched.hit=1 phase.exact=1 phase.mii=1 \
      place=2 regalloc.fail=1 serve.coalesced=1 serve.lru_hit=1 \
      serve.request=1 shrink=1 shrink.steps=3 spill.invariant=1 \
      spill.invariant.nodes=1 spill.value=1 spill.value.nodes=2"
@@ -127,6 +140,9 @@ let golden_lines =
     {|{"loop":"k1","ev":"serve","op":"request"}|};
     {|{"loop":"k1","ev":"serve","op":"lru_hit"}|};
     {|{"loop":"k1","ev":"serve","op":"coalesced"}|};
+    {|{"loop":"k1","ev":"incr","stage":"sched","op":"hit","ns":210}|};
+    {|{"loop":"k1","ev":"incr","stage":"extract","op":"miss","ns":9}|};
+    {|{"loop":"k1","ev":"incr","stage":"frontend","op":"recompute","ns":42}|};
   ]
 
 let read_lines path =
@@ -202,6 +218,12 @@ let test_jsonl_rejects () =
       );
       ("bad serve op", {|{"loop":"x","ev":"serve","op":"warm"}|});
       ("serve extra field", {|{"loop":"x","ev":"serve","op":"request","n":1}|});
+      ( "bad incr stage",
+        {|{"loop":"x","ev":"incr","stage":"parse","op":"hit","ns":1}|} );
+      ( "bad incr op",
+        {|{"loop":"x","ev":"incr","stage":"sched","op":"warm","ns":1}|} );
+      ( "incr missing ns",
+        {|{"loop":"x","ev":"incr","stage":"sched","op":"hit"}|} );
     ]
   in
   List.iter
@@ -356,37 +378,38 @@ let test_env () =
     (Tracer.counters t <> None);
   check "counters-only tracer has no file" true (Tracer.jsonl_path t = None);
   check "off spec is the null tracer" true
-    (Tracer.is_null (Env.tracer_of_spec Env.Off))
+    (Tracer.is_null (Env.tracer_of_spec Env.Off));
+  Unix.putenv "HCRF_INCR" "on";
+  check "incr on = in-memory memo" true (Env.incr () = Env.Incr_memory);
+  Unix.putenv "HCRF_INCR" "OFF";
+  check "incr off (case-insensitive)" true (Env.incr () = Env.Incr_off);
+  check "off spec yields no memo" true (Env.memo_of_spec Env.Incr_off = None);
+  Unix.putenv "HCRF_INCR" "/tmp/hcrf-memo";
+  check "incr dir spec" true (Env.incr () = Env.Incr_dir "/tmp/hcrf-memo");
+  Unix.putenv "HCRF_INCR" "off"
 
 (* ------------------------------------------------------------------ *)
-(* Deprecated pre-Ctx wrappers stay byte-equivalent to the Ctx path *)
+(* run_pipeline degrades to run_suite when no memo is configured *)
 
-[@@@warning "-3" (* calling the deprecated entry points is the point *)]
-
-let test_legacy_wrappers () =
+let test_pipeline_matches_suite () =
   let config = Hcrf_model.Presets.published "S64" in
   let loops = Lazy.force small_suite in
-  let via_ctx =
-    Runner.aggregate config
-      (Runner.run_suite ~ctx:(Runner.Ctx.make ~jobs:2 ()) config loops)
+  let scrub (p : Metrics.loop_perf) = { p with Metrics.sched_seconds = 0. } in
+  let suite_perfs =
+    Runner.run_suite ~ctx:(Runner.Ctx.make ~jobs:2 ()) config loops
+    |> List.map (fun r -> scrub r.Runner.perf)
   in
-  let via_legacy =
-    Runner.aggregate config (Runner.run_suite_legacy ~jobs:2 config loops)
+  let pipeline_perfs, stats =
+    Runner.run_pipeline ~ctx:(Runner.Ctx.make ~jobs:2 ()) config loops
   in
-  check "run_suite_legacy = run_suite ~ctx" true
-    (bytes_of via_ctx = bytes_of via_legacy);
-  let l = List.hd loops in
-  let scrub_perf (r : Runner.loop_result option) =
-    Option.map
-      (fun r ->
-        { r.Runner.perf with Metrics.sched_seconds = 0. })
-      r
-  in
-  let one_ctx = Runner.run_loop ~ctx:Runner.Ctx.default config l in
-  let one_legacy = Runner.run_loop_legacy config l in
-  check "run_loop_legacy = run_loop ~ctx" true
-    (Marshal.to_string (scrub_perf one_ctx) []
-    = Marshal.to_string (scrub_perf one_legacy) [])
+  let pipeline_perfs = List.filter_map (Option.map scrub) pipeline_perfs in
+  check "run_pipeline perfs = run_suite perfs (scrubbed)" true
+    (Marshal.to_string pipeline_perfs []
+    = Marshal.to_string suite_perfs []);
+  check_int "no memo: nothing hits the stage memo" 0
+    Runner.(stats.memo_hits + stats.metric_hits);
+  check_int "every distinct loop was computed" (List.length loops)
+    Runner.(stats.computed + stats.coalesced)
 
 (* ------------------------------------------------------------------ *)
 
@@ -401,5 +424,5 @@ let tests =
     ("tracer: null sink purity", `Slow, test_null_sink_purity);
     ("jsonl: replay/merge across jobs", `Slow, test_jsonl_replay_merge);
     ("env: HCRF_* parsing", `Quick, test_env);
-    ("runner: legacy wrappers byte-identical", `Slow, test_legacy_wrappers);
+    ("runner: pipeline matches suite", `Slow, test_pipeline_matches_suite);
   ]
