@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Access-port sweep smoke test, run on every `dune runtest`: the
+# generalized-hierarchy `ports --access` ladder (uniform, then r6w4
+# down to r2w1) over a 12-loop suite, for three representative
+# organizations — two-level hierarchical, flat clustered, and
+# three-level.  The acceptance contract:
+#
+#   - the concatenated sweep tables are byte-identical to the committed
+#     golden (bench/golden_ports.txt): any drift in ΣII or %MII at any
+#     swept port count is a behavioural change of the port-constrained
+#     scheduler and must be re-goldened deliberately;
+#   - the first sweep is byte-identical at jobs=1 and jobs=4;
+#   - the --json report has the hcrf-bench/1 shape, its runs[] key set
+#     matches the committed BENCH_ports.json, and its (config, sum_ii)
+#     pairs reproduce the committed document exactly — the sweep is
+#     deterministic, so only the wall-clock fields may differ.
+set -eu
+
+case "$1" in
+  */*) explore="$1" ;;
+  *) explore="./$1" ;;
+esac
+golden_txt="$2"
+golden_json="$3"
+
+dir=$(mktemp -d "${TMPDIR:-/tmp}/hcrf-ports-smoke.XXXXXX")
+trap 'rm -rf "$dir"' EXIT
+
+: > "$dir/summary.txt"
+for cfg in 4C16S16 4C32 4C16S16-L3:64; do
+  "$explore" ports -c "$cfg" --access -n 12 --json "$dir/ports_$cfg.json" \
+    >> "$dir/summary.txt"
+done
+
+cmp "$dir/summary.txt" "$golden_txt" ||
+  { echo "ports smoke: sweep tables drifted from bench/golden_ports.txt" >&2
+    diff "$golden_txt" "$dir/summary.txt" >&2 || true; exit 1; }
+
+# jobs determinism on the first sweep
+"$explore" ports -c 4C16S16 --access -n 12 -j 4 > "$dir/j4.txt"
+head -8 "$dir/summary.txt" > "$dir/j1.txt"
+cmp "$dir/j1.txt" "$dir/j4.txt" ||
+  { echo "ports smoke: jobs=4 sweep differs from jobs=1" >&2; exit 1; }
+
+# hcrf-bench/1 shape and determinism gate against the committed document
+smoke_json="$dir/ports_4C16S16.json"
+grep -q '"schema": "hcrf-bench/1"' "$smoke_json" ||
+  { echo "ports smoke: JSON report missing schema tag" >&2; exit 1; }
+if command -v jq > /dev/null 2>&1; then
+  jq -e '.runs | length == 6 and all(.sum_ii > 0 and .phase_ns != null)' \
+    "$smoke_json" > /dev/null ||
+    { echo "ports smoke: malformed JSON report" >&2; exit 1; }
+  smoke_keys=$(jq -r '.runs[0] | keys | sort | join(",")' "$smoke_json")
+  golden_keys=$(jq -r '.runs[0] | keys | sort | join(",")' "$golden_json")
+  [ "$smoke_keys" = "$golden_keys" ] ||
+    { echo "ports smoke: runs[] key shape drifted from BENCH_ports" >&2
+      echo "  smoke:  $smoke_keys" >&2
+      echo "  golden: $golden_keys" >&2; exit 1; }
+  smoke_pts=$(jq -c '[.runs[] | [.config, .sum_ii]]' "$smoke_json")
+  golden_pts=$(jq -c '[.runs[] | [.config, .sum_ii]]' "$golden_json")
+  [ "$smoke_pts" = "$golden_pts" ] ||
+    { echo "ports smoke: (config, sum_ii) points drifted from BENCH_ports" >&2
+      echo "  smoke:  $smoke_pts" >&2
+      echo "  golden: $golden_pts" >&2; exit 1; }
+fi
+
+echo "ports smoke: ok (3 organizations x 6 port points, bytes match golden, jobs-invariant)"

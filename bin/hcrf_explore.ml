@@ -30,11 +30,23 @@ let config_of_string s =
 
 let config_arg =
   let doc =
-    "Register-file organization, in the paper's notation: S128, 4C32, \
-     2C32S64, ...  Published Table-5 points use the published hardware; \
-     anything else is priced with the CACTI/FO4 model."
+    "Register-file organization, in the paper's notation extended with \
+     the generalized axes: S128, 4C32, 2C32S64, 4C16S16-L3:64@r2w1, ...  \
+     Published Table-5 points use the published hardware; anything else \
+     is priced with the CACTI/FO4 model.  Defaults to HCRF_CONFIG, or \
+     8C16S16."
   in
-  Arg.(value & opt string "8C16S16" & info [ "c"; "config" ] ~doc)
+  let arg =
+    Arg.(value & opt (some string) None & info [ "c"; "config" ] ~doc)
+  in
+  let resolve = function
+    | Some s -> s
+    | None -> (
+      match Hcrf_eval.Env.config () with
+      | Some c -> c.Hcrf_machine.Config.name
+      | None -> "8C16S16")
+  in
+  Term.(const resolve $ arg)
 
 let n_arg =
   let doc = "Number of synthetic workbench loops." in
@@ -274,41 +286,150 @@ let hw_cmd =
     Term.(const run $ config_arg $ all_arg $ ctx_term)
 
 let ports_cmd =
-  (* sweep the inter-level port counts of a hierarchical RF and report
-     the ΣII impact — the §4 design decision, measurable per design *)
-  let run config_name n (ctx : Hcrf_eval.Runner.Ctx.t) =
-    let base = Hcrf_machine.Rf.of_notation config_name in
-    (match base with
-    | Hcrf_machine.Rf.Hierarchical h ->
-      let loops = Hcrf_workload.Suite.generate ~n () in
-      Fmt.pr "Port sweep for %s (%d loops):@." config_name n;
-      Fmt.pr "  lp sp | sumII | %%MII@.";
+  (* sweep the communication resources of an organization and report
+     the ΣII impact: the inter-level lp/sp ports (the §4 design
+     decision) and, on the generalized axis, the per-bank access-port
+     counts of the first-level banks — where does the hierarchical
+     organization stop paying once ports are scarce? *)
+  let json_arg =
+    let doc = "Write an hcrf-bench/1 JSON report to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc ~docv:"FILE")
+  in
+  let access_arg =
+    let doc =
+      "Sweep the per-bank access ports of the first-level banks \
+       (uniform, then r6w4 down to r2w1) instead of the inter-level \
+       lp/sp ports.  Works for any organization."
+    in
+    Arg.(value & flag & info [ "access" ] ~doc)
+  in
+  let run config_name n access json (ctx : Hcrf_eval.Runner.Ctx.t) =
+    let open Hcrf_machine in
+    let base = Rf.of_notation config_name in
+    let loops = Hcrf_workload.Suite.generate ~n () in
+    let rows = ref [] in
+    let wall f =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    (* one swept design point: a cold pass then a warm pass (identical
+       unless a cache is armed), recorded for the JSON report *)
+    let point rf =
+      let config = Hcrf_model.Presets.of_model rf in
+      let run_once () =
+        Hcrf_eval.Runner.aggregate config
+          (Hcrf_eval.Runner.run_suite ~ctx config loops)
+      in
+      let a, cold_s = wall run_once in
+      let _, warm_s = wall run_once in
+      rows := (Rf.notation rf, a, cold_s, warm_s) :: !rows;
+      a
+    in
+    if access then begin
+      Fmt.pr "Access-port sweep for %s (%d loops):@." config_name n;
+      Fmt.pr "   pr  pw | sumII | %%MII@.";
+      let with_access acc =
+        match base with
+        | Rf.Monolithic m -> Rf.Monolithic { m with access = acc }
+        | Rf.Clustered c -> Rf.Clustered { c with access = acc }
+        | Rf.Hierarchical h -> Rf.Hierarchical { h with local_access = acc }
+      in
       List.iter
-        (fun (lp, sp) ->
+        (fun acc ->
           let rf =
-            Hcrf_machine.Rf.Hierarchical
-              { h with
-                lp = Hcrf_machine.Cap.Finite lp;
-                sp = Hcrf_machine.Cap.Finite sp }
+            with_access
+              (Option.map
+                 (fun (pr, pw) ->
+                   Rf.access ~pr:(Cap.Finite pr) ~pw:(Cap.Finite pw))
+                 acc)
           in
-          let config = Hcrf_model.Presets.of_model rf in
-          let results = Hcrf_eval.Runner.run_suite ~ctx config loops in
-          let a = Hcrf_eval.Runner.aggregate config results in
-          Fmt.pr "  %2d %2d | %5d | %4.1f@." lp sp a.Hcrf_eval.Metrics.sum_ii
-            a.Hcrf_eval.Metrics.pct_at_mii)
-        [ (1, 1); (2, 1); (2, 2); (3, 2); (4, 2) ];
-      Option.iter
-        (fun c ->
-          Fmt.pr "cache: %a@." Hcrf_cache.Cache.pp_stats
-            (Hcrf_cache.Cache.stats c))
-        ctx.Hcrf_eval.Runner.Ctx.cache;
-      finish_trace ctx.Hcrf_eval.Runner.Ctx.tracer
-    | _ -> failwith "ports: needs a hierarchical configuration (xCySz)")
+          let a = point rf in
+          let pr, pw =
+            match acc with
+            | None -> ("inf", "inf")
+            | Some (pr, pw) -> (string_of_int pr, string_of_int pw)
+          in
+          Fmt.pr "  %3s %3s | %5d | %4.1f@." pr pw
+            a.Hcrf_eval.Metrics.sum_ii a.Hcrf_eval.Metrics.pct_at_mii)
+        [ None; Some (6, 4); Some (5, 3); Some (4, 3); Some (3, 2);
+          Some (2, 1) ]
+    end
+    else begin
+      match base with
+      | Rf.Hierarchical h ->
+        Fmt.pr "Port sweep for %s (%d loops):@." config_name n;
+        Fmt.pr "  lp sp | sumII | %%MII@.";
+        List.iter
+          (fun (lp, sp) ->
+            let rf =
+              Rf.Hierarchical
+                { h with lp = Cap.Finite lp; sp = Cap.Finite sp }
+            in
+            let a = point rf in
+            Fmt.pr "  %2d %2d | %5d | %4.1f@." lp sp
+              a.Hcrf_eval.Metrics.sum_ii a.Hcrf_eval.Metrics.pct_at_mii)
+          [ (1, 1); (2, 1); (2, 2); (3, 2); (4, 2) ]
+      | _ ->
+        failwith
+          "ports: the lp/sp sweep needs a hierarchical configuration \
+           (xCySz); use --access for the access-port sweep"
+    end;
+    Option.iter
+      (fun c ->
+        Fmt.pr "cache: %a@." Hcrf_cache.Cache.pp_stats
+          (Hcrf_cache.Cache.stats c))
+      ctx.Hcrf_eval.Runner.Ctx.cache;
+    finish_trace ctx.Hcrf_eval.Runner.Ctx.tracer;
+    match json with
+    | None -> ()
+    | Some file ->
+      let rows = List.rev !rows in
+      let last = List.length rows - 1 in
+      let oc = open_out file in
+      Printf.fprintf oc "{ \"schema\": \"hcrf-bench/1\", \"runs\": [\n";
+      List.iteri
+        (fun i (label, (a : Hcrf_eval.Metrics.aggregate), cold_s, warm_s) ->
+          Printf.fprintf oc
+            "  { \"config\": %S, \"loops\": %d, \"jobs\": %d,\n\
+            \    \"sum_ii\": %d, \"pct_at_mii\": %.1f,\n\
+            \    \"cold_wall_s\": %.3f, \"warm_wall_s\": %.3f,\n\
+            \    \"phase_ns\": {  } }%s\n"
+            label n ctx.Hcrf_eval.Runner.Ctx.jobs a.Hcrf_eval.Metrics.sum_ii
+            a.Hcrf_eval.Metrics.pct_at_mii cold_s warm_s
+            (if i = last then "" else ","))
+        rows;
+      Printf.fprintf oc "] }\n";
+      close_out oc
   in
   Cmd.v
     (Cmd.info "ports"
-       ~doc:"Sweep the LoadR/StoreR port counts of a hierarchical RF")
-    Term.(const run $ config_arg $ n_arg $ ctx_term)
+       ~doc:
+         "Sweep the LoadR/StoreR or per-bank access-port counts of an \
+          organization")
+    Term.(const run $ config_arg $ n_arg $ access_arg $ json_arg $ ctx_term)
+
+let scarcity_cmd =
+  let flat_arg =
+    let doc = "Flat clustered organization (the rival)." in
+    Arg.(value & opt string "4C32" & info [ "flat" ] ~doc)
+  in
+  let hier_arg =
+    let doc = "Hierarchical organization under test." in
+    Arg.(value & opt string "4C16S16" & info [ "hier" ] ~doc)
+  in
+  let run flat hier n (ctx : Hcrf_eval.Runner.Ctx.t) =
+    let loops = Hcrf_workload.Suite.generate ~n () in
+    let rows = Hcrf_eval.Experiments.port_scarcity ~flat ~hier ~ctx ~loops () in
+    Fmt.pr "%a@." Hcrf_eval.Experiments.pp_port_scarcity rows;
+    finish_trace ctx.Hcrf_eval.Runner.Ctx.tracer
+  in
+  Cmd.v
+    (Cmd.info "scarcity"
+       ~doc:
+         "Access-port scarcity sweep: execution time of a hierarchical \
+          organization against its flat rival as per-bank ports shrink")
+    Term.(const run $ flat_arg $ hier_arg $ n_arg $ ctx_term)
 
 let duel_cmd =
   let run config_name n (ctx : Hcrf_eval.Runner.Ctx.t) =
@@ -901,5 +1022,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ schedule_cmd; suite_cmd; hw_cmd; ports_cmd; duel_cmd; fuzz_cmd;
-            exact_cmd; trace_cmd; serve_bench_cmd; incr_cmd ]))
+          [ schedule_cmd; suite_cmd; hw_cmd; ports_cmd; scarcity_cmd;
+            duel_cmd; fuzz_cmd; exact_cmd; trace_cmd; serve_bench_cmd;
+            incr_cmd ]))

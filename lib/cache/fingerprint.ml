@@ -128,15 +128,39 @@ let of_loop (l : Loop.t) =
 
 let cap = function Hcrf_machine.Cap.Inf -> "inf" | Finite n -> int n
 
+(* The generalized fields append parts only when present, with a
+   distinct leading tag per field group: a legacy (absent-everywhere)
+   organization keeps its legacy part list byte-for-byte — and hence its
+   historical digest and every Store v3 cache key derived from it —
+   while any two configurations differing in any port/level field get
+   distinct encodings (parts are length-prefixed, tags are distinct). *)
+let access_parts tag a =
+  match Hcrf_machine.Rf.norm_access a with
+  | None -> []
+  | Some a -> [ tag; cap a.pr; cap a.pw ]
+
+let l3_parts = function
+  | None -> []
+  | Some (l : Hcrf_machine.Rf.level3) ->
+    [ "l3"; cap l.l3_regs; cap l.l3_lp; cap l.l3_sp ]
+    @ access_parts "tacc" l.l3_access
+
 let rf_parts (rf : Hcrf_machine.Rf.t) =
   match rf with
-  | Monolithic { regs } -> [ "mono"; cap regs ]
-  | Clustered { clusters; regs_per_bank; lp; sp; buses } ->
+  | Monolithic { regs; access } ->
+    [ "mono"; cap regs ] @ access_parts "lacc" access
+  | Clustered { clusters; regs_per_bank; lp; sp; buses; access } ->
     [ "clustered"; int clusters; cap regs_per_bank; cap lp; cap sp;
       cap buses ]
-  | Hierarchical { clusters; regs_per_bank; shared_regs; lp; sp } ->
+    @ access_parts "lacc" access
+  | Hierarchical
+      { clusters; regs_per_bank; shared_regs; lp; sp; local_access;
+        shared_access; l3 } ->
     [ "hier"; int clusters; cap regs_per_bank; cap shared_regs; cap lp;
       cap sp ]
+    @ l3_parts l3
+    @ access_parts "lacc" local_access
+    @ access_parts "sacc" shared_access
 
 let of_config (c : Hcrf_machine.Config.t) =
   let l = c.Hcrf_machine.Config.lats in

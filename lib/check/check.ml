@@ -55,6 +55,14 @@ let small_exact_presets =
 let config_names =
   [ "S64"; "S32"; "2C32"; "4C32"; "2C32S32"; "4C32S16"; "4C16S16"; "8C16S16" ]
 
+(* Generalized-hierarchy points: per-bank access-port constraints and
+   third-level organizations.  Kept out of [config_names] so the
+   long-standing campaign case-index mapping is untouched; campaigns
+   opt in via [generalized_config_presets]. *)
+let generalized_config_names =
+  [ "4C16S16@r4w3"; "4C16S16@Sr3w3"; "2C32S32@r5w4"; "4C16S16-L3:64";
+    "2C32S32-L3:128l2s2"; "4C16S16-L3:64@r4w3"; "2C32@r5w4" ]
+
 let options_presets =
   let d = Engine.default_options in
   [
@@ -73,6 +81,9 @@ let config_of_name ?n_fus ?n_mem_ports name =
 
 let default_config_presets =
   lazy (List.map (fun n -> (n, config_of_name n)) config_names)
+
+let generalized_config_presets =
+  lazy (List.map (fun n -> (n, config_of_name n)) generalized_config_names)
 
 (* ------------------------------------------------------------------ *)
 (* Cases                                                               *)

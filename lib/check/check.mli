@@ -36,6 +36,16 @@ val param_presets : (string * Hcrf_workload.Genloop.params) list
 val small_exact_presets : (string * Hcrf_workload.Genloop.params) list
 
 val config_names : string list
+
+(** Generalized-hierarchy configurations (per-bank access-port
+    constraints, third level).  Kept out of {!config_names} so existing
+    campaign case mappings are unchanged; pass
+    {!generalized_config_presets} as [config_presets] to sweep them. *)
+val generalized_config_names : string list
+
+val generalized_config_presets :
+  (string * Hcrf_machine.Config.t) list lazy_t
+
 val options_presets : (string * Hcrf_sched.Engine.options) list
 
 (** Resolve a machine notation like the CLI does: published Table-5

@@ -22,6 +22,7 @@ type t = {
 
 let bank_tag = function
   | Topology.Shared -> "S"
+  | Topology.L3 -> "L3"
   | Topology.Local i -> Fmt.str "L%d" i
 
 (* Register name of a value, from the allocation offsets. *)

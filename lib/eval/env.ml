@@ -6,6 +6,8 @@
 
     - [HCRF_LOOPS=<n>]  workbench size override;
     - [HCRF_JOBS=<n>]   worker-domain count;
+    - [HCRF_CONFIG=<notation>] machine configuration pin (full extended
+      grammar, e.g. [4C16S16-L3:64@r2w1]);
     - [HCRF_CACHE=<dir>] schedule cache backed by [dir]
       ([HCRF_CACHE=""] for in-memory only);
     - [HCRF_INCR=on|off|<dir>] incremental stage memo (in-memory for
@@ -22,7 +24,7 @@
     [HCRF_*] names this version does not know at all. *)
 
 let known =
-  [ "HCRF_CACHE"; "HCRF_INCR"; "HCRF_JOBS"; "HCRF_LOOPS";
+  [ "HCRF_CACHE"; "HCRF_CONFIG"; "HCRF_INCR"; "HCRF_JOBS"; "HCRF_LOOPS";
     "HCRF_SERVE_ADDR"; "HCRF_SERVE_LRU"; "HCRF_TRACE" ]
 
 (* HCRF_LOOPS override; anything non-numeric or <= 0 warns loudly. *)
@@ -36,6 +38,28 @@ let loops () =
       Logs.warn (fun m ->
           m "ignoring HCRF_LOOPS=%S (expected a positive integer); \
              falling back to the default loop count" s);
+      None)
+
+(* HCRF_CONFIG=<notation> pins the machine configuration in drivers
+   that honour it, using the full extended grammar (e.g.
+   "4C16S16-L3:64@r2w1"): published Table-5 hardware when the notation
+   names a published point, the analytic model otherwise.  A malformed
+   notation warns and is ignored — it must never silently change which
+   machine runs. *)
+let config () =
+  match Sys.getenv_opt "HCRF_CONFIG" with
+  | None | Some "" -> None
+  | Some s -> (
+    match
+      match Hcrf_model.Hw_table.find s with
+      | Some row -> Hcrf_model.Presets.of_published row
+      | None -> Hcrf_model.Presets.of_model (Hcrf_machine.Rf.of_notation s)
+    with
+    | c -> Some c
+    | exception (Failure msg | Invalid_argument msg) ->
+      Logs.warn (fun m ->
+          m "ignoring HCRF_CONFIG=%S (%s); using the driver's default" s
+            msg);
       None)
 
 let jobs () =

@@ -3,6 +3,8 @@
 
     - [HCRF_LOOPS=<n>]  workbench size override;
     - [HCRF_JOBS=<n>]   worker-domain count;
+    - [HCRF_CONFIG=<notation>] machine configuration pin (full extended
+      grammar, e.g. [4C16S16-L3:64@r2w1]);
     - [HCRF_CACHE=<dir>] schedule cache backed by [dir]
       ([HCRF_CACHE=""] for in-memory only);
     - [HCRF_INCR=on|off|<dir>] incremental stage memo (in-memory for
@@ -21,6 +23,13 @@ val known : string list
 
 (** [HCRF_LOOPS]; [None] when unset or unusable (warned). *)
 val loops : unit -> int option
+
+(** [HCRF_CONFIG=<notation>]: the machine configuration drivers should
+    pin, in the full extended grammar (["4C16S16-L3:64@r2w1"]) —
+    published hardware when the notation names a Table-5 point, the
+    analytic model otherwise.  [None] when unset or malformed
+    (warned). *)
+val config : unit -> Hcrf_machine.Config.t option
 
 (** [HCRF_JOBS]; defaults to {!Par.default_jobs} (warned when set but
     unusable). *)

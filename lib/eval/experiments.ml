@@ -453,6 +453,93 @@ let pp_ablations ppf rows =
   Fmt.pf ppf "@]"
 
 (* ------------------------------------------------------------------ *)
+(* Port-scarcity sweep: where does the hierarchy start paying?         *)
+
+type scarcity_row = {
+  sc_access : (int * int) option;
+      (** per-bank (read, write) ports; [None] is unbounded *)
+  sc_flat_sum_ii : int;
+  sc_flat_seconds : float;
+  sc_hier_sum_ii : int;
+  sc_hier_seconds : float;
+  sc_speedup : float;  (** flat time / hierarchical time (>1 = hier wins) *)
+}
+
+(* The ladder the sweep walks down, richest first.  (2,1) is the floor:
+   one read port cannot even feed a two-operand FU. *)
+let scarcity_ladder =
+  [ None; Some (6, 4); Some (5, 3); Some (4, 3); Some (3, 2); Some (2, 1) ]
+
+(* Uniform access-port override on every first-level bank of [rf]. *)
+let rf_with_access rf acc =
+  let access =
+    Option.map
+      (fun (pr, pw) -> Rf.access ~pr:(Cap.Finite pr) ~pw:(Cap.Finite pw))
+      acc
+  in
+  match rf with
+  | Rf.Monolithic m -> Rf.Monolithic { m with access }
+  | Rf.Clustered c -> Rf.Clustered { c with access }
+  | Rf.Hierarchical h -> Rf.Hierarchical { h with local_access = access }
+
+(** Sweep per-bank access ports down [scarcity_ladder] on a flat
+    clustered organization and its hierarchical rival (defaults: the
+    paper's 4C32 against 4C16S16).  Both are modelled with
+    {!Presets.of_model}, so scarcer ports also buy each point a faster
+    cycle — the sweep answers the §6 design question end to end: at
+    which port count does the hierarchical organization start paying?
+    (With rich ports the flat organization's extra capacity wins; the
+    narrower the per-bank access budget, the more the hierarchy's
+    smaller, cheaper first-level banks claw back.) *)
+let port_scarcity ?(flat = "4C32") ?(hier = "4C16S16")
+    ?(ctx = Runner.Ctx.default) ~loops () =
+  let flat_rf = Rf.of_notation flat and hier_rf = Rf.of_notation hier in
+  let run rf acc =
+    let config = Presets.of_model (rf_with_access rf acc) in
+    Runner.aggregate config (Runner.run_suite ~ctx config loops)
+  in
+  List.map
+    (fun acc ->
+      let f = run flat_rf acc and h = run hier_rf acc in
+      {
+        sc_access = acc;
+        sc_flat_sum_ii = f.Metrics.sum_ii;
+        sc_flat_seconds = f.Metrics.exec_seconds;
+        sc_hier_sum_ii = h.Metrics.sum_ii;
+        sc_hier_seconds = h.Metrics.exec_seconds;
+        sc_speedup = f.Metrics.exec_seconds /. h.Metrics.exec_seconds;
+      })
+    scarcity_ladder
+
+(** First ladder point (walking richest to scarcest) where the
+    hierarchy wins on execution time ([None] when the flat organization
+    wins at every swept port count). *)
+let scarcity_crossover rows =
+  List.find_opt (fun r -> r.sc_speedup > 1.) rows
+  |> Option.map (fun r -> r.sc_access)
+
+let pp_access ppf = function
+  | None -> Fmt.pf ppf "inf"
+  | Some (pr, pw) -> Fmt.pf ppf "r%dw%d" pr pw
+
+let pp_port_scarcity ppf rows =
+  Fmt.pf ppf "@[<v>Port scarcity: flat vs. hierarchical execution time@,";
+  Fmt.pf ppf "  ports | flat sumII  time | hier sumII  time | speedup@,";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "  %5s | %10d %5.2f | %10d %5.2f | %7.3f@,"
+        (Fmt.str "%a" pp_access r.sc_access)
+        r.sc_flat_sum_ii r.sc_flat_seconds r.sc_hier_sum_ii
+        r.sc_hier_seconds r.sc_speedup)
+    rows;
+  (match scarcity_crossover rows with
+  | Some acc ->
+    Fmt.pf ppf "  crossover: hierarchy starts paying at %a@," pp_access acc
+  | None ->
+    Fmt.pf ppf "  crossover: none — flat wins at every swept port count@,");
+  Fmt.pf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
 (* Figure 6: real memory with binding prefetching                      *)
 
 let figure6_configs () =

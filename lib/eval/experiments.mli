@@ -109,6 +109,34 @@ val ablations :
   loops:Hcrf_ir.Loop.t list -> unit -> ablation_row list
 val pp_ablations : Format.formatter -> ablation_row list -> unit
 
+type scarcity_row = {
+  sc_access : (int * int) option;
+      (** per-bank (read, write) ports; [None] is unbounded *)
+  sc_flat_sum_ii : int;
+  sc_flat_seconds : float;
+  sc_hier_sum_ii : int;
+  sc_hier_seconds : float;
+  sc_speedup : float;  (** flat time / hierarchical time (>1 = hier wins) *)
+}
+
+(** The access-port ladder {!port_scarcity} walks down, richest first. *)
+val scarcity_ladder : (int * int) option list
+
+(** Sweep uniform per-bank access ports down {!scarcity_ladder} on a
+    flat clustered organization (default ["4C32"]) and its hierarchical
+    rival (default ["4C16S16"]), both through the analytic model, and
+    compare end-to-end execution time per point. *)
+val port_scarcity :
+  ?flat:string -> ?hier:string -> ?ctx:Runner.Ctx.t ->
+  loops:Hcrf_ir.Loop.t list -> unit -> scarcity_row list
+
+(** First ladder point (walking richest to scarcest) where the
+    hierarchy wins on execution time; [None] when the flat organization
+    wins at every swept port count. *)
+val scarcity_crossover : scarcity_row list -> (int * int) option option
+
+val pp_port_scarcity : Format.formatter -> scarcity_row list -> unit
+
 type perf_row = {
   p_config : string;
   p_exec_cycles : float;

@@ -38,3 +38,15 @@ let equal a b =
 let pp ppf = function
   | Finite n -> Fmt.int ppf n
   | Inf -> Fmt.string ppf "inf"
+
+let to_string = function Finite n -> string_of_int n | Inf -> "inf"
+
+(** Parse ["inf"] or a non-negative integer; raises [Failure] on
+    anything else (notation parsing wants a loud error, not a silent
+    default). *)
+let of_string s =
+  if s = "inf" then Inf
+  else
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Finite n
+    | Some _ | None -> Fmt.failwith "Cap.of_string: bad capacity %S" s

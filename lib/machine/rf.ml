@@ -1,13 +1,59 @@
-(** Register-file organizations and the paper's [xCy-Sz] notation.
+(** Register-file organizations and the paper's [xCy-Sz] notation,
+    generalized with per-bank access-port constraints and an optional
+    third level.
 
     [x] is the number of clusters, [y] the registers per first-level
     (distributed) bank and [z] the registers in the shared second-level
     bank.  [lp]/[sp] are the per-bank input (LoadR) and output (StoreR)
     ports between levels — or, for a non-hierarchical clustered RF, the
-    per-bank input/output ports of the inter-cluster bus network. *)
+    per-bank input/output ports of the inter-cluster bus network.
+
+    Beyond the paper's fixed design space, a bank may carry an explicit
+    {!access} constraint bounding how many register reads/writes its
+    cell array serves per cycle (the read-port-count-reduction axis),
+    and a hierarchical RF may grow an optional third level ({!level3})
+    below the shared bank, reached by LoadR/StoreR transfers executed
+    globally.  Every new field defaults to "absent", and an absent field
+    changes neither the notation, the scheduler's resource model, nor
+    any cache fingerprint — the legacy two-level encodings are a strict
+    subset of the generalized one. *)
+
+(** Explicit per-bank access ports: at most [pr] register reads and
+    [pw] register writes per cycle on that bank.  [None] everywhere
+    means "uniformly provisioned" — the paper's implicit assumption that
+    a bank carries as many access ports as its consumers demand. *)
+type access = { pr : Cap.t; pw : Cap.t }
+
+let access ~pr ~pw = { pr; pw }
+
+let equal_access a b = Cap.equal a.pr b.pr && Cap.equal a.pw b.pw
+
+(* A fully unbounded constraint constrains nothing: canonicalize it to
+   the absent field, so the explicitly-uniform encoding ([@rinfwinf])
+   and the legacy one are the same value — same notation, same
+   schedules, same cache fingerprints. *)
+let norm_access = function
+  | Some { pr = Cap.Inf; pw = Cap.Inf } -> None
+  | a -> a
+
+(** Optional third RF level below the shared bank.  [l3_lp] bounds the
+    LoadR transfers L3 -> shared per cycle, [l3_sp] the StoreR transfers
+    shared -> L3; [l3_access] optionally bounds the L3 cell array's own
+    read/write ports.  With a third level present, memory operations
+    exchange values with L3 instead of the shared bank. *)
+type level3 = {
+  l3_regs : Cap.t;
+  l3_lp : Cap.t;
+  l3_sp : Cap.t;
+  l3_access : access option;
+}
+
+let level3 ?(lp = Cap.Finite 1) ?(sp = Cap.Finite 1) ?access regs =
+  { l3_regs = Cap.of_int regs; l3_lp = lp; l3_sp = sp;
+    l3_access = norm_access access }
 
 type org =
-  | Monolithic of { regs : Cap.t }
+  | Monolithic of { regs : Cap.t; access : access option }
       (** a single shared bank feeding all FUs and memory ports ([Sz]) *)
   | Clustered of {
       clusters : int;
@@ -15,6 +61,7 @@ type org =
       lp : Cap.t;  (** input ports per bank (bus side) *)
       sp : Cap.t;  (** output ports per bank (bus side) *)
       buses : Cap.t;
+      access : access option;  (** per first-level bank *)
     }  (** FUs *and* memory ports distributed over [clusters] ([xCy]) *)
   | Hierarchical of {
       clusters : int;
@@ -22,27 +69,34 @@ type org =
       shared_regs : Cap.t;
       lp : Cap.t;  (** LoadR ports: shared -> local, per bank *)
       sp : Cap.t;  (** StoreR ports: local -> shared, per bank *)
+      local_access : access option;
+      shared_access : access option;
+      l3 : level3 option;
     }  (** first-level banks per cluster + shared bank ([xCy-Sz]);
           [clusters = 1] is the pure hierarchical organization *)
 
 type t = org
 
-let monolithic regs = Monolithic { regs = Cap.of_int regs }
+let monolithic ?access regs =
+  Monolithic { regs = Cap.of_int regs; access = norm_access access }
 
-let clustered ?lp ?sp ?buses ~clusters ~regs_per_bank () =
+let clustered ?lp ?sp ?buses ?access ~clusters ~regs_per_bank () =
   if clusters < 2 then invalid_arg "Rf.clustered: needs >= 2 clusters";
   let dflt = function Some c -> c | None -> Cap.Finite 1 in
   Clustered
     { clusters; regs_per_bank = Cap.of_int regs_per_bank;
       lp = dflt lp; sp = dflt sp;
-      buses = (match buses with Some b -> b | None -> Cap.Finite clusters) }
+      buses = (match buses with Some b -> b | None -> Cap.Finite clusters);
+      access = norm_access access }
 
-let hierarchical ?(lp = Cap.Finite 1) ?(sp = Cap.Finite 1) ~clusters
-    ~regs_per_bank ~shared_regs () =
+let hierarchical ?(lp = Cap.Finite 1) ?(sp = Cap.Finite 1) ?local_access
+    ?shared_access ?l3 ~clusters ~regs_per_bank ~shared_regs () =
   if clusters < 1 then invalid_arg "Rf.hierarchical: needs >= 1 cluster";
   Hierarchical
     { clusters; regs_per_bank = Cap.of_int regs_per_bank;
-      shared_regs = Cap.of_int shared_regs; lp; sp }
+      shared_regs = Cap.of_int shared_regs; lp; sp;
+      local_access = norm_access local_access;
+      shared_access = norm_access shared_access; l3 }
 
 let clusters = function
   | Monolithic _ -> 1
@@ -60,7 +114,7 @@ let is_clustered = function
 (** Registers in each first-level bank feeding the FUs.  For a monolithic
     RF the single bank feeds the FUs directly. *)
 let local_regs = function
-  | Monolithic { regs } -> regs
+  | Monolithic { regs; _ } -> regs
   | Clustered { regs_per_bank; _ } | Hierarchical { regs_per_bank; _ } ->
     regs_per_bank
 
@@ -68,18 +122,41 @@ let shared_regs = function
   | Monolithic _ | Clustered _ -> Cap.Finite 0
   | Hierarchical { shared_regs; _ } -> shared_regs
 
-(** Total storage capacity over all banks. *)
+let level3_of = function
+  | Monolithic _ | Clustered _ -> None
+  | Hierarchical { l3; _ } -> l3
+
+let l3_regs t =
+  match level3_of t with
+  | None -> Cap.Finite 0
+  | Some l3 -> l3.l3_regs
+
+let local_access = function
+  | Monolithic { access; _ } | Clustered { access; _ } -> access
+  | Hierarchical { local_access; _ } -> local_access
+
+let shared_access = function
+  | Monolithic _ | Clustered _ -> None
+  | Hierarchical { shared_access; _ } -> shared_access
+
+(** Total storage capacity over all banks (including the third level). *)
 let total_regs t =
-  match t with
-  | Monolithic { regs } -> regs
-  | Clustered { clusters; regs_per_bank; _ } -> (
-    match regs_per_bank with
-    | Cap.Inf -> Cap.Inf
-    | Cap.Finite y -> Cap.Finite (clusters * y))
-  | Hierarchical { clusters; regs_per_bank; shared_regs; _ } -> (
-    match (regs_per_bank, shared_regs) with
+  let add a b =
+    match (a, b) with
     | Cap.Inf, _ | _, Cap.Inf -> Cap.Inf
-    | Cap.Finite y, Cap.Finite z -> Cap.Finite ((clusters * y) + z))
+    | Cap.Finite a, Cap.Finite b -> Cap.Finite (a + b)
+  in
+  let scale k = function
+    | Cap.Inf -> Cap.Inf
+    | Cap.Finite n -> Cap.Finite (k * n)
+  in
+  match t with
+  | Monolithic { regs; _ } -> regs
+  | Clustered { clusters; regs_per_bank; _ } -> scale clusters regs_per_bank
+  | Hierarchical { clusters; regs_per_bank; shared_regs; l3; _ } ->
+    add
+      (add (scale clusters regs_per_bank) shared_regs)
+      (match l3 with None -> Cap.Finite 0 | Some l -> l.l3_regs)
 
 let lp = function
   | Monolithic _ -> Cap.Finite 0
@@ -89,57 +166,195 @@ let sp = function
   | Monolithic _ -> Cap.Finite 0
   | Clustered { sp; _ } | Hierarchical { sp; _ } -> sp
 
-let pp_cap_short ppf = function
-  | Cap.Inf -> Fmt.string ppf "inf"
-  | Cap.Finite n -> Fmt.int ppf n
+let pp_cap_short ppf c = Fmt.string ppf (Cap.to_string c)
 
-(** Paper notation: [S128], [4C32], [1C64S64], with [inf] for ∞. *)
+(* Suffix encodings of the generalized fields.  Absent fields print
+   nothing, so legacy organizations keep their legacy notation (and
+   [equal], which compares notations, keeps its legacy meaning). *)
+let access_suffix tag = function
+  | None -> ""
+  | Some a ->
+    Fmt.str "@%sr%aw%a" tag pp_cap_short a.pr pp_cap_short a.pw
+
+let l3_suffix = function
+  | None -> ""
+  | Some l3 ->
+    let ports =
+      if Cap.equal l3.l3_lp (Cap.Finite 1) && Cap.equal l3.l3_sp (Cap.Finite 1)
+      then ""
+      else Fmt.str "l%as%a" pp_cap_short l3.l3_lp pp_cap_short l3.l3_sp
+    in
+    Fmt.str "-L3:%a%s" pp_cap_short l3.l3_regs ports
+
+(** Paper notation — [S128], [4C32], [1C64S64] — extended with the
+    generalized axes: [-L3:<regs>[l<lp>s<sp>]] adds a third level,
+    [@r<n>w<n>] constrains the first-level banks' access ports,
+    [@Sr<n>w<n>] the shared bank's, [@Tr<n>w<n>] the third level's;
+    [inf] stands for an unbounded count anywhere. *)
 let notation t =
   match t with
-  | Monolithic { regs } -> Fmt.str "S%a" pp_cap_short regs
-  | Clustered { clusters; regs_per_bank; _ } ->
-    Fmt.str "%dC%a" clusters pp_cap_short regs_per_bank
-  | Hierarchical { clusters; regs_per_bank; shared_regs; _ } ->
-    Fmt.str "%dC%aS%a" clusters pp_cap_short regs_per_bank pp_cap_short
-      shared_regs
+  | Monolithic { regs; access } ->
+    Fmt.str "S%a%s" pp_cap_short regs (access_suffix "" access)
+  | Clustered { clusters; regs_per_bank; access; _ } ->
+    Fmt.str "%dC%a%s" clusters pp_cap_short regs_per_bank
+      (access_suffix "" access)
+  | Hierarchical
+      { clusters; regs_per_bank; shared_regs; local_access; shared_access;
+        l3; _ } ->
+    Fmt.str "%dC%aS%a%s%s%s%s" clusters pp_cap_short regs_per_bank
+      pp_cap_short shared_regs (l3_suffix l3)
+      (access_suffix "" local_access)
+      (access_suffix "S" shared_access)
+      (access_suffix "T" (match l3 with None -> None | Some l -> l.l3_access))
 
 let pp ppf t = Fmt.string ppf (notation t)
 
-(** Parse the paper notation.  Accepts [S<n>], [<x>C<y>], [<x>C<y>S<z>]
-    where each count is an integer or [inf].  Ports default to lp=sp=1 for
-    multi-bank organizations. *)
-let of_notation s =
-  let cap_of_string str =
-    if str = "inf" then Cap.Inf
-    else
-      match int_of_string_opt str with
-      | Some n when n >= 0 -> Cap.Finite n
-      | Some _ | None -> Fmt.failwith "Rf.of_notation: bad count %S" str
+(* ------------------------------------------------------------------ *)
+(* Parsing *)
+
+let fail_parse s = Fmt.failwith "Rf.of_notation: cannot parse %S" s
+
+(* Split [s] on '@'; the head is the base (+ optional L3 segment), every
+   further chunk one access-port group. *)
+let split_on_at s =
+  match String.split_on_char '@' s with
+  | [] -> fail_parse s
+  | head :: groups -> (head, groups)
+
+let cap_of_string s whole =
+  match Cap.of_string s with
+  | c -> c
+  | exception Failure _ -> fail_parse whole
+
+(* One "@..." group: "r<cap>w<cap>" (local), "Sr<cap>w<cap>" (shared),
+   "Tr<cap>w<cap>" (third level). *)
+let parse_group whole g =
+  let tag, rest =
+    if String.length g > 0 && (g.[0] = 'S' || g.[0] = 'T') then
+      (String.make 1 g.[0], String.sub g 1 (String.length g - 1))
+    else ("", g)
   in
-  let fail () = Fmt.failwith "Rf.of_notation: cannot parse %S" s in
-  match String.index_opt s 'C' with
+  if String.length rest < 2 || rest.[0] <> 'r' then fail_parse whole
+  else
+    match String.index_opt rest 'w' with
+    | None -> fail_parse whole
+    | Some wi ->
+      let pr = cap_of_string (String.sub rest 1 (wi - 1)) whole in
+      let pw =
+        cap_of_string (String.sub rest (wi + 1) (String.length rest - wi - 1))
+          whole
+      in
+      (tag, { pr; pw })
+
+(* The "-L3:<regs>[l<lp>s<sp>]" segment (without its leading "-L3:"). *)
+let parse_l3 whole seg =
+  match String.index_opt seg 'l' with
+  | None -> { l3_regs = cap_of_string seg whole; l3_lp = Cap.Finite 1;
+              l3_sp = Cap.Finite 1; l3_access = None }
+  | Some li -> (
+    let regs = cap_of_string (String.sub seg 0 li) whole in
+    let rest = String.sub seg (li + 1) (String.length seg - li - 1) in
+    match String.index_opt rest 's' with
+    | None -> fail_parse whole
+    | Some si ->
+      let lp = cap_of_string (String.sub rest 0 si) whole in
+      let sp =
+        cap_of_string (String.sub rest (si + 1) (String.length rest - si - 1))
+          whole
+      in
+      { l3_regs = regs; l3_lp = lp; l3_sp = sp; l3_access = None })
+
+(* The base organization: S<n>, <x>C<y> or <x>C<y>S<z>. *)
+let parse_base whole base ~local_access ~shared_access ~l3 =
+  let reject_hier_only () =
+    if shared_access <> None || l3 <> None then fail_parse whole
+  in
+  match String.index_opt base 'C' with
   | None ->
-    if String.length s < 2 || s.[0] <> 'S' then fail ()
-    else Monolithic { regs = cap_of_string (String.sub s 1 (String.length s - 1)) }
+    if String.length base < 2 || base.[0] <> 'S' then fail_parse whole
+    else begin
+      reject_hier_only ();
+      Monolithic
+        { regs =
+            cap_of_string (String.sub base 1 (String.length base - 1)) whole;
+          access = local_access }
+    end
   | Some ci -> (
     let x =
-      match int_of_string_opt (String.sub s 0 ci) with
+      match int_of_string_opt (String.sub base 0 ci) with
       | Some x when x >= 1 -> x
-      | Some _ | None -> fail ()
+      | Some _ | None -> fail_parse whole
     in
-    let rest = String.sub s (ci + 1) (String.length s - ci - 1) in
+    let rest = String.sub base (ci + 1) (String.length base - ci - 1) in
     match String.index_opt rest 'S' with
     | None ->
-      if x < 2 then fail ()
-      else
-        Clustered
-          { clusters = x; regs_per_bank = cap_of_string rest;
-            lp = Cap.Finite 1; sp = Cap.Finite 1; buses = Cap.Finite x }
+      if x < 2 then fail_parse whole;
+      reject_hier_only ();
+      Clustered
+        { clusters = x; regs_per_bank = cap_of_string rest whole;
+          lp = Cap.Finite 1; sp = Cap.Finite 1; buses = Cap.Finite x;
+          access = local_access }
     | Some si ->
-      let y = cap_of_string (String.sub rest 0 si) in
-      let z = cap_of_string (String.sub rest (si + 1) (String.length rest - si - 1)) in
+      let y = cap_of_string (String.sub rest 0 si) whole in
+      let z =
+        cap_of_string (String.sub rest (si + 1) (String.length rest - si - 1))
+          whole
+      in
       Hierarchical
         { clusters = x; regs_per_bank = y; shared_regs = z;
-          lp = Cap.Finite 1; sp = Cap.Finite 1 })
+          lp = Cap.Finite 1; sp = Cap.Finite 1; local_access; shared_access;
+          l3 })
+
+(** Parse the (extended) paper notation.  Inter-level ports default to
+    lp=sp=1 for multi-bank organizations; every generalized field
+    defaults to absent.  Raises [Failure] on malformed input — a typo'd
+    design point must not silently schedule a different machine. *)
+let of_notation s =
+  let head, groups = split_on_at s in
+  let local_access = ref None
+  and shared_access = ref None
+  and l3_access = ref None in
+  List.iter
+    (fun g ->
+      let cell =
+        match parse_group s g with
+        | "", a -> (`Local, a)
+        | "S", a -> (`Shared, a)
+        | "T", a -> (`L3, a)
+        | _ -> fail_parse s
+      in
+      let slot =
+        match fst cell with
+        | `Local -> local_access
+        | `Shared -> shared_access
+        | `L3 -> l3_access
+      in
+      if !slot <> None then fail_parse s (* duplicate group *)
+      else slot := Some (snd cell))
+    groups;
+  let base, l3 =
+    (* the L3 marker must not be confused with a register count: search
+       for the literal "-L3:" separator *)
+    let marker = "-L3:" in
+    let mlen = String.length marker in
+    let rec find i =
+      if i + mlen > String.length head then None
+      else if String.sub head i mlen = marker then Some i
+      else find (i + 1)
+    in
+    match find 0 with
+    | None -> (head, None)
+    | Some i ->
+      let seg = String.sub head (i + mlen) (String.length head - i - mlen) in
+      (String.sub head 0 i, Some (parse_l3 s seg))
+  in
+  if l3 = None && !l3_access <> None then fail_parse s;
+  let l3 =
+    match (l3, !l3_access) with
+    | None, _ -> None
+    | Some l, acc -> Some { l with l3_access = norm_access acc }
+  in
+  parse_base s base ~local_access:(norm_access !local_access)
+    ~shared_access:(norm_access !shared_access) ~l3
 
 let equal a b = notation a = notation b

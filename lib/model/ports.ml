@@ -20,27 +20,63 @@ let cap_int what c =
   | Some n -> n
   | None -> Fmt.invalid_arg "Ports: %s is unbounded, cannot size hardware" what
 
+(* An explicit [@r..w..] access constraint overrides the derived
+   provisioning: the hardware is built with exactly that many ports. *)
+let of_access what (a : Rf.access) =
+  { reads = cap_int (what ^ ".pr") a.Rf.pr;
+    writes = cap_int (what ^ ".pw") a.Rf.pw }
+
 (** Ports of one first-level (FU-facing) bank. *)
 let local_bank (c : Config.t) =
-  let fus = Config.fus_per_cluster c in
-  match c.rf with
-  | Rf.Monolithic _ ->
-    { reads = (2 * c.n_fus) + c.n_mem_ports;
-      writes = c.n_fus + c.n_mem_ports }
-  | Rf.Clustered { lp; sp; _ } ->
-    let mem = Config.mem_ports_per_cluster c in
-    { reads = (2 * fus) + mem + cap_int "sp" sp;
-      writes = fus + mem + cap_int "lp" lp }
-  | Rf.Hierarchical { lp; sp; _ } ->
-    { reads = (2 * fus) + cap_int "sp" sp;
-      writes = fus + cap_int "lp" lp }
+  match Rf.local_access c.rf with
+  | Some a -> of_access "local access" a
+  | None -> (
+    let fus = Config.fus_per_cluster c in
+    match c.rf with
+    | Rf.Monolithic _ ->
+      { reads = (2 * c.n_fus) + c.n_mem_ports;
+        writes = c.n_fus + c.n_mem_ports }
+    | Rf.Clustered { lp; sp; _ } ->
+      let mem = Config.mem_ports_per_cluster c in
+      { reads = (2 * fus) + mem + cap_int "sp" sp;
+        writes = fus + mem + cap_int "lp" lp }
+    | Rf.Hierarchical { lp; sp; _ } ->
+      { reads = (2 * fus) + cap_int "sp" sp;
+        writes = fus + cap_int "lp" lp })
 
 (** Ports of the shared second-level bank, when the organization has
     one. *)
 let shared_bank (c : Config.t) =
   match c.rf with
   | Rf.Monolithic _ | Rf.Clustered _ -> None
-  | Rf.Hierarchical { clusters; lp; sp; _ } ->
+  | Rf.Hierarchical { clusters; lp; sp; shared_access; l3; _ } ->
     Some
-      { reads = c.n_mem_ports + (clusters * cap_int "lp" lp);
-        writes = c.n_mem_ports + (clusters * cap_int "sp" sp) }
+      (match shared_access with
+      | Some a -> of_access "shared access" a
+      | None -> (
+        match l3 with
+        | None ->
+          { reads = c.n_mem_ports + (clusters * cap_int "lp" lp);
+            writes = c.n_mem_ports + (clusters * cap_int "sp" sp) }
+        | Some l ->
+          (* with a third level the memory ports move off the shared
+             bank; it instead feeds the L3 transfer ports (a StoreR
+             shared->L3 reads shared, a LoadR L3->shared writes it) *)
+          { reads =
+              (clusters * cap_int "lp" lp) + cap_int "l3_sp" l.Rf.l3_sp;
+            writes =
+              (clusters * cap_int "sp" sp) + cap_int "l3_lp" l.Rf.l3_lp }))
+
+(** Ports of the third-level bank, when the organization has one. *)
+let l3_bank (c : Config.t) =
+  match Rf.level3_of c.rf with
+  | None -> None
+  | Some l ->
+    Some
+      (match l.Rf.l3_access with
+      | Some a -> of_access "l3 access" a
+      | None ->
+        (* memory ops exchange with L3 (loads write, stores read), plus
+           the inter-level transfer ports on the L3 side *)
+        { reads = c.n_mem_ports + cap_int "l3_lp" l.Rf.l3_lp;
+          writes = c.n_mem_ports + cap_int "l3_sp" l.Rf.l3_sp })

@@ -13,10 +13,16 @@ type t = { reads : int; writes : int }
 val total : t -> int
 val pp : Format.formatter -> t -> unit
 
-(** Ports of one first-level (FU-facing) bank.  Raises
-    [Invalid_argument] when the configuration's ports are unbounded. *)
+(** Ports of one first-level (FU-facing) bank.  An explicit
+    [@r..w..] access constraint on the configuration overrides the
+    derived provisioning.  Raises [Invalid_argument] when the
+    configuration's ports are unbounded. *)
 val local_bank : Hcrf_machine.Config.t -> t
 
 (** Ports of the shared second-level bank, when the organization has
-    one. *)
+    one.  With a third level present, the memory ports move off the
+    shared bank onto L3. *)
 val shared_bank : Hcrf_machine.Config.t -> t option
+
+(** Ports of the third-level bank, when the organization has one. *)
+val l3_bank : Hcrf_machine.Config.t -> t option

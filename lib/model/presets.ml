@@ -60,31 +60,35 @@ let static_config ?(n_fus = 8) ?(n_mem_ports = 4) ~bounded_bandwidth
   let cap b n = if bounded_bandwidth then Cap.Finite n else b in
   let rf =
     match notation with
-    | "Sinf" -> Rf.Monolithic { regs = Cap.Inf }
+    | "Sinf" -> Rf.Monolithic { regs = Cap.Inf; access = None }
     | "1CinfSinf" ->
       Rf.Hierarchical
         { clusters = 1; regs_per_bank = Cap.Inf; shared_regs = Cap.Inf;
-          lp = cap Cap.Inf 4; sp = cap Cap.Inf 2 }
+          lp = cap Cap.Inf 4; sp = cap Cap.Inf 2; local_access = None;
+          shared_access = None; l3 = None }
     | "2Cinf" ->
       Rf.Clustered
         { clusters = 2; regs_per_bank = Cap.Inf; lp = cap Cap.Inf 1;
-          sp = cap Cap.Inf 1; buses = Cap.Inf }
+          sp = cap Cap.Inf 1; buses = Cap.Inf; access = None }
     | "2CinfSinf" ->
       Rf.Hierarchical
         { clusters = 2; regs_per_bank = Cap.Inf; shared_regs = Cap.Inf;
-          lp = cap Cap.Inf 3; sp = cap Cap.Inf 1 }
+          lp = cap Cap.Inf 3; sp = cap Cap.Inf 1; local_access = None;
+          shared_access = None; l3 = None }
     | "4Cinf" ->
       Rf.Clustered
         { clusters = 4; regs_per_bank = Cap.Inf; lp = cap Cap.Inf 1;
-          sp = cap Cap.Inf 1; buses = Cap.Inf }
+          sp = cap Cap.Inf 1; buses = Cap.Inf; access = None }
     | "4CinfSinf" ->
       Rf.Hierarchical
         { clusters = 4; regs_per_bank = Cap.Inf; shared_regs = Cap.Inf;
-          lp = cap Cap.Inf 2; sp = cap Cap.Inf 1 }
+          lp = cap Cap.Inf 2; sp = cap Cap.Inf 1; local_access = None;
+          shared_access = None; l3 = None }
     | "8CinfSinf" ->
       Rf.Hierarchical
         { clusters = 8; regs_per_bank = Cap.Inf; shared_regs = Cap.Inf;
-          lp = cap Cap.Inf 1; sp = cap Cap.Inf 1 }
+          lp = cap Cap.Inf 1; sp = cap Cap.Inf 1; local_access = None;
+          shared_access = None; l3 = None }
     | other -> Fmt.invalid_arg "Presets.static_config: unknown %S" other
   in
   Config.make ~n_fus ~n_mem_ports ~name:notation rf
@@ -101,5 +105,5 @@ let figure1_configs () =
     (fun (f, m) ->
       Config.make ~n_fus:f ~n_mem_ports:m
         ~name:(Fmt.str "%d+%d" f m)
-        (Rf.Monolithic { regs = Cap.Inf }))
+        (Rf.Monolithic { regs = Cap.Inf; access = None }))
     [ (4, 2); (6, 3); (8, 4); (10, 5); (12, 6) ]

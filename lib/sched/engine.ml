@@ -24,9 +24,10 @@
       memory — and loop invariants can be demoted from a cluster to
       the shared bank (or memory);
     - a Budget of [budget_ratio * |V|] attempts (replenished by
-      [budget_ratio] for every inserted node) bounds the iterative
-      process; when exhausted the attempt is discarded and the whole
-      process restarts with II + 1. *)
+      [budget_ratio] for every inserted node, up to a lifetime cap per
+      attempt so replenishment cannot sustain a spill cycle forever)
+      bounds the iterative process; when exhausted the attempt is
+      discarded and the whole process restarts with II + 1. *)
 
 open Hcrf_ir
 open Hcrf_machine
@@ -99,6 +100,11 @@ type state = {
   spilled : (int, unit) Hashtbl.t;       (* value defs already spilled *)
   inv_spilled : (int * int, unit) Hashtbl.t; (* (inv, bank code) *)
   mutable budget : int;
+  mutable refills : int;
+      (* cumulative budget granted back by spills; capped so a spill /
+         eject / re-spill cycle over fresh node ids (which the
+         [spilled] once-only marker cannot see) drains the budget
+         instead of sustaining itself forever *)
   ratio : int;
   opts : options;
   n0 : int;  (** nodes in the original graph, for the growth cap *)
@@ -118,7 +124,10 @@ let growth_cap s = Ddg.num_nodes s.g > (8 * s.n0) + 64
 
 exception Attempt_failed
 
-let bank_code = function Topology.Shared -> -1 | Topology.Local i -> i
+let bank_code = function
+  | Topology.Shared -> -1
+  | Topology.L3 -> -2
+  | Topology.Local i -> i
 
 let prio_of s v =
   match Hashtbl.find_opt s.prio v with Some p -> p | None -> 1.0e9
@@ -338,19 +347,32 @@ let schedule_node s v ~loc =
     in
     Hashtbl.replace s.last_force v cycle;
     let guard = ref 64 in
+    (* ejecting a conflict can invalidate [v] itself: a pending comm op
+       is spliced out when its last scheduled consumer goes, and a
+       pending Move loses its source bank (hence its reservation vector)
+       when its producer is ejected — re-check before every probe *)
+    let probe_ok () =
+      Ddg.mem s.g v
+      && not
+           (Op.equal_kind (kind_of s v) Op.Move
+           && Schedule.move_src_bank s.sched s.g v = None)
+    in
     let rec clear () =
       decr guard;
-      match Schedule.resource_conflicts s.sched s.g v ~cycle ~loc with
-      | [] -> ()
-      | conflicts when !guard > 0 ->
-        List.iter (eject s) conflicts;
-        clear ()
-      | _ -> ()
+      if probe_ok () then
+        match Schedule.resource_conflicts s.sched s.g v ~cycle ~loc with
+        | [] -> ()
+        | conflicts when !guard > 0 ->
+          List.iter (eject s) conflicts;
+          clear ()
+        | _ -> ()
     in
     clear ();
+    if not (Ddg.mem s.g v) then ()
+    else if not (probe_ok ()) then requeue s v
     (* re-prepare: the ejections above may have unscheduled a Move's
        producer, changing the reservation vector *)
-    if Schedule.can_place s.sched s.g v ~cycle ~loc then begin
+    else if Schedule.can_place s.sched s.g v ~cycle ~loc then begin
       place_node s v
         (Schedule.prepare_uses s.sched s.g v ~loc)
         ~cycle ~loc;
@@ -370,9 +392,30 @@ type step = Reuse of int | Fresh of Op.kind * Topology.loc
 
 type plan = { new_src : int; steps : step list }
 
+(* [avoid] is the consumer the route is being planned for: reusing it
+   (or a copy of its own output) as a step would wire the consumer's
+   value back into itself and silently disconnect the producer. *)
+let find_reusable_copy_at s src ~kind ~loc ~avoid =
+  List.find_opt
+    (fun (e : Ddg.edge) ->
+      e.dst <> avoid
+      && Op.equal_kind (kind_of s e.dst) kind
+      && Schedule.is_scheduled s.sched e.dst
+      &&
+      match Schedule.entry s.sched e.dst with
+      | Some e' -> Topology.equal_loc e'.loc loc
+      | None -> false)
+    (Ddg.consumers s.g src)
+  |> Option.map (fun (e : Ddg.edge) -> e.dst)
+
+let find_reusable_copy s src ~kind ~cluster ~avoid =
+  find_reusable_copy_at s src ~kind ~loc:(Topology.Cluster cluster) ~avoid
+
 (* How to obtain [p]'s value in the shared bank.  [db] is the bank of
-   the (possibly not yet placed) definition. *)
-let shared_handle s p ~(db : Topology.bank) =
+   the (possibly not yet placed) definition: a local bank goes up
+   through a StoreR, the third level comes up through a LoadR at
+   [Global]. *)
+let shared_handle s p ~(db : Topology.bank) ~avoid =
   match db with
   | Topology.Shared -> `Already p
   | Topology.Local i -> (
@@ -392,29 +435,39 @@ let shared_handle s p ~(db : Topology.bank) =
       let existing_storer =
         List.find_opt
           (fun (e : Ddg.edge) ->
-            Op.equal_kind (kind_of s e.dst) Op.Store_r
+            e.dst <> avoid
+            && Op.equal_kind (kind_of s e.dst) Op.Store_r
             && Schedule.is_scheduled s.sched e.dst)
           (Ddg.consumers s.g p)
       in
       match existing_storer with
       | Some e -> `Via e.dst
-      | None -> `Need i))
-
-let find_reusable_copy s src ~kind ~cluster =
-  List.find_opt
-    (fun (e : Ddg.edge) ->
-      Op.equal_kind (kind_of s e.dst) kind
-      && Schedule.is_scheduled s.sched e.dst
-      &&
-      match Schedule.entry s.sched e.dst with
-      | Some { loc = Topology.Cluster c; _ } -> c = cluster
-      | _ -> false)
-    (Ddg.consumers s.g src)
-  |> Option.map (fun (e : Ddg.edge) -> e.dst)
+      | None -> `Fresh (Op.Store_r, Topology.Cluster i)))
+  | Topology.L3 -> (
+    (* a StoreR@Global's producer already holds the same value in
+       Shared *)
+    let root =
+      if Op.equal_kind (kind_of s p) Op.Store_r then
+        match Ddg.operands s.g p with
+        | (e : Ddg.edge) :: _
+          when def_bank_of s e.src = Some Topology.Shared ->
+          Some e.src
+        | _ -> None
+      else None
+    in
+    match root with
+    | Some q -> `Already q
+    | None -> (
+      match
+        find_reusable_copy_at s p ~kind:Op.Load_r ~loc:Topology.Global
+          ~avoid
+      with
+      | Some lr -> `Via lr
+      | None -> `Fresh (Op.Load_r, Topology.Global)))
 
 (* Plan the copies needed so that a value defined in [db] by [p] can be
    read from [rb]. *)
-let plan_route s ~p ~(db : Topology.bank) ~(rb : Topology.bank) :
+let plan_route s ~p ~(db : Topology.bank) ~(rb : Topology.bank) ~avoid :
     plan option =
   if Topology.equal_bank db rb then None
   else
@@ -423,36 +476,41 @@ let plan_route s ~p ~(db : Topology.bank) ~(rb : Topology.bank) :
     | Rf.Clustered _ -> (
       match rb with
       | Topology.Local j -> (
-        match find_reusable_copy s p ~kind:Op.Move ~cluster:j with
+        match find_reusable_copy s p ~kind:Op.Move ~cluster:j ~avoid with
         | Some mv -> Some { new_src = p; steps = [ Reuse mv ] }
         | None ->
           Some
             { new_src = p; steps = [ Fresh (Op.Move, Topology.Cluster j) ] })
-      | Topology.Shared -> None)
+      | Topology.Shared | Topology.L3 -> None)
     | Rf.Hierarchical _ ->
+      (* stage 1: a handle on the value in the shared bank *)
       let src0, pre =
-        match shared_handle s p ~db with
+        match shared_handle s p ~db ~avoid with
         | `Already q -> (q, [])
         | `Via sr -> (p, [ Reuse sr ])
-        | `Need i -> (p, [ Fresh (Op.Store_r, Topology.Cluster i) ])
+        | `Fresh (k, loc) -> (p, [ Fresh (k, loc) ])
+      in
+      (* stage 2: deliver from the shared bank to [rb]; a further copy
+         can only be reused off an existing node, not a fresh one *)
+      let shared_node =
+        match pre with
+        | [] -> Some src0
+        | [ Reuse sr ] -> Some sr
+        | _ -> None
+      in
+      let deliver kind loc =
+        match
+          Option.bind shared_node (fun n ->
+              find_reusable_copy_at s n ~kind ~loc ~avoid)
+        with
+        | Some n -> [ Reuse n ]
+        | None -> [ Fresh (kind, loc) ]
       in
       let plan_steps =
         match rb with
         | Topology.Shared -> pre
-        | Topology.Local j ->
-          let shared_node =
-            match pre with
-            | [ Reuse sr ] -> Some sr
-            | [] -> Some src0
-            | _ -> None (* fresh storer: no existing LoadR can hang off it *)
-          in
-          let reuse_lr =
-            Option.bind shared_node (fun n ->
-                find_reusable_copy s n ~kind:Op.Load_r ~cluster:j)
-          in
-          (match reuse_lr with
-          | Some lr -> pre @ [ Reuse lr ]
-          | None -> pre @ [ Fresh (Op.Load_r, Topology.Cluster j) ])
+        | Topology.Local j -> pre @ deliver Op.Load_r (Topology.Cluster j)
+        | Topology.L3 -> pre @ deliver Op.Store_r Topology.Global
       in
       if plan_steps = [] && src0 = p then None
       else Some { new_src = src0; steps = plan_steps }
@@ -523,7 +581,7 @@ let routes_for s v ~loc =
           then
             match def_bank_of s e.src with
             | Some db ->
-              plan_route s ~p:e.src ~db ~rb
+              plan_route s ~p:e.src ~db ~rb ~avoid:e.dst
               |> Option.map (fun pl -> (e, pl))
             | None -> None
           else None)
@@ -545,7 +603,8 @@ let routes_for s v ~loc =
               Topology.read_bank s.config (kind_of s e.dst)
                 (Schedule.loc_of s.sched e.dst)
             in
-            plan_route s ~p:v ~db ~rb |> Option.map (fun pl -> (e, pl))
+            plan_route s ~p:v ~db ~rb ~avoid:e.dst
+            |> Option.map (fun pl -> (e, pl))
           else None)
         (Ddg.succs s.g v)
   in
@@ -591,11 +650,28 @@ let placement_cost s v ~loc =
     | Cap.Finite cap when cap > 0 -> bank_fill * 48 / cap
     | Cap.Finite _ -> 0
   in
+  (* access-port pressure: on a bank with constrained read/write ports,
+     already-reserved Rd/Wr slots make the cluster less attractive —
+     unconstrained banks (every legacy configuration) contribute 0 *)
+  let port_fill =
+    match Topology.bank_access s.config (Topology.Local cluster) with
+    | None -> 0
+    | Some _ ->
+      let b = Topology.bank_code s.config (Topology.Local cluster) in
+      let f = ref 0 in
+      for slot = 0 to ii - 1 do
+        f :=
+          !f
+          + Mrt.occupancy s.sched.Schedule.mrt (Topology.Rd b) ~slot
+          + Mrt.occupancy s.sched.Schedule.mrt (Topology.Wr b) ~slot
+      done;
+      !f
+  in
   (* A cluster without a free slot in the window is almost always a bad
      idea (it forces ejections); communication comes next; resource and
      register balance break ties. *)
   ((if slot_ok then 0 else 1000) + (100 * comm) + pressure_penalty
-  + !fu_fill + bank_fill)
+  + !fu_fill + bank_fill + port_fill)
 
 (* ------------------------------------------------------------------ *)
 (* Location selection                                                  *)
@@ -630,6 +706,14 @@ let producer_cluster s v =
         | Some { loc = Topology.Global; _ } | None -> None))
     None (Ddg.operands s.g v)
 
+(* Bank of the (first scheduled) producer's value, for bank-directed
+   placement of LoadR/StoreR in a three-level hierarchy. *)
+let producer_def_bank s v =
+  List.fold_left
+    (fun acc (e : Ddg.edge) ->
+      match acc with Some _ -> acc | None -> def_bank_of s e.src)
+    None (Ddg.operands s.g v)
+
 let decide_loc s v =
   let kind = kind_of s v in
   match Topology.exec_locs s.config kind with
@@ -652,7 +736,18 @@ let decide_loc s v =
       in
       if (not producer_ready) || not has_live_consumer then `Splice
       else
+        (* in a three-level hierarchy the producer's bank directs the
+           global transfers: a StoreR of a Shared value moves it down to
+           L3, a LoadR of an L3 value brings it up to Shared — both
+           execute at [Global].  Cluster-resident producers keep the
+           two-level placement heuristics. *)
+        let l3 = Topology.has_l3 s.config in
         match kind with
+        | Op.Store_r
+          when l3 && producer_def_bank s v = Some Topology.Shared ->
+          `Loc Topology.Global
+        | Op.Load_r when l3 && producer_def_bank s v = Some Topology.L3 ->
+          `Loc Topology.Global
         | Op.Store_r -> (
           match producer_cluster s v with
           | Some c -> `Loc (Topology.Cluster c)
@@ -686,12 +781,7 @@ let decide_loc s v =
 (* ------------------------------------------------------------------ *)
 (* Spilling                                                            *)
 
-let banks_of_config (config : Config.t) =
-  let x = Config.clusters config in
-  let locals = List.init x (fun i -> Topology.Local i) in
-  match config.rf with
-  | Rf.Monolithic _ | Rf.Clustered _ -> locals
-  | Rf.Hierarchical _ -> locals @ [ Topology.Shared ]
+let banks_of_config (config : Config.t) = Topology.all_banks config
 
 (* Invariants resident in [bank]: at least one scheduled direct consumer
    reads the invariant from there. *)
@@ -719,6 +809,15 @@ let invariant_residents s bank =
    (StoreR + LoadR per consumer); otherwise it goes to memory
    (Spill_store + Spill_load per consumer).  Returns the number of
    inserted nodes. *)
+(* Grant back [ratio] budget per inserted node, up to a lifetime cap per
+   attempt: unbounded replenishment lets a pathological config (e.g. one
+   local write port) respill fresh copies forever. *)
+let refund_spill s fresh =
+  let cap = 24 * s.ratio * s.n0 in
+  let grant = min (s.ratio * fresh) (max 0 (cap - s.refills)) in
+  s.refills <- s.refills + grant;
+  s.budget <- s.budget + grant
+
 let spill_value s ~bank d =
   let fresh = ref 0 in
   let consumers = Ddg.consumers s.g d in
@@ -787,7 +886,7 @@ let spill_value s ~bank d =
     consumers;
   Hashtbl.replace s.spilled d ();
   s.st.m_value_spills <- s.st.m_value_spills + 1;
-  s.budget <- s.budget + (s.ratio * !fresh);
+  refund_spill s !fresh;
   if Tr.enabled s.trace then
     Tr.emit s.trace (Ev.Spill_insert { kind = Ev.Value; inserted = !fresh });
   !fresh
@@ -828,7 +927,7 @@ let spill_invariant s ~bank (inv : Ddg.invariant) =
     consumers;
   Hashtbl.replace s.inv_spilled (inv.inv_id, bank_code bank) ();
   s.st.m_invariant_spills <- s.st.m_invariant_spills + 1;
-  s.budget <- s.budget + (s.ratio * !fresh);
+  refund_spill s !fresh;
   if Tr.enabled s.trace then
     Tr.emit s.trace
       (Ev.Spill_insert { kind = Ev.Invariant; inserted = !fresh });
@@ -840,7 +939,7 @@ let spillable_def s ~bank d =
   match (kind_of s d, bank) with
   | (Op.Fadd | Op.Fmul | Op.Fdiv | Op.Fsqrt | Op.Load), _ -> true
   | Op.Load_r, Topology.Local _ -> true  (* re-load from the shared copy *)
-  | (Op.Store_r | Op.Spill_load), Topology.Shared -> true
+  | (Op.Store_r | Op.Spill_load), (Topology.Shared | Topology.L3) -> true
   | _ -> false
 
 (* One spill decision for an overflowing [bank]: prefer an unspilled
@@ -989,7 +1088,7 @@ let repair_banks s ~schedule_fresh =
               (Schedule.loc_of s.sched e.dst)
           in
           if not (Topology.equal_bank db rb) then (
-            match plan_route s ~p:e.src ~db ~rb with
+            match plan_route s ~p:e.src ~db ~rb ~avoid:e.dst with
             | None -> ()
             | Some plan ->
               incr repaired;
@@ -1075,6 +1174,7 @@ let attempt config opts g0 ~order ~ii ~trace ~arena =
       spilled = Hashtbl.create 16;
       inv_spilled = Hashtbl.create 16;
       budget = opts.budget_ratio * max 1 (Ddg.num_nodes g);
+      refills = 0;
       ratio = opts.budget_ratio;
       opts;
       n0 = max 1 (Ddg.num_nodes g);

@@ -24,18 +24,28 @@
 
 open Hcrf_machine
 
-(* Row code of a resource: 5 * cluster + tag.  [Bus] has no cluster and
-   takes the otherwise-unused tag 4 of cluster 0. *)
-let code = function
+(* Row code of a resource.  Legacy rows keep their historical codes
+   (5 * cluster + tag; [Bus] has no cluster and takes the otherwise-
+   unused tag 4 of cluster 0); the generalized rows are appended after
+   them so tables of legacy configurations are laid out identically.
+   With [x] clusters and bank codes b in 0..x+1 (locals, shared, L3):
+   [Rd b -> 5x+5+2b], [Wr b -> 5x+5+2b+1], then [Lp3]/[Sp3] — 7x+11
+   rows in all. *)
+let code ~x = function
   | Topology.Fu i -> 5 * i
   | Topology.Mem i -> (5 * i) + 1
   | Topology.Lp i -> (5 * i) + 2
   | Topology.Sp i -> (5 * i) + 3
   | Topology.Bus -> 4
+  | Topology.Rd b -> (5 * x) + 5 + (2 * b)
+  | Topology.Wr b -> (5 * x) + 5 + (2 * b) + 1
+  | Topology.Lp3 -> (5 * x) + 5 + (2 * (x + 2))
+  | Topology.Sp3 -> (5 * x) + 5 + (2 * (x + 2)) + 1
 
 type t = {
   ii : int;
   config : Config.t;
+  x : int;                 (* clusters, for the row coding *)
   rows : int;
   valid : bool array;      (* row -> resource exists in the configuration *)
   units : int array;       (* row -> unit count (max_int encodes Cap.Inf) *)
@@ -53,12 +63,13 @@ let slot_stacks = 0
 
 let create ?arena (config : Config.t) ~ii =
   if ii < 1 then invalid_arg "Mrt.create: ii < 1";
-  let rows = (5 * Config.clusters config) + 5 in
+  let x = Config.clusters config in
+  let rows = (7 * x) + 11 in
   let valid = Array.make rows false in
   let units = Array.make rows 0 in
   List.iter
     (fun r ->
-      let c = code r in
+      let c = code ~x r in
       valid.(c) <- true;
       units.(c) <-
         (match Topology.units config r with
@@ -74,7 +85,7 @@ let create ?arena (config : Config.t) ~ii =
         Arena.ints a ~id:slot_occ_len ~fill:0 cells )
     | None -> (Array.make cells 0, Array.make cells [||], Array.make cells 0)
   in
-  { ii; config; rows; valid; units; counts; occ; occ_len;
+  { ii; config; x; rows; valid; units; counts; occ; occ_len;
     placed = Hashtbl.create 64 }
 
 let bad_resource r =
@@ -82,7 +93,7 @@ let bad_resource r =
     Topology.pp_resource r
 
 let row t r =
-  let c = code r in
+  let c = code ~x:t.x r in
   if c >= t.rows || not t.valid.(c) then bad_resource r;
   c
 
@@ -94,19 +105,38 @@ let smod t c =
 (* ------------------------------------------------------------------ *)
 (* Precompiled uses                                                    *)
 
-type cuses = { urows : int array; udurs : int array }
+type cuses = { urows : int array; udurs : int array; uneeds : int array }
 
+(* Entries touching the same row (a two-operand read of one constrained
+   bank) must fit *jointly*: compilation groups them per row, longest
+   reservation first, and annotates each with its rank in the group.
+   All same-cycle reservations are nested intervals, so checking entry
+   k's window against count + k is exactly the aggregate per-slot demand
+   test; a singleton entry keeps need = 1 and the historical probe. *)
 let compile t (uses : (Topology.resource * int) list) =
-  let n = List.length uses in
-  let urows = Array.make n 0 and udurs = Array.make n 0 in
-  List.iteri
-    (fun i (r, dur) ->
-      urows.(i) <- row t r;
-      udurs.(i) <- dur)
-    uses;
-  { urows; udurs }
+  let ranked =
+    List.stable_sort
+      (fun (r1, d1) (r2, d2) ->
+        if r1 <> r2 then compare r1 r2 else compare d2 d1)
+      (List.map (fun (r, dur) -> (row t r, dur)) uses)
+  in
+  let n = List.length ranked in
+  let urows = Array.make n 0
+  and udurs = Array.make n 0
+  and uneeds = Array.make n 0 in
+  let rec fill i prev need = function
+    | [] -> ()
+    | (r, d) :: tl ->
+      let need = if r = prev then need + 1 else 1 in
+      urows.(i) <- r;
+      udurs.(i) <- d;
+      uneeds.(i) <- need;
+      fill (i + 1) r need tl
+  in
+  fill 0 (-1) 0 ranked;
+  { urows; udurs; uneeds }
 
-let fits_row t ~r ~cycle ~dur =
+let fits_row t ~r ~cycle ~dur ~need =
   let u = t.units.(r) in
   if u = max_int then true
   else begin
@@ -115,7 +145,7 @@ let fits_row t ~r ~cycle ~dur =
     let ok = ref true in
     let k = ref 0 in
     while !ok && !k < dur do
-      if t.counts.(base + smod t (cycle + !k)) + 1 > u then ok := false;
+      if t.counts.(base + smod t (cycle + !k)) + need > u then ok := false;
       incr k
     done;
     !ok
@@ -126,8 +156,11 @@ let can_place_c t (u : cuses) ~cycle =
   let i = ref 0 in
   let n = Array.length u.urows in
   while !ok && !i < n do
-    if not (fits_row t ~r:u.urows.(!i) ~cycle ~dur:u.udurs.(!i)) then
-      ok := false;
+    if
+      not
+        (fits_row t ~r:u.urows.(!i) ~cycle ~dur:u.udurs.(!i)
+           ~need:u.uneeds.(!i))
+    then ok := false;
     incr i
   done;
   !ok
@@ -202,14 +235,14 @@ let conflicts_c t (u : cuses) ~cycle =
   let acc = ref [] in
   let n = Array.length u.urows in
   for i = n - 1 downto 0 do
-    let r = u.urows.(i) and dur = u.udurs.(i) in
+    let r = u.urows.(i) and dur = u.udurs.(i) and need = u.uneeds.(i) in
     let un = t.units.(r) in
     if un < max_int then begin
       let base = r * t.ii in
       let d = if dur > t.ii then t.ii else dur in
       for k = d - 1 downto 0 do
         let idx = base + smod t (cycle + k) in
-        if t.counts.(idx) + 1 > un && t.occ_len.(idx) > 0 then
+        if t.counts.(idx) + need > un && t.occ_len.(idx) > 0 then
           acc := t.occ.(idx).(t.occ_len.(idx) - 1) :: !acc
       done
     end

@@ -42,15 +42,37 @@ let reserved_slots t ~cycle ~dur =
   let dur = min dur t.ii in
   List.init dur (fun k -> ((cycle + k) mod t.ii + t.ii) mod t.ii)
 
-let fits_one t r ~cycle ~dur =
+(* Entries on the same resource (a two-operand read of one constrained
+   bank) must fit *jointly*: group them per resource, longest first, and
+   annotate each with its rank in the group.  Same-cycle reservations
+   are nested intervals, so checking entry k's window against
+   count + k is the aggregate per-slot demand test.  {!Mrt} compiles
+   the identical ranking. *)
+let ranked (uses : (Topology.resource * int) list) =
+  let sorted =
+    List.stable_sort
+      (fun (r1, d1) (r2, d2) ->
+        if r1 <> r2 then compare r1 r2 else compare d2 d1)
+      uses
+  in
+  let rec annotate prev need = function
+    | [] -> []
+    | (r, d) :: tl ->
+      let need = if prev = Some r then need + 1 else 1 in
+      (r, d, need) :: annotate (Some r) need tl
+  in
+  annotate None 0 sorted
+
+let fits_one t r ~cycle ~dur ~need =
   let a = slots t r in
   let u = Topology.units t.config r in
-  List.for_all (fun s -> Cap.fits (a.(s).count + 1) u)
+  List.for_all (fun s -> Cap.fits (a.(s).count + need) u)
     (reserved_slots t ~cycle ~dur)
 
 (** Can [uses] all be reserved at [cycle]? *)
 let can_place t (uses : (Topology.resource * int) list) ~cycle =
-  List.for_all (fun (r, dur) -> fits_one t r ~cycle ~dur) uses
+  List.for_all (fun (r, dur, need) -> fits_one t r ~cycle ~dur ~need)
+    (ranked uses)
 
 (** Reserve; the node must not already be placed. *)
 let place t ~node (uses : (Topology.resource * int) list) ~cycle =
@@ -98,18 +120,18 @@ let remove t ~node =
     resource slot that is full, the most recently placed occupant. *)
 let conflicts t (uses : (Topology.resource * int) list) ~cycle =
   List.concat_map
-    (fun (r, dur) ->
+    (fun (r, dur, need) ->
       let a = slots t r in
       let u = Topology.units t.config r in
       List.filter_map
         (fun s ->
-          if Cap.fits (a.(s).count + 1) u then None
+          if Cap.fits (a.(s).count + need) u then None
           else
             match a.(s).occupants with
             | o :: _ -> Some o
             | [] -> None)
         (reserved_slots t ~cycle ~dur))
-    uses
+    (ranked uses)
   |> List.sort_uniq compare
 
 (** Occupancy count of resource [r] at modulo slot [s] (for tests and

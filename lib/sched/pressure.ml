@@ -53,7 +53,7 @@ let slot_stop = 5
 let create ?arena (sched : Schedule.t) (g : Ddg.t) =
   let ii = Schedule.ii sched in
   let nclusters = Config.clusters sched.Schedule.config in
-  let cells = (nclusters + 1) * ii in
+  let cells = (nclusters + 2) * ii in
   let cap = 256 in
   let req, c_bank, c_start, c_stop =
     match arena with
@@ -72,9 +72,12 @@ let create ?arena (sched : Schedule.t) (g : Ddg.t) =
 let bank_index t = function
   | Topology.Local i -> i
   | Topology.Shared -> t.nclusters
+  | Topology.L3 -> t.nclusters + 1
 
 let bank_decode t i =
-  if i = t.nclusters then Topology.Shared else Topology.Local i
+  if i = t.nclusters then Topology.Shared
+  else if i = t.nclusters + 1 then Topology.L3
+  else Topology.Local i
 
 let grow t id =
   let cap' = max (2 * t.cap) (id + 1) in

@@ -48,10 +48,12 @@ let slot_bank = 9
 let loc_code = function Topology.Global -> -1 | Topology.Cluster i -> i
 let loc_decode = function -1 -> Topology.Global | i -> Topology.Cluster i
 
-(* Bank index: Local i -> i, Shared -> #clusters; -1 encodes "no bank". *)
+(* Bank index: Local i -> i, Shared -> #clusters, L3 -> #clusters + 1;
+   -1 encodes "no bank". *)
 let bank_index t = function
   | Topology.Local i -> i
   | Topology.Shared -> t.nclusters
+  | Topology.L3 -> t.nclusters + 1
 
 let create ?arena ?(lat : Latency.t option) (config : Config.t) ~ii =
   let lat = match lat with Some l -> l | None -> Latency.make config in
@@ -68,7 +70,7 @@ let create ?arena ?(lat : Latency.t option) (config : Config.t) ~ii =
   in
   { config; ii; lat; mrt = Mrt.create ?arena config ~ii; nclusters;
     e_cycle; e_loc; e_bank; cap; nsched = 0;
-    bank_defs = Array.make (nclusters + 1) 0;
+    bank_defs = Array.make (nclusters + 2) 0;
     ucache = Hashtbl.create 64; arena }
 
 let grow t id =
@@ -118,6 +120,7 @@ let def_bank t (_g : Ddg.t) v =
     match t.e_bank.(v) with
     | -1 -> None
     | i when i = t.nclusters -> Some Topology.Shared
+    | i when i = t.nclusters + 1 -> Some Topology.L3
     | i -> Some (Topology.Local i)
 
 (** Scheduled definitions currently living in [bank] (for the cluster
@@ -155,7 +158,8 @@ let cuses_of t (g : Ddg.t) v ~loc =
     match src with
     | None -> 0
     | Some Topology.Shared -> 1
-    | Some (Topology.Local i) -> i + 2
+    | Some Topology.L3 -> 2
+    | Some (Topology.Local i) -> i + 3
   in
   let key = (((kind_tag kind * 64) + loc_code loc + 1) * 64) + skey in
   match Hashtbl.find_opt t.ucache key with

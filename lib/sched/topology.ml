@@ -14,7 +14,14 @@
       cross-cluster flow needs a [Move].
     - In a hierarchical RF ([xCy-Sz]) compute and LoadR/StoreR operations
       execute in a cluster; memory operations execute globally on the
-      memory ports and exchange values with the [Shared] bank. *)
+      memory ports and exchange values with the [Shared] bank.
+    - With a third level ([xCy-Sz-L3:w]) memory operations exchange values
+      with [L3] instead; LoadR/StoreR executed at [Global] transfer
+      between L3 and the shared bank over the [Lp3]/[Sp3] ports.
+    - A bank with an explicit access-port constraint ([@r..w..] in the
+      notation) additionally owns [Rd]/[Wr] resources: every register
+      read (one per operand) and every register write-back reserves a
+      port of the bank it touches for one cycle. *)
 
 open Hcrf_ir
 open Hcrf_machine
@@ -31,24 +38,30 @@ let pp_loc ppf = function
   | Global -> Fmt.string ppf "global"
   | Cluster i -> Fmt.pf ppf "c%d" i
 
-type bank = Local of int | Shared
+type bank = Local of int | Shared | L3
 
 let equal_bank a b =
   match (a, b) with
   | Shared, Shared -> true
+  | L3, L3 -> true
   | Local i, Local j -> i = j
-  | Shared, Local _ | Local _, Shared -> false
+  | (Shared | L3 | Local _), _ -> false
 
 let pp_bank ppf = function
   | Shared -> Fmt.string ppf "S"
+  | L3 -> Fmt.string ppf "L3"
   | Local i -> Fmt.pf ppf "L%d" i
 
 type resource =
   | Fu of int   (** FU issue slots of cluster i *)
   | Mem of int  (** memory ports (per cluster when clustered, else pool 0) *)
   | Lp of int   (** input ports of bank i (LoadR / incoming move) *)
-  | Sp of int   (** output ports of bank i (StoreR / outgoing move) *)
+  | Sp of int   (** output ports of bank i (LoadR / outgoing move) *)
   | Bus         (** inter-cluster buses (clustered RF) *)
+  | Rd of int   (** read ports of the bank with code i (constrained banks) *)
+  | Wr of int   (** write ports of the bank with code i *)
+  | Lp3         (** LoadR ports L3 -> shared (third level only) *)
+  | Sp3         (** StoreR ports shared -> L3 (third level only) *)
 
 let pp_resource ppf = function
   | Fu i -> Fmt.pf ppf "fu%d" i
@@ -56,6 +69,32 @@ let pp_resource ppf = function
   | Lp i -> Fmt.pf ppf "lp%d" i
   | Sp i -> Fmt.pf ppf "sp%d" i
   | Bus -> Fmt.string ppf "bus"
+  | Rd i -> Fmt.pf ppf "rd%d" i
+  | Wr i -> Fmt.pf ppf "wr%d" i
+  | Lp3 -> Fmt.string ppf "l3lp"
+  | Sp3 -> Fmt.string ppf "l3sp"
+
+let level3 (c : Config.t) = Rf.level3_of c.rf
+let has_l3 (c : Config.t) = level3 c <> None
+
+(** Dense bank code: [Local i -> i], [Shared -> clusters],
+    [L3 -> clusters + 1] — the index space of the [Rd]/[Wr] resources
+    and of every flat per-bank array in the scheduler. *)
+let bank_code (c : Config.t) = function
+  | Local i -> i
+  | Shared -> Config.clusters c
+  | L3 -> Config.clusters c + 1
+
+let bank_of_code (c : Config.t) i =
+  let x = Config.clusters c in
+  if i = x then Shared else if i = x + 1 then L3 else Local i
+
+(** Access-port constraint of a bank ([None]: uniformly provisioned,
+    no [Rd]/[Wr] rows exist for it). *)
+let bank_access (c : Config.t) = function
+  | Local _ -> Rf.local_access c.rf
+  | Shared -> Rf.shared_access c.rf
+  | L3 -> Option.bind (level3 c) (fun l -> l.Rf.l3_access)
 
 (** Available units of a resource. *)
 let units (c : Config.t) = function
@@ -67,25 +106,60 @@ let units (c : Config.t) = function
     match c.rf with
     | Rf.Clustered { buses; _ } -> buses
     | Rf.Monolithic _ | Rf.Hierarchical _ -> Cap.Inf)
+  | Rd b -> (
+    match bank_access c (bank_of_code c b) with
+    | Some a -> a.Rf.pr
+    | None -> Cap.Inf)
+  | Wr b -> (
+    match bank_access c (bank_of_code c b) with
+    | Some a -> a.Rf.pw
+    | None -> Cap.Inf)
+  | Lp3 -> (
+    match level3 c with Some l -> l.Rf.l3_lp | None -> Cap.Inf)
+  | Sp3 -> (
+    match level3 c with Some l -> l.Rf.l3_sp | None -> Cap.Inf)
+
+(* Banks of the organization, in bank-code order. *)
+let all_banks (c : Config.t) =
+  let x = Config.clusters c in
+  let locals = List.init x (fun i -> Local i) in
+  match c.rf with
+  | Rf.Monolithic _ | Rf.Clustered _ -> locals
+  | Rf.Hierarchical _ ->
+    locals @ [ Shared ] @ (if has_l3 c then [ L3 ] else [])
 
 (** All resources that exist in the configuration (for validation and
-    reservation-table sizing). *)
+    reservation-table sizing).  The generalized rows ([Rd]/[Wr] of
+    access-constrained banks, [Lp3]/[Sp3] of a third level) come after
+    the legacy ones, and only when configured. *)
 let all_resources (c : Config.t) =
   let x = Config.clusters c in
   let clusters f = List.init x f in
-  match c.rf with
-  | Rf.Monolithic _ -> [ Fu 0; Mem 0 ]
-  | Rf.Clustered _ ->
-    clusters (fun i -> Fu i)
-    @ clusters (fun i -> Mem i)
-    @ clusters (fun i -> Lp i)
-    @ clusters (fun i -> Sp i)
-    @ [ Bus ]
-  | Rf.Hierarchical _ ->
-    clusters (fun i -> Fu i)
-    @ [ Mem 0 ]
-    @ clusters (fun i -> Lp i)
-    @ clusters (fun i -> Sp i)
+  let legacy =
+    match c.rf with
+    | Rf.Monolithic _ -> [ Fu 0; Mem 0 ]
+    | Rf.Clustered _ ->
+      clusters (fun i -> Fu i)
+      @ clusters (fun i -> Mem i)
+      @ clusters (fun i -> Lp i)
+      @ clusters (fun i -> Sp i)
+      @ [ Bus ]
+    | Rf.Hierarchical _ ->
+      clusters (fun i -> Fu i)
+      @ [ Mem 0 ]
+      @ clusters (fun i -> Lp i)
+      @ clusters (fun i -> Sp i)
+  in
+  let ports =
+    List.concat_map
+      (fun b ->
+        if bank_access c b <> None then
+          [ Rd (bank_code c b); Wr (bank_code c b) ]
+        else [])
+      (all_banks c)
+  in
+  let l3 = if has_l3 c then [ Lp3; Sp3 ] else [] in
+  legacy @ ports @ l3
 
 (** Candidate execution locations for an operation kind. *)
 let exec_locs (c : Config.t) (k : Op.kind) : loc list =
@@ -100,7 +174,11 @@ let exec_locs (c : Config.t) (k : Op.kind) : loc list =
     | Spill_store -> clusters ())
   | Rf.Hierarchical _ -> (
     match k with
-    | Fadd | Fmul | Fdiv | Fsqrt | Move | Load_r | Store_r -> clusters ()
+    | Load_r | Store_r ->
+      (* at Global a LoadR/StoreR transfers between L3 and the shared
+         bank over Lp3/Sp3 *)
+      clusters () @ (if has_l3 c then [ Global ] else [])
+    | Fadd | Fmul | Fdiv | Fsqrt | Move -> clusters ()
     | Load | Store | Spill_load | Spill_store -> [ Global ])
 
 (** Bank receiving the value defined by kind [k] executed at [loc];
@@ -112,8 +190,11 @@ let def_bank (c : Config.t) (k : Op.kind) (loc : loc) : bank option =
     | Rf.Monolithic _, _, _ -> Some (Local 0)
     | Rf.Clustered _, _, Cluster i -> Some (Local i)
     | Rf.Clustered _, _, Global -> invalid_arg "def_bank: global in clustered"
-    | Rf.Hierarchical _, (Load | Spill_load), Global -> Some Shared
+    | Rf.Hierarchical _, (Load | Spill_load), Global ->
+      Some (if has_l3 c then L3 else Shared)
     | Rf.Hierarchical _, Store_r, Cluster _ -> Some Shared
+    | Rf.Hierarchical _, Store_r, Global when has_l3 c -> Some L3
+    | Rf.Hierarchical _, Load_r, Global when has_l3 c -> Some Shared
     | Rf.Hierarchical _, (Fadd | Fmul | Fdiv | Fsqrt | Move | Load_r),
       Cluster i ->
       Some (Local i)
@@ -127,12 +208,17 @@ let read_bank (c : Config.t) (k : Op.kind) (loc : loc) : bank =
   | Rf.Monolithic _, _, _ -> Local 0
   | Rf.Clustered _, _, Cluster i -> Local i
   | Rf.Clustered _, _, Global -> invalid_arg "read_bank: global in clustered"
-  | Rf.Hierarchical _, (Store | Spill_store | Load_r), _ -> Shared
+  | Rf.Hierarchical _, Load_r, Global when has_l3 c -> L3
+  | Rf.Hierarchical _, Store_r, Global when has_l3 c -> Shared
+  | Rf.Hierarchical _, (Store | Spill_store | Load_r), _ ->
+    if has_l3 c && not (Op.equal_kind k Load_r) then L3 else Shared
   | Rf.Hierarchical _, (Fadd | Fmul | Fdiv | Fsqrt | Store_r | Move),
     Cluster i ->
     Local i
   | Rf.Hierarchical _, (Load | Spill_load), _ ->
-    Shared (* loads read address regs, not modeled; value side is Shared *)
+    (* loads read address regs, not modeled; value side is the memory-
+       facing bank *)
+    if has_l3 c then L3 else Shared
   | Rf.Hierarchical _, _, _ ->
     Fmt.invalid_arg "read_bank: %s at %a in hierarchical RF"
       (Op.kind_name k) pp_loc loc
@@ -140,10 +226,40 @@ let read_bank (c : Config.t) (k : Op.kind) (loc : loc) : bank =
 (* Load_r reads the shared bank even though it executes in a cluster:
    its operand must live in [Shared]. *)
 
+(* Register operands read from a bank: a read port per operand. *)
+let read_arity = function
+  | Op.Fadd | Op.Fmul | Op.Fdiv | Op.Fsqrt -> 2
+  | Op.Move | Op.Store_r | Op.Load_r | Op.Store | Op.Spill_store -> 1
+  | Op.Load | Op.Spill_load -> 0
+
+(* Rd/Wr reservations of [k] at [loc], only for access-constrained
+   banks — absent constraints add no rows, keeping legacy reservation
+   vectors (and schedules) bit-identical. *)
+let port_uses (c : Config.t) (k : Op.kind) (loc : loc) ~(src : bank option) =
+  let reads =
+    let n = read_arity k in
+    if n = 0 then []
+    else
+      let rb =
+        match (k, src) with Op.Move, Some b -> b | _ -> read_bank c k loc
+      in
+      match bank_access c rb with
+      | None -> []
+      | Some _ -> List.init n (fun _ -> (Rd (bank_code c rb), 1))
+  in
+  let writes =
+    match def_bank c k loc with
+    | Some b when bank_access c b <> None -> [ (Wr (bank_code c b), 1) ]
+    | Some _ | None -> []
+  in
+  reads @ writes
+
 (** Resources occupied by executing [k] at [loc].  [src] is the bank the
     (single) operand lives in — needed for [Move], which occupies the
     output port of the source bank.  Each entry is (resource, number of
-    consecutive cycles occupied starting at the issue cycle). *)
+    consecutive cycles occupied starting at the issue cycle); the same
+    resource may appear twice (a two-operand read of one constrained
+    bank), and the reservation tables account the entries jointly. *)
 let uses (c : Config.t) (k : Op.kind) (loc : loc) ~(src : bank option) :
     (resource * int) list =
   let dur = if Latencies.pipelined k then 1 else Config.op_latency c k in
@@ -151,23 +267,33 @@ let uses (c : Config.t) (k : Op.kind) (loc : loc) ~(src : bank option) :
     | Cluster i -> i
     | Global -> 0
   in
-  match k with
-  | Fadd | Fmul | Fdiv | Fsqrt -> [ (Fu (cluster_of loc), dur) ]
-  | Load | Store | Spill_load | Spill_store ->
-    [ (Mem (cluster_of loc), 1) ]
-  | Load_r -> [ (Lp (cluster_of loc), 1) ]
-  | Store_r -> [ (Sp (cluster_of loc), 1) ]
-  | Move -> (
-    let dst = cluster_of loc in
-    match src with
-    | Some (Local s) -> [ (Sp s, 1); (Bus, 1); (Lp dst, 1) ]
-    | Some Shared | None ->
-      invalid_arg "Topology.uses: Move needs a local source bank")
+  let base =
+    match k with
+    | Fadd | Fmul | Fdiv | Fsqrt -> [ (Fu (cluster_of loc), dur) ]
+    | Load | Store | Spill_load | Spill_store ->
+      [ (Mem (cluster_of loc), 1) ]
+    | Load_r -> (
+      match loc with
+      | Global -> [ (Lp3, 1) ]
+      | Cluster i -> [ (Lp i, 1) ])
+    | Store_r -> (
+      match loc with
+      | Global -> [ (Sp3, 1) ]
+      | Cluster i -> [ (Sp i, 1) ])
+    | Move -> (
+      let dst = cluster_of loc in
+      match src with
+      | Some (Local s) -> [ (Sp s, 1); (Bus, 1); (Lp dst, 1) ]
+      | Some (Shared | L3) | None ->
+        invalid_arg "Topology.uses: Move needs a local source bank")
+  in
+  base @ port_uses c k loc ~src
 
 (** Capacity of a bank. *)
 let bank_capacity (c : Config.t) = function
   | Local _ -> Rf.local_regs c.rf
   | Shared -> Rf.shared_regs c.rf
+  | L3 -> Rf.l3_regs c.rf
 
 (** Communication operations needed to make a value defined in [src_bank]
     readable from [dst_bank]: a list of (op kind, execution loc) forming a
@@ -181,9 +307,18 @@ let comm_path (c : Config.t) ~(src_bank : bank) ~(dst_bank : bank) :
     | Rf.Clustered _, Local _, Local d -> [ (Op.Move, Cluster d) ]
       (* the Move occupies Sp s via ~src at reservation time *)
     | Rf.Clustered _, _, _ ->
-      invalid_arg "comm_path: shared bank in clustered RF"
+      invalid_arg "comm_path: shared/L3 bank in clustered RF"
     | Rf.Hierarchical _, Local s, Shared -> [ (Op.Store_r, Cluster s) ]
     | Rf.Hierarchical _, Shared, Local d -> [ (Op.Load_r, Cluster d) ]
     | Rf.Hierarchical _, Local s, Local d ->
       [ (Op.Store_r, Cluster s); (Op.Load_r, Cluster d) ]
     | Rf.Hierarchical _, Shared, Shared -> []
+    | Rf.Hierarchical _, Shared, L3 when has_l3 c -> [ (Op.Store_r, Global) ]
+    | Rf.Hierarchical _, L3, Shared when has_l3 c -> [ (Op.Load_r, Global) ]
+    | Rf.Hierarchical _, Local s, L3 when has_l3 c ->
+      [ (Op.Store_r, Cluster s); (Op.Store_r, Global) ]
+    | Rf.Hierarchical _, L3, Local d when has_l3 c ->
+      [ (Op.Load_r, Global); (Op.Load_r, Cluster d) ]
+    | Rf.Hierarchical _, L3, L3 -> []
+    | Rf.Hierarchical _, _, _ ->
+      invalid_arg "comm_path: L3 bank without a third level"

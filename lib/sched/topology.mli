@@ -15,14 +15,22 @@
     - in a hierarchical RF ([xCy-Sz]) compute and LoadR/StoreR
       operations execute in a cluster; memory operations execute
       globally on the memory ports and exchange values with the [Shared]
-      bank. *)
+      bank;
+    - with a third level present, memory operations exchange values with
+      [L3] instead, and LoadR/StoreR executed at [Global] transfer
+      between L3 and the shared bank over the [Lp3]/[Sp3] ports;
+    - a bank with an explicit access-port constraint additionally owns
+      [Rd]/[Wr] resources: every register read (one per operand) and
+      every write-back reserves a port of the touched bank for one
+      cycle.  Unconstrained banks own no such rows, so legacy
+      configurations keep their exact legacy resource model. *)
 
 type loc = Global | Cluster of int
 
 val equal_loc : loc -> loc -> bool
 val pp_loc : Format.formatter -> loc -> unit
 
-type bank = Local of int | Shared
+type bank = Local of int | Shared | L3
 
 val equal_bank : bank -> bank -> bool
 val pp_bank : Format.formatter -> bank -> unit
@@ -31,10 +39,32 @@ type resource =
   | Fu of int   (** FU issue slots of cluster i *)
   | Mem of int  (** memory ports (per cluster when clustered, else pool 0) *)
   | Lp of int   (** input ports of bank i (LoadR / incoming move) *)
-  | Sp of int   (** output ports of bank i (StoreR / outgoing move) *)
+  | Sp of int   (** output ports of bank i (LoadR / outgoing move) *)
   | Bus         (** inter-cluster buses (clustered RF) *)
+  | Rd of int   (** read ports of the bank with code i (constrained banks) *)
+  | Wr of int   (** write ports of the bank with code i *)
+  | Lp3         (** LoadR ports L3 -> shared (third level only) *)
+  | Sp3         (** StoreR ports shared -> L3 (third level only) *)
 
 val pp_resource : Format.formatter -> resource -> unit
+
+(** Dense bank code: [Local i -> i], [Shared -> clusters],
+    [L3 -> clusters + 1] — the index space of the [Rd]/[Wr] resources
+    and of the scheduler's flat per-bank arrays. *)
+val bank_code : Hcrf_machine.Config.t -> bank -> int
+
+val bank_of_code : Hcrf_machine.Config.t -> int -> bank
+
+(** Access-port constraint of a bank; [None] means uniformly provisioned
+    (no [Rd]/[Wr] rows exist for it). *)
+val bank_access :
+  Hcrf_machine.Config.t -> bank -> Hcrf_machine.Rf.access option
+
+(** Banks of the organization, in bank-code order. *)
+val all_banks : Hcrf_machine.Config.t -> bank list
+
+(** Whether the configuration has a third register-file level. *)
+val has_l3 : Hcrf_machine.Config.t -> bool
 
 (** Available units of a resource. *)
 val units : Hcrf_machine.Config.t -> resource -> Hcrf_machine.Cap.t
@@ -57,10 +87,15 @@ val def_bank :
     special: it reads whichever local bank its producer is in. *)
 val read_bank : Hcrf_machine.Config.t -> Hcrf_ir.Op.kind -> loc -> bank
 
+(** Register operands the kind reads from a bank (one read port each). *)
+val read_arity : Hcrf_ir.Op.kind -> int
+
 (** Resources occupied by executing the kind at [loc], as (resource,
     consecutive cycles from issue) pairs.  [src] is the operand's bank —
-    required for [Move], which occupies the source bank's output
-    port. *)
+    required for [Move], which occupies the source bank's output port.
+    The same resource may appear in several entries (a two-operand read
+    of one constrained bank); the reservation tables account such
+    entries jointly. *)
 val uses :
   Hcrf_machine.Config.t -> Hcrf_ir.Op.kind -> loc -> src:bank option ->
   (resource * int) list

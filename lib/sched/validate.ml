@@ -118,7 +118,8 @@ let check ?(invariant_residents = fun (_ : Topology.bank) -> 0)
   let lts = Lifetimes.of_schedule s g in
   let all_banks =
     let x = Hcrf_machine.Config.clusters config in
-    Topology.Shared :: List.init x (fun i -> Topology.Local i)
+    (Topology.Shared :: List.init x (fun i -> Topology.Local i))
+    @ (if Topology.has_l3 config then [ Topology.L3 ] else [])
   in
   List.iter
     (fun bank ->

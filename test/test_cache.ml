@@ -160,6 +160,37 @@ let test_config_sensitivity () =
     (Fingerprint.equal (Fingerprint.of_config c)
        (Fingerprint.of_config { c with Config.name = "renamed" }))
 
+(* Every generalized port/level field must reach the config fingerprint
+   on its own: two configurations differing in any single one of them
+   can never alias in the schedule cache. *)
+let test_generalized_config_sensitivity () =
+  let open Hcrf_machine in
+  let cfg n = { (Hcrf_model.Presets.published "4C32S16") with
+                Config.rf = Rf.of_notation n } in
+  let variants =
+    [ ("legacy", cfg "4C32S16");
+      ("local-access", cfg "4C32S16@r2w1");
+      ("local-access-pr", cfg "4C32S16@r3w1");
+      ("local-access-pw", cfg "4C32S16@r2w2");
+      ("shared-access", cfg "4C32S16@Sr2w1");
+      ("l3", cfg "4C32S16-L3:64");
+      ("l3-regs", cfg "4C32S16-L3:128");
+      ("l3-lp", cfg "4C32S16-L3:64l2s1");
+      ("l3-sp", cfg "4C32S16-L3:64l1s2");
+      ("l3-access", cfg "4C32S16-L3:64@Tr2w1");
+      ("l3-access-pw", cfg "4C32S16-L3:64@Tr2w2");
+      ("flat-access", cfg "4C32@r2w1");
+      ("mono-access", cfg "S128@r2w1") ]
+  in
+  all_distinct (List.map fst variants)
+    (List.map (fun (_, c) -> Fingerprint.of_config c) variants);
+  (* ... while the fully unbounded constraint is canonically absent:
+     the explicitly-uniform encoding keeps the legacy digest *)
+  check "explicit @rinfwinf keeps the legacy fingerprint" true
+    (Fingerprint.equal
+       (Fingerprint.of_config (cfg "4C32S16"))
+       (Fingerprint.of_config (cfg "4C32S16@rinfwinf")))
+
 let test_options_sensitivity () =
   let open Hcrf_sched in
   let d = Engine.default_options in
@@ -508,6 +539,8 @@ let tests =
     QCheck_alcotest.to_alcotest prop_reordering_invariant;
     ("fingerprint: loop sensitivity", `Quick, test_loop_sensitivity);
     ("fingerprint: config sensitivity", `Quick, test_config_sensitivity);
+    ("fingerprint: generalized port/level sensitivity", `Quick,
+     test_generalized_config_sensitivity);
     ("fingerprint: options sensitivity", `Quick, test_options_sensitivity);
     ("suite: warm = cold, jobs 1 and 4", `Slow, test_warm_cold_identical);
     ( "suite: warm = cold under real memory", `Slow,

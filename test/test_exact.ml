@@ -137,6 +137,98 @@ let test_campaign_exact_deterministic () =
       true
       (s.Check.xs_cases > 0 && s.Check.xs_certified > 0)
 
+(* Port-constrained 3-way differential: on random small loops under
+   per-bank access-port constraints, the three independent layers that
+   enforce the port bounds must agree.
+   - Accept side: a schedule the engine produced passes [Validate.check]
+     (from-scratch port accounting) and replays node by node into a
+     fresh [Mrt] (incremental port accounting) without a single
+     [can_place] refusal.
+   - Reject side: the exact scheduler's phase-A refutation (R2 counts
+     the same [Rd]/[Wr] rows) must never refute an II that a validated
+     schedule achieves, i.e. the certified lower bound never exceeds the
+     heuristic's II; and the bound is monotone in the port budget —
+     scarcer ports can only raise it.
+   A disagreement here is a shrunk-witness candidate for
+   test/gap_corpus/. *)
+let port_configs =
+  [ "4C16S16@r2w1"; "4C16S16@r3w2"; "2C32S32@Sr2w2"; "4C32@r2w2" ]
+
+let replay_into_mrt (o : Engine.outcome) config =
+  let sched = o.Engine.schedule in
+  let mrt = Hcrf_sched.Mrt.create config ~ii:o.Engine.ii in
+  List.for_all
+    (fun v ->
+      let e = Hcrf_sched.Schedule.entry_exn sched v in
+      let uses =
+        Hcrf_sched.Schedule.uses_of sched o.Engine.graph v
+          ~loc:e.Hcrf_sched.Schedule.loc
+      in
+      let fits =
+        Hcrf_sched.Mrt.can_place mrt uses ~cycle:e.Hcrf_sched.Schedule.cycle
+      in
+      if fits then
+        Hcrf_sched.Mrt.place mrt ~node:v uses
+          ~cycle:e.Hcrf_sched.Schedule.cycle;
+      fits)
+    (Hcrf_sched.Schedule.scheduled_nodes sched)
+
+let prop_port_differential =
+  QCheck.Test.make ~name:"ports: validate / mrt / exact-R2 agreement"
+    ~count:30
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Hcrf_workload.Rng.create ~seed in
+      let loop =
+        Hcrf_workload.Genloop.generate ~params:small_params ~rng ~index:0 ()
+      in
+      List.for_all
+        (fun cname ->
+          let cfg = config cname in
+          match Engine.schedule cfg loop.Loop.ddg with
+          | Error _ -> true
+          | Ok o ->
+            (match
+               Validate.check
+                 ~invariant_residents:o.Engine.invariant_residents
+                 o.Engine.schedule o.Engine.graph
+             with
+            | [] -> ()
+            | issue :: _ ->
+              QCheck.Test.fail_reportf "%s: validate rejects engine: %a"
+                cname Validate.pp_issue issue);
+            if not (replay_into_mrt o cfg) then
+              QCheck.Test.fail_reportf
+                "%s: mrt replay rejects a validated schedule" cname;
+            let r = Exact.solve ~witness:false cfg loop.Loop.ddg in
+            if r.Exact.x_lb_exhausted && r.Exact.x_lb > o.Engine.ii then
+              QCheck.Test.fail_reportf
+                "%s: exact refuted ii=%d that validate accepted (lb=%d)"
+                cname o.Engine.ii r.Exact.x_lb;
+            true)
+        port_configs)
+
+let prop_port_lb_monotone =
+  QCheck.Test.make ~name:"ports: exact lower bound monotone in budget"
+    ~count:20
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let rng = Hcrf_workload.Rng.create ~seed in
+      let loop =
+        Hcrf_workload.Genloop.generate ~params:small_params ~rng ~index:0 ()
+      in
+      let lb cname =
+        let r = Exact.solve ~witness:false (config cname) loop.Loop.ddg in
+        if r.Exact.x_lb_exhausted then Some r.Exact.x_lb else None
+      in
+      match (lb "4C16S16", lb "4C16S16@r3w2", lb "4C16S16@r2w1") with
+      | Some inf, Some rich, Some scarce ->
+        if not (inf <= rich && rich <= scarce) then
+          QCheck.Test.fail_reportf
+            "lb not monotone: inf=%d r3w2=%d r2w1=%d" inf rich scarce
+        else true
+      | _ -> true)
+
 (* The committed optimality-gap corpus: each reproducer pins a loop the
    heuristic provably schedules above the certified optimum.  Replaying
    recomputes the measurement from scratch; the gap and its detail line
@@ -199,6 +291,8 @@ let tests =
     Alcotest.test_case "workbench small loops certified" `Slow
       test_workbench_certified;
     QCheck_alcotest.to_alcotest prop_exact_valid;
+    QCheck_alcotest.to_alcotest prop_port_differential;
+    QCheck_alcotest.to_alcotest prop_port_lb_monotone;
     Alcotest.test_case "exact campaign deterministic across jobs" `Slow
       test_campaign_exact_deterministic;
     Alcotest.test_case "gap corpus replay" `Slow test_gap_corpus_replay;

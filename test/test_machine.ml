@@ -50,6 +50,134 @@ let test_rf_notation_rejects () =
          with Failure _ -> true))
     [ "X128"; "C32"; "4C"; "S"; "0C32"; "fooS12" ]
 
+(* ------------------------------------------------------------------ *)
+(* Generalized notation: access-port groups and the third level *)
+
+let acc pr pw = Rf.access ~pr:(Cap.Finite pr) ~pw:(Cap.Finite pw)
+
+let test_rf_notation_print_generalized () =
+  check_str "monolithic access" "S64@r4w2"
+    (Rf.notation (Rf.monolithic ~access:(acc 4 2) 64));
+  check_str "clustered access" "4C32@r3w2"
+    (Rf.notation
+       (Rf.clustered ~access:(acc 3 2) ~clusters:4 ~regs_per_bank:32 ()));
+  check_str "hierarchical local access" "4C16S16@r2w1"
+    (Rf.notation
+       (Rf.hierarchical ~local_access:(acc 2 1) ~clusters:4 ~regs_per_bank:16
+          ~shared_regs:16 ()));
+  check_str "shared access" "2C32S32@Sr4w2"
+    (Rf.notation
+       (Rf.hierarchical ~shared_access:(acc 4 2) ~clusters:2 ~regs_per_bank:32
+          ~shared_regs:32 ()));
+  check_str "third level, default ports" "4C16S16-L3:64"
+    (Rf.notation
+       (Rf.hierarchical ~l3:(Rf.level3 64) ~clusters:4 ~regs_per_bank:16
+          ~shared_regs:16 ()));
+  check_str "third level, explicit ports" "4C16S16-L3:64l2s2"
+    (Rf.notation
+       (Rf.hierarchical
+          ~l3:(Rf.level3 ~lp:(Cap.Finite 2) ~sp:(Cap.Finite 2) 64)
+          ~clusters:4 ~regs_per_bank:16 ~shared_regs:16 ()));
+  check_str "the issue's example" "4C16S16-L3:64@r2w1"
+    (Rf.notation
+       (Rf.hierarchical ~l3:(Rf.level3 64) ~local_access:(acc 2 1) ~clusters:4
+          ~regs_per_bank:16 ~shared_regs:16 ()))
+
+let test_rf_notation_parse_generalized () =
+  List.iter
+    (fun s -> check_str ("round trip " ^ s) s (Rf.notation (Rf.of_notation s)))
+    [ "S64@r4w2"; "4C32@r3w2"; "4C16S16@r2w1"; "2C32S32@Sr4w2";
+      "4C16S16@rinfw1"; "4C16S16-L3:64"; "4C16S16-L3:inf";
+      "4C16S16-L3:64l2s2"; "4C16S16-L3:64@r2w1";
+      "4C16S16-L3:64l2s2@r2w1@Sr4w2@Tr2w1" ]
+
+let test_rf_notation_rejects_generalized () =
+  List.iter
+    (fun s ->
+      check ("rejects " ^ s) true
+        (try
+           ignore (Rf.of_notation s);
+           false
+         with Failure _ -> true))
+    [ "S64@Sr2w1" (* shared group without a shared bank *);
+      "4C32-L3:64" (* third level below a flat clustered RF *);
+      "4C16S16@Tr2w1" (* L3 access group without an L3 segment *);
+      "S64@r2" (* missing write count *);
+      "S64@rw2" (* missing read count *);
+      "4C16S16@r2w1@r2w1" (* duplicate group *);
+      "4C16S16-L3:" (* empty L3 register count *);
+      "4C16S16-L3:64l2" (* l without s *) ]
+
+let test_rf_l3_capacities () =
+  let t = Rf.of_notation "4C16S16-L3:64@r2w1" in
+  check "l3 present" true (Rf.level3_of t <> None);
+  check "l3 regs" true (Cap.equal (Rf.l3_regs t) (Cap.Finite 64));
+  check "total includes l3" true
+    (Cap.equal (Rf.total_regs t) (Cap.Finite 144));
+  check "local access parsed" true
+    (match Rf.local_access t with
+    | Some a -> Rf.equal_access a (acc 2 1)
+    | None -> false);
+  let legacy = Rf.of_notation "4C16S16" in
+  check "no l3 on legacy" true (Rf.level3_of legacy = None);
+  check "l3_regs zero on legacy" true
+    (Cap.equal (Rf.l3_regs legacy) (Cap.Finite 0));
+  check "no access on legacy" true (Rf.local_access legacy = None)
+
+(* Absent generalized fields leave the legacy notation untouched: the
+   extended grammar is a strict superset. *)
+let test_rf_legacy_notation_stable () =
+  List.iter
+    (fun s ->
+      let t = Rf.of_notation s in
+      check_str ("legacy " ^ s) s (Rf.notation t);
+      check ("no @ in " ^ s) false (String.contains (Rf.notation t) '@'))
+    [ "S128"; "4C32"; "2C32S32"; "8C16S16" ]
+
+let cap_gen =
+  QCheck.Gen.(
+    frequency [ (5, map (fun n -> Cap.Finite n) (int_range 1 16));
+                (1, return Cap.Inf) ])
+
+let access_gen =
+  QCheck.Gen.(
+    opt (map2 (fun pr pw -> Rf.access ~pr ~pw) cap_gen cap_gen))
+
+let generalized_rf_gen =
+  QCheck.Gen.(
+    let* shape = int_range 0 2 in
+    match shape with
+    | 0 ->
+      let* regs = int_range 1 256 and* access = access_gen in
+      return (Rf.monolithic ?access regs)
+    | 1 ->
+      let* clusters = int_range 2 8
+      and* regs = int_range 1 128
+      and* access = access_gen in
+      return (Rf.clustered ?access ~clusters ~regs_per_bank:regs ())
+    | _ ->
+      let* clusters = int_range 1 8
+      and* regs = int_range 1 128
+      and* shared = int_range 1 256
+      and* local_access = access_gen
+      and* shared_access = access_gen
+      and* l3 =
+        opt
+          (let* l3_regs = int_range 1 256
+           and* lp = cap_gen
+           and* sp = cap_gen
+           and* access = access_gen in
+           return (Rf.level3 ~lp ~sp ?access l3_regs))
+      in
+      return
+        (Rf.hierarchical ?local_access ?shared_access ?l3 ~clusters
+           ~regs_per_bank:regs ~shared_regs:shared ()))
+
+let prop_generalized_roundtrip =
+  QCheck.Test.make ~name:"generalized rf notation round-trips" ~count:500
+    (QCheck.make ~print:Rf.notation generalized_rf_gen)
+    (fun rf -> Rf.equal rf (Rf.of_notation (Rf.notation rf)))
+
 let test_rf_capacities () =
   let h = Rf.of_notation "4C16S64" in
   check "local regs" true (Cap.equal (Rf.local_regs h) (Cap.Finite 16));
@@ -158,6 +286,14 @@ let tests =
     ("rf: notation print", `Quick, test_rf_notation_print);
     ("rf: notation parse", `Quick, test_rf_notation_parse);
     ("rf: notation rejects", `Quick, test_rf_notation_rejects);
+    ("rf: generalized notation print", `Quick,
+     test_rf_notation_print_generalized);
+    ("rf: generalized notation parse", `Quick,
+     test_rf_notation_parse_generalized);
+    ("rf: generalized notation rejects", `Quick,
+     test_rf_notation_rejects_generalized);
+    ("rf: third-level capacities", `Quick, test_rf_l3_capacities);
+    ("rf: legacy notation stable", `Quick, test_rf_legacy_notation_stable);
     ("rf: capacities", `Quick, test_rf_capacities);
     ("rf: clustered needs two", `Quick, test_rf_clustered_needs_two);
     ("latencies: baseline", `Quick, test_latencies_baseline);
@@ -166,4 +302,5 @@ let tests =
     ("config: indivisible", `Quick, test_config_rejects_indivisible);
     ("config: miss cycles", `Quick, test_config_miss_cycles);
     QCheck_alcotest.to_alcotest prop_notation_roundtrip;
+    QCheck_alcotest.to_alcotest prop_generalized_roundtrip;
   ]

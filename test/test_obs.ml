@@ -386,7 +386,23 @@ let test_env () =
   check "off spec yields no memo" true (Env.memo_of_spec Env.Incr_off = None);
   Unix.putenv "HCRF_INCR" "/tmp/hcrf-memo";
   check "incr dir spec" true (Env.incr () = Env.Incr_dir "/tmp/hcrf-memo");
-  Unix.putenv "HCRF_INCR" "off"
+  Unix.putenv "HCRF_INCR" "off";
+  Unix.putenv "HCRF_CONFIG" "4C16S16-L3:64@r2w1";
+  check "config parses the full extended grammar" true
+    (match Env.config () with
+    | Some c ->
+      Hcrf_machine.Rf.notation c.Hcrf_machine.Config.rf
+      = "4C16S16-L3:64@r2w1"
+    | None -> false);
+  Unix.putenv "HCRF_CONFIG" "4C16S16@rinfwinf";
+  check "config canonicalizes the uniform encoding" true
+    (match Env.config () with
+    | Some c -> Hcrf_machine.Rf.notation c.Hcrf_machine.Config.rf = "4C16S16"
+    | None -> false);
+  Unix.putenv "HCRF_CONFIG" "4C16S16-L3:";
+  check "malformed config ignored with a warning" true
+    (Env.config () = None);
+  Unix.putenv "HCRF_CONFIG" ""
 
 (* ------------------------------------------------------------------ *)
 (* run_pipeline degrades to run_suite when no memo is configured *)

@@ -642,6 +642,121 @@ let test_pp_issue_golden () =
         "bank L3: rotating allocation failed" );
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Generalized hierarchy: per-bank access ports *)
+
+(* Back-compat invariant: the explicitly-uniform encoding ([@rinfwinf]
+   on both levels) is the same machine as the legacy encoding — same
+   config fingerprint, same cache keys, and byte-identical schedules and
+   metrics, serial or parallel. *)
+let test_uniform_ports_backcompat () =
+  let open Hcrf_eval in
+  let legacy = Hcrf_model.Presets.of_model (Rf.of_notation "4C16S16") in
+  let uniform =
+    Hcrf_model.Presets.of_model (Rf.of_notation "4C16S16@rinfwinf@Srinfwinf")
+  in
+  check "uniform rf canonicalizes to the legacy value" true
+    (Rf.equal legacy.Config.rf uniform.Config.rf);
+  check "config fingerprints equal" true
+    (Hcrf_cache.Fingerprint.equal
+       (Hcrf_cache.Fingerprint.of_config legacy)
+       (Hcrf_cache.Fingerprint.of_config uniform));
+  let loops = Hcrf_workload.Suite.generate ~n:10 () in
+  List.iter
+    (fun (l : Loop.t) ->
+      let key c =
+        Runner.cache_key ~scenario:Runner.Ideal
+          ~opts:Engine.default_options c l
+      in
+      check
+        (Fmt.str "cache key equal on %s" (Loop.name l))
+        true
+        (Hcrf_cache.Fingerprint.equal (key legacy) (key uniform)))
+    loops;
+  let digest config jobs =
+    let ctx = Runner.Ctx.make ~jobs () in
+    let rs = Runner.run_suite ~ctx config loops in
+    let buf = Buffer.create 4096 in
+    let ppf = Format.formatter_of_buffer buf in
+    List.iter
+      (fun (r : Runner.loop_result) ->
+        Fmt.pf ppf "%s ii=%d@.%a@." (Loop.name r.Runner.loop)
+          r.Runner.outcome.Engine.ii Schedule.pp
+          r.Runner.outcome.Engine.schedule)
+      rs;
+    Metrics.pp_aggregate ppf (Runner.aggregate config rs);
+    Format.pp_print_flush ppf ();
+    Buffer.contents buf
+  in
+  let base = digest legacy 1 in
+  Alcotest.(check string) "uniform encoding, jobs=1" base (digest uniform 1);
+  Alcotest.(check string) "uniform encoding, jobs=4" base (digest uniform 4);
+  Alcotest.(check string) "legacy encoding, jobs=4" base (digest legacy 4)
+
+(* Port monotonicity at the reservation-table level: a placement
+   sequence accepted under scarcer per-bank access ports is accepted
+   verbatim under richer ports (and under the unconstrained legacy
+   machine, whose banks own no port rows at all). *)
+let prop_mrt_port_monotonicity =
+  let configs =
+    lazy
+      (List.map
+         (fun n -> Hcrf_model.Presets.of_model (Rf.of_notation n))
+         [ "4C16S16@r2w1"; "4C16S16@r3w2"; "4C16S16" ])
+  in
+  QCheck.Test.make ~name:"mrt: scarcer-port acceptance implies richer"
+    ~count:100
+    QCheck.(pair (int_bound 100_000) (int_range 1 6))
+    (fun (seed, ii) ->
+      let configs = Lazy.force configs in
+      let rng = Hcrf_workload.Rng.create ~seed in
+      let mrts = List.map (fun c -> (c, Mrt.create c ~ii)) configs in
+      let kinds =
+        [| Op.Fadd; Op.Fmul; Op.Load; Op.Store; Op.Load_r; Op.Store_r |]
+      in
+      let ok = ref true in
+      for node = 1 to 24 do
+        let kind = kinds.(Hcrf_workload.Rng.int rng 6) in
+        let cycle = Hcrf_workload.Rng.int rng (4 * ii) in
+        let cluster = Hcrf_workload.Rng.int rng 4 in
+        let probe (config, mrt) =
+          let loc =
+            match
+              List.find_opt
+                (Topology.equal_loc (Topology.Cluster cluster))
+                (Topology.exec_locs config kind)
+            with
+            | Some loc -> Some loc
+            | None -> (
+              match Topology.exec_locs config kind with
+              | loc :: _ -> Some loc
+              | [] -> None)
+          in
+          Option.map
+            (fun loc ->
+              let src = Some (Topology.read_bank config kind loc) in
+              let uses = Topology.uses config kind loc ~src in
+              (Mrt.can_place mrt uses ~cycle, mrt, uses))
+            loc
+        in
+        match List.map probe mrts with
+        | [ Some (scarce, m1, u1); Some (rich, m2, u2); Some (inf, m3, u3) ]
+          ->
+          (* identical placement history in all three tables, so
+             acceptance must be monotone in the port budget *)
+          if scarce && not rich then ok := false;
+          if rich && not inf then ok := false;
+          (* only advance the state when every table accepts, keeping
+             the three histories aligned for the next probe *)
+          if scarce && rich && inf then begin
+            Mrt.place m1 ~node u1 ~cycle;
+            Mrt.place m2 ~node u2 ~cycle;
+            Mrt.place m3 ~node u3 ~cycle
+          end
+        | _ -> ()
+      done;
+      !ok)
+
 let tests =
   [
     ("mii: daxpy", `Quick, test_mii_daxpy);
@@ -675,4 +790,7 @@ let tests =
     QCheck_alcotest.to_alcotest prop_pressure_monotone;
     QCheck_alcotest.to_alcotest prop_pqueue_tie_determinism;
     QCheck_alcotest.to_alcotest prop_order_deterministic;
+    ("ports: uniform encoding back-compat", `Quick,
+     test_uniform_ports_backcompat);
+    QCheck_alcotest.to_alcotest prop_mrt_port_monotonicity;
   ]
